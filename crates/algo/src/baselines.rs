@@ -1,0 +1,206 @@
+//! The four baselines of Section 5.2: RAND-A, RAND-D, Greedy-NR, Greedy-NCS.
+//!
+//! Each baseline returns the photo ids it *selects*; the caller scores the
+//! selection under the true instance (e.g. via
+//! [`par_core::Solution::new`]). Greedy-NR and Greedy-NCS deliberately
+//! select under simplified instance *views*:
+//!
+//! * **Greedy-NR** ("no redundancy"): `SIM(q,p,p') ≡ 1`, so the objective it
+//!   optimizes is plain weighted subset coverage — it never realizes that a
+//!   second, near-duplicate photo adds little;
+//! * **Greedy-NCS** ("non-contextual similarity"): one global similarity for
+//!   all contexts, missing per-subset granularity (the Eiffel-Tower example of
+//!   Section 5.1).
+
+use crate::celf::{lazy_greedy, GreedyRule};
+use par_core::{Instance, PhotoId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// RAND-A: starting from `S₀`, add uniformly random photos while the budget
+/// allows; photos that no longer fit are skipped.
+pub fn rand_a<R: Rng>(inst: &Instance, rng: &mut R) -> Vec<PhotoId> {
+    let mut order: Vec<PhotoId> = (0..inst.num_photos() as u32).map(PhotoId).collect();
+    order.shuffle(rng);
+    let mut selected: Vec<PhotoId> = inst.required().to_vec();
+    let mut cost = inst.required_cost();
+    for p in order {
+        if inst.is_required(p) {
+            continue;
+        }
+        let c = inst.cost(p);
+        if cost + c <= inst.budget() {
+            cost += c;
+            selected.push(p);
+        }
+    }
+    selected
+}
+
+/// RAND-D: starting from the full archive, delete uniformly random
+/// non-required photos until the budget is met.
+pub fn rand_d<R: Rng>(inst: &Instance, rng: &mut R) -> Vec<PhotoId> {
+    let mut kept: Vec<PhotoId> = (0..inst.num_photos() as u32).map(PhotoId).collect();
+    let mut cost = inst.total_cost();
+    // Deletion order: a random permutation of the deletable photos.
+    let mut deletable: Vec<usize> = (0..kept.len())
+        .filter(|&i| !inst.is_required(kept[i]))
+        .collect();
+    deletable.shuffle(rng);
+    let mut removed = vec![false; kept.len()];
+    for i in deletable {
+        if cost <= inst.budget() {
+            break;
+        }
+        removed[i] = true;
+        cost -= inst.cost(kept[i]);
+    }
+    let mut idx = 0;
+    kept.retain(|_| {
+        let keep = !removed[idx];
+        idx += 1;
+        keep
+    });
+    kept
+}
+
+/// Generic greedy selection on an arbitrary instance view. Runs the lazy
+/// greedy under `rule` and returns the selected ids — convenient for custom
+/// baselines.
+pub fn greedy_select(view: &Instance, rule: GreedyRule) -> Vec<PhotoId> {
+    lazy_greedy(view, rule).selected
+}
+
+/// Greedy-NR: iterative greedy that ignores inter-photo similarity
+/// (`SIM ≡ 1`), i.e. weighted subset coverage. Selects on the unit-similarity
+/// view of `inst`.
+pub fn greedy_nr(inst: &Instance) -> Vec<PhotoId> {
+    greedy_select(&inst.with_unit_sims(), GreedyRule::UnitCost)
+}
+
+/// Greedy-NCS: iterative greedy using a *non-contextual* similarity — the
+/// same similarity for every subset. The caller provides the non-contextual
+/// view (same photos/subsets, similarity stores built from a global,
+/// context-free measure).
+pub fn greedy_ncs(non_contextual_view: &Instance) -> Vec<PhotoId> {
+    greedy_select(non_contextual_view, GreedyRule::UnitCost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use par_core::fixtures::{figure1_instance, random_instance, RandomInstanceConfig, MB};
+    use par_core::Solution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rand_a_is_feasible() {
+        let inst = figure1_instance(3 * MB);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let sel = rand_a(&inst, &mut rng);
+            let sol = Solution::new(&inst, sel).unwrap();
+            assert!(sol.cost() <= inst.budget());
+        }
+    }
+
+    #[test]
+    fn rand_d_is_feasible_and_keeps_required() {
+        let cfg = RandomInstanceConfig {
+            photos: 40,
+            required_prob: 0.1,
+            budget_fraction: 0.4,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        for seed in 0..5 {
+            let inst = random_instance(seed, &cfg);
+            let sel = rand_d(&inst, &mut rng);
+            let sol = Solution::new(&inst, sel).unwrap();
+            assert!(sol.cost() <= inst.budget());
+            for &r in inst.required() {
+                assert!(sol.contains(r));
+            }
+        }
+    }
+
+    #[test]
+    fn rand_a_saturates_budget() {
+        // With unit costs RAND-A fills the budget exactly.
+        use par_core::{InstanceBuilder, UnitSimilarity};
+        let mut b = InstanceBuilder::new(5);
+        let ids: Vec<_> = (0..10).map(|i| b.add_photo(format!("p{i}"), 1)).collect();
+        b.add_subset("q", 1.0, ids, vec![]);
+        let inst = b.build_with_provider(&UnitSimilarity).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sel = rand_a(&inst, &mut rng);
+        assert_eq!(sel.len(), 5);
+    }
+
+    #[test]
+    fn greedy_nr_ignores_similarity() {
+        // A heavy subset holds two *dissimilar* photos; a light subset holds
+        // one. Under SIM≡1, NR believes one photo fully covers the heavy
+        // subset, so it wastes its second slot on the light subset. PHOcus
+        // sees that the heavy subset is only half covered and takes both of
+        // its photos.
+        use par_core::{FnSimilarity, InstanceBuilder};
+        let mut b = InstanceBuilder::new(2);
+        let a = b.add_photo("a", 1);
+        let bb = b.add_photo("b", 1);
+        let lone = b.add_photo("lone", 1);
+        b.add_subset("heavy", 10.0, vec![a, bb], vec![0.5, 0.5]);
+        b.add_subset("light", 1.0, vec![lone], vec![]);
+        let sim = FnSimilarity(|_, _, _| 0.0);
+        let inst = b.build_with_provider(&sim).unwrap();
+
+        let nr = greedy_nr(&inst);
+        let nr_sol = Solution::new(&inst, nr).unwrap();
+        assert!(nr_sol.contains(lone), "NR spreads across subsets");
+        let phocus = crate::main_algorithm(&inst);
+        let ph_sol = Solution::new(&inst, phocus.best.selected).unwrap();
+        assert!(ph_sol.contains(a) && ph_sol.contains(bb));
+        assert!(
+            ph_sol.score() > nr_sol.score(),
+            "PHOcus {} should beat NR {}",
+            ph_sol.score(),
+            nr_sol.score()
+        );
+    }
+
+    #[test]
+    fn greedy_ncs_selects_on_the_supplied_view() {
+        let inst = figure1_instance(4 * MB);
+        // Using the instance itself as the "non-contextual" view must simply
+        // reproduce the UC greedy.
+        let sel = greedy_ncs(&inst);
+        let uc = lazy_greedy(&inst, GreedyRule::UnitCost);
+        assert_eq!(sel, uc.selected);
+    }
+
+    #[test]
+    fn baselines_never_beat_main_algorithm_on_average() {
+        let cfg = RandomInstanceConfig {
+            photos: 60,
+            subsets: 15,
+            budget_fraction: 0.25,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ph_total = 0.0;
+        let mut rnd_total = 0.0;
+        for seed in 0..8 {
+            let inst = random_instance(seed, &cfg);
+            let ph = crate::main_algorithm(&inst).best;
+            ph_total += Solution::new(&inst, ph.selected).unwrap().score();
+            rnd_total += Solution::new(&inst, rand_a(&inst, &mut rng))
+                .unwrap()
+                .score();
+        }
+        assert!(
+            ph_total > rnd_total,
+            "PHOcus {ph_total} vs RAND {rnd_total}"
+        );
+    }
+}

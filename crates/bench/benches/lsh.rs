@@ -1,0 +1,67 @@
+//! LSH benchmarks: SimHash pair discovery vs exhaustive all-pairs cosine —
+//! the "roughly linear time" claim of Section 4.3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use par_embed::{ImageSpec, SpecEmbedder};
+use par_lsh::{cosine, similar_pairs};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn vectors(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let embedder = SpecEmbedder::new(64, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cache = std::collections::HashMap::new();
+    (0..n)
+        .map(|i| {
+            let spec = ImageSpec::new(
+                rng.gen_range(0..(n as u32 / 20).max(2)),
+                [rng.gen(), rng.gen(), rng.gen(), rng.gen()],
+                i as u64,
+            );
+            embedder.embed_cached(&spec, &mut cache).as_slice().to_vec()
+        })
+        .collect()
+}
+
+fn exhaustive_pairs(vecs: &[Vec<f32>], tau: f64) -> usize {
+    let mut count = 0;
+    for i in 0..vecs.len() {
+        for j in 0..i {
+            if cosine(&vecs[i], &vecs[j]) >= tau {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+fn bench_pair_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pair_discovery");
+    group.sample_size(10);
+    for n in [500usize, 1000, 2000] {
+        let vecs = vectors(n, 42);
+        group.bench_with_input(BenchmarkId::new("lsh", n), &vecs, |b, v| {
+            b.iter(|| similar_pairs(std::hint::black_box(v), 0.8, 0.95, 7))
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &vecs, |b, v| {
+            b.iter(|| exhaustive_pairs(std::hint::black_box(v), 0.8))
+        });
+    }
+    group.finish();
+}
+
+fn bench_signing(c: &mut Criterion) {
+    use par_lsh::SimHasher;
+    let vecs = vectors(1000, 3);
+    let hasher = SimHasher::new(64, 128, 5);
+    c.bench_function("simhash_sign/1000x64d/128bit", |b| {
+        b.iter(|| {
+            for v in &vecs {
+                std::hint::black_box(hasher.sign(v));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_pair_discovery, bench_signing);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Objective-evaluator microbenchmarks: marginal-gain queries and solution
+//! updates — the inner loop every solver amplifies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use par_bench::{dataset, DatasetId, Scale};
+use par_core::{exact_score, Evaluator, PhotoId};
+use phocus::{represent, RepresentationConfig, Sparsification};
+
+fn bench_gain(c: &mut Criterion) {
+    let u = dataset(DatasetId::P1K, Scale::Scaled);
+    let budget = u.total_cost() / 5;
+    let dense = represent(&u, budget, &RepresentationConfig::default()).unwrap();
+    let sparse = represent(
+        &u,
+        budget,
+        &RepresentationConfig {
+            sparsification: Sparsification::Threshold { tau: 0.7 },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("gain_eval");
+    for (name, inst) in [("dense", &dense), ("sparse", &sparse)] {
+        let mut ev = Evaluator::new(inst);
+        // Half-full solution: realistic mid-run state.
+        for p in (0..inst.num_photos() as u32).step_by(2) {
+            ev.add(PhotoId(p));
+        }
+        group.bench_with_input(BenchmarkId::new("all_photos", name), &ev, |b, ev| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for p in 0..ev.instance().num_photos() as u32 {
+                    total += ev.gain(PhotoId(p));
+                }
+                std::hint::black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_vs_exact(c: &mut Criterion) {
+    let u = dataset(DatasetId::P1K, Scale::Scaled);
+    let inst = represent(&u, u.total_cost() / 5, &RepresentationConfig::default()).unwrap();
+    let set: Vec<PhotoId> = (0..inst.num_photos() as u32 / 3).map(PhotoId).collect();
+    let mut group = c.benchmark_group("score");
+    group.bench_function("incremental_build", |b| {
+        b.iter(|| {
+            let mut ev = Evaluator::new(&inst);
+            for &p in &set {
+                ev.add(p);
+            }
+            std::hint::black_box(ev.score())
+        })
+    });
+    group.bench_function("exact_from_scratch", |b| {
+        b.iter(|| std::hint::black_box(exact_score(&inst, &set)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gain, bench_incremental_vs_exact);
+criterion_main!(benches);

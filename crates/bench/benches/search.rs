@@ -1,0 +1,59 @@
+//! Search-engine benchmarks: index construction and ranked queries over the
+//! synthetic product catalog (the subset-derivation path of Example 5.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use par_datasets::{EcDomain, Zipf};
+use par_search::SearchEngine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn catalog(n: usize, seed: u64) -> Vec<String> {
+    let d = EcDomain::Fashion;
+    let (nouns, brands, colors, mods) = (d.nouns(), d.brands(), d.colors(), d.modifiers());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(nouns.len(), 0.8);
+    (0..n)
+        .map(|_| {
+            format!(
+                "{} {} {} {}",
+                brands[rng.gen_range(0..brands.len())],
+                colors[rng.gen_range(0..colors.len())],
+                mods[rng.gen_range(0..mods.len())],
+                nouns[zipf.sample(&mut rng)],
+            )
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let docs = catalog(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &docs, |b, docs| {
+            b.iter(|| SearchEngine::build(std::hint::black_box(docs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let docs = catalog(10_000, 2);
+    let engine = SearchEngine::build(&docs);
+    let queries = [
+        "black shirt",
+        "nike shoes",
+        "vintage jacket",
+        "adidas black sneakers",
+    ];
+    c.bench_function("query/10k_docs", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(engine.search(q, 100));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Sparsification benchmarks — the timing side of Figures 5e/5f: dense
+//! (PHOcus-NS) vs LSH-sparsified (PHOcus) representation and solving.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use par_algo::main_algorithm;
+use par_bench::{dataset, DatasetId, Scale};
+use phocus::{represent, RepresentationConfig, Sparsification};
+
+fn bench_representation(c: &mut Criterion) {
+    let u = dataset(DatasetId::P1K, Scale::Scaled);
+    let budget = u.total_cost() / 5;
+    let mut group = c.benchmark_group("representation");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("dense", "P-1K"), |b| {
+        b.iter(|| represent(&u, budget, &RepresentationConfig::default()).unwrap())
+    });
+    for tau in [0.5, 0.7] {
+        let cfg = RepresentationConfig {
+            sparsification: Sparsification::Lsh {
+                tau,
+                target_recall: 0.95,
+                seed: 1,
+            },
+            ..Default::default()
+        };
+        group.bench_function(BenchmarkId::new("lsh", format!("P-1K tau={tau}")), |b| {
+            b.iter(|| represent(&u, budget, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_solve_dense_vs_sparse(c: &mut Criterion) {
+    let u = dataset(DatasetId::P1K, Scale::Scaled);
+    let budget = u.total_cost() / 5;
+    let dense = represent(&u, budget, &RepresentationConfig::default()).unwrap();
+    let sparse = represent(
+        &u,
+        budget,
+        &RepresentationConfig {
+            sparsification: Sparsification::Lsh {
+                tau: 0.6,
+                target_recall: 0.95,
+                seed: 1,
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("solve");
+    group.sample_size(10);
+    group.bench_function("dense (PHOcus-NS)", |b| {
+        b.iter(|| main_algorithm(std::hint::black_box(&dense)))
+    });
+    group.bench_function("sparse (PHOcus)", |b| {
+        b.iter(|| main_algorithm(std::hint::black_box(&sparse)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_representation, bench_solve_dense_vs_sparse);
+criterion_main!(benches);

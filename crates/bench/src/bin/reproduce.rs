@@ -1,0 +1,163 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p par-bench --release --bin reproduce              # everything, scaled
+//! cargo run -p par-bench --release --bin reproduce -- --full   # paper-sized
+//! cargo run -p par-bench --release --bin reproduce -- --only fig5a,fig5d
+//! cargo run -p par-bench --release --bin reproduce -- --out results
+//! ```
+//!
+//! Each experiment prints an aligned table and writes
+//! `<out>/<figure>.csv` (tidy `figure,x,series,value` rows).
+
+use par_bench::{
+    ablation_compression, ablation_context, ablation_local_search, ablation_scaling, ablation_tau,
+    fig5a, fig5b, fig5c, fig5d, fig5e_5f, fig5g_5h, scenario_budget, scenario_cb_wins,
+    scenario_insights, scenario_lazy, scenario_preference, table1, table2, to_csv, to_table, Scale,
+    Series,
+};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+type Runner = fn(Scale) -> Vec<Series>;
+
+fn runners() -> Vec<(&'static str, &'static str, Runner)> {
+    vec![
+        (
+            "table1",
+            "Qualitative comparison of summarization systems (1=✓, 0=×)",
+            (|_s| table1()) as Runner,
+        ),
+        (
+            "table2",
+            "Dataset statistics, paper vs measured",
+            table2 as Runner,
+        ),
+        ("fig5a", "Quality vs budget on P-1K", fig5a as Runner),
+        ("fig5b", "Quality vs budget on P-5K", fig5b as Runner),
+        ("fig5c", "Quality vs budget on EC-Fashion", fig5c as Runner),
+        (
+            "fig5d",
+            "PHOcus vs exact Brute-Force on a small P-1K subset",
+            fig5d as Runner,
+        ),
+        (
+            "fig5e",
+            "Sparsification: quality (5e) and end-to-end time (5f), P-5K",
+            fig5e_5f as Runner,
+        ),
+        (
+            "fig5g",
+            "User study: quality (5g) and time in minutes (5h)",
+            fig5g_5h as Runner,
+        ),
+        (
+            "scenario_budget",
+            "§5.3 small-budget deployment (% of total quality)",
+            scenario_budget as Runner,
+        ),
+        (
+            "scenario_preference",
+            "§5.4 50-round preference test (round counts)",
+            scenario_preference as Runner,
+        ),
+        (
+            "scenario_lazy",
+            "§4.2 lazy-evaluation speedup (CELF vs eager)",
+            scenario_lazy as Runner,
+        ),
+        (
+            "scenario_cb_wins",
+            "§5.3 cost-benefit sub-algorithm win rate",
+            scenario_cb_wins as Runner,
+        ),
+        (
+            "scenario_insights",
+            "§5.4 'unexpected insights': solver picks serve more pages",
+            scenario_insights as Runner,
+        ),
+        (
+            "ablation_context",
+            "Ablation: contextualization strength (blend sweep)",
+            ablation_context as Runner,
+        ),
+        (
+            "ablation_tau",
+            "Ablation: τ-sparsification sweep with Theorem 4.8 certificates",
+            ablation_tau as Runner,
+        ),
+        (
+            "ablation_compression",
+            "Extension (§6 future work): remove-only vs compression-aware",
+            ablation_compression as Runner,
+        ),
+        (
+            "ablation_local_search",
+            "Extension: 1-swap local-search polish",
+            ablation_local_search as Runner,
+        ),
+        (
+            "ablation_scaling",
+            "Ablation: PHOcus vs PHOcus-NS end-to-end time across scales",
+            ablation_scaling as Runner,
+        ),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Scaled
+    };
+    let out_dir: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let only: Option<Vec<String>> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    println!(
+        "reproducing the paper's evaluation ({} scale) → {}\n",
+        if scale == Scale::Full {
+            "FULL"
+        } else {
+            "scaled"
+        },
+        out_dir.display()
+    );
+
+    let t_all = Instant::now();
+    for (id, title, runner) in runners() {
+        if let Some(only) = &only {
+            if !only.iter().any(|o| o == id) {
+                continue;
+            }
+        }
+        println!("=== {id}: {title} ===");
+        let t = Instant::now();
+        let rows = runner(scale);
+        // Some runners emit multiple figures (5e+5f, 5g+5h); split by figure.
+        let mut by_figure: BTreeMap<&'static str, Vec<Series>> = BTreeMap::new();
+        for r in rows {
+            by_figure.entry(r.figure).or_default().push(r);
+        }
+        for (figure, rows) in by_figure {
+            println!("--- {figure} ---");
+            print!("{}", to_table(&rows));
+            let path = out_dir.join(format!("{figure}.csv"));
+            std::fs::write(&path, to_csv(&rows)).expect("write csv");
+            println!("wrote {}", path.display());
+        }
+        println!("({:.1?})\n", t.elapsed());
+    }
+    println!("total: {:.1?}", t_all.elapsed());
+}

@@ -1,0 +1,152 @@
+//! # par-bench — the experiment harness
+//!
+//! One runner per table/figure of the paper's evaluation (Section 5). Each
+//! runner returns tidy [`Series`] rows (`figure, x, series, value`) that the
+//! `reproduce` binary prints and writes to `results/*.csv`; the Criterion
+//! benches under `benches/` cover the timing-sensitive kernels.
+//!
+//! Every runner has two scales:
+//!
+//! * **scaled** (default) — smaller datasets/budgets chosen to preserve the
+//!   figure's *shape* (who wins, by what factor, where curves converge)
+//!   while finishing in seconds to minutes;
+//! * **full** — the paper's dataset sizes and budget grids.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+pub mod registry;
+pub mod scenarios;
+
+pub use ablations::*;
+pub use figures::*;
+pub use registry::{dataset, DatasetId, Scale};
+pub use scenarios::*;
+
+/// One data point of a regenerated table/figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Figure/table identifier (e.g. `"fig5a"`).
+    pub figure: &'static str,
+    /// X coordinate (budget label, dataset name, domain, …).
+    pub x: String,
+    /// Series name (algorithm, metric, …).
+    pub series: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+impl Series {
+    /// Creates a row.
+    pub fn new(
+        figure: &'static str,
+        x: impl Into<String>,
+        series: impl Into<String>,
+        value: f64,
+    ) -> Self {
+        Series {
+            figure,
+            x: x.into(),
+            series: series.into(),
+            value,
+        }
+    }
+}
+
+/// Renders rows as CSV (`figure,x,series,value` with header).
+pub fn to_csv(rows: &[Series]) -> String {
+    let mut out = String::from("figure,x,series,value\n");
+    for r in rows {
+        // Values are numeric and the labels we generate contain no commas or
+        // quotes, but escape defensively.
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            r.figure,
+            esc(&r.x),
+            esc(&r.series),
+            r.value
+        ));
+    }
+    out
+}
+
+/// Renders rows as an aligned text table grouped by x, one column per series.
+pub fn to_table(rows: &[Series]) -> String {
+    let mut xs: Vec<&str> = Vec::new();
+    let mut series: Vec<&str> = Vec::new();
+    for r in rows {
+        if !xs.contains(&r.x.as_str()) {
+            xs.push(&r.x);
+        }
+        if !series.contains(&r.series.as_str()) {
+            series.push(&r.series);
+        }
+    }
+    let mut out = format!("{:<16}", "");
+    for s in &series {
+        out.push_str(&format!("{s:>14}"));
+    }
+    out.push('\n');
+    for x in xs {
+        out.push_str(&format!("{x:<16}"));
+        for s in &series {
+            let v = rows
+                .iter()
+                .find(|r| r.x == x && r.series == *s)
+                .map(|r| r.value);
+            match v {
+                Some(v) if v.abs() >= 1000.0 => out.push_str(&format!("{v:>14.0}")),
+                Some(v) => out.push_str(&format!("{v:>14.3}")),
+                None => out.push_str(&format!("{:>14}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let rows = vec![
+            Series::new("fig5a", "5MB", "PHOcus", 1200.0),
+            Series::new("fig5a", "5MB", "RAND", 400.0),
+        ];
+        let csv = to_csv(&rows);
+        assert!(csv.starts_with("figure,x,series,value\n"));
+        assert!(csv.contains("fig5a,5MB,PHOcus,1200"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn table_aligns_series_columns() {
+        let rows = vec![
+            Series::new("f", "a", "s1", 1.0),
+            Series::new("f", "a", "s2", 2.0),
+            Series::new("f", "b", "s1", 3.0),
+        ];
+        let t = to_table(&rows);
+        assert!(t.contains("s1"));
+        assert!(t.contains("s2"));
+        // Missing (b, s2) shows a dash.
+        assert!(t.lines().last().unwrap().contains('-'));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let rows = vec![Series::new("t2", "EC-Home, Garden", "photos", 1.0)];
+        let csv = to_csv(&rows);
+        assert!(csv.contains("\"EC-Home, Garden\""));
+    }
+}

@@ -1,0 +1,99 @@
+//! Dataset registry: the eight Table 2 datasets at scaled or full size,
+//! generated on demand with fixed seeds.
+
+use par_datasets::{
+    generate_ecommerce, generate_openimages, EcConfig, EcDomain, OpenImagesConfig, PublicScale,
+    Universe,
+};
+
+/// Which size to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Shape-preserving scaled-down datasets (seconds to generate/solve).
+    Scaled,
+    /// Paper-sized datasets.
+    Full,
+}
+
+/// The eight datasets of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetId {
+    /// P-1K public slice.
+    P1K,
+    /// P-5K public slice.
+    P5K,
+    /// P-10K public slice.
+    P10K,
+    /// P-50K public slice.
+    P50K,
+    /// P-100K public slice.
+    P100K,
+    /// EC-Fashion domain.
+    EcFashion,
+    /// EC-Electronics domain.
+    EcElectronics,
+    /// EC-Home & Garden domain.
+    EcHomeGarden,
+}
+
+/// Base seed shared by all experiment datasets.
+pub const SEED: u64 = 0xEDB7_2023;
+
+/// Generates a dataset. At `Scale::Scaled`, the public slices keep their
+/// paper photo counts up to P-10K (they are already fast) while P-50K/P-100K
+/// shrink 5×/10×, and the EC domains use the small query-log config
+/// (~1–2K photos, 40 queries).
+pub fn dataset(id: DatasetId, scale: Scale) -> Universe {
+    match id {
+        DatasetId::P1K => public(PublicScale::P1K, scale, 1),
+        DatasetId::P5K => public(PublicScale::P5K, scale, 1),
+        DatasetId::P10K => public(PublicScale::P10K, scale, 1),
+        DatasetId::P50K => public(PublicScale::P50K, scale, 1),
+        DatasetId::P100K => public(PublicScale::P100K, scale, 1),
+        DatasetId::EcFashion => ec(EcDomain::Fashion, scale, 2),
+        DatasetId::EcElectronics => ec(EcDomain::Electronics, scale, 3),
+        DatasetId::EcHomeGarden => ec(EcDomain::HomeGarden, scale, 4),
+    }
+}
+
+fn public(s: PublicScale, scale: Scale, salt: u64) -> Universe {
+    let mut cfg: OpenImagesConfig = s.config(SEED ^ salt);
+    if scale == Scale::Scaled && s.photos() > 10_000 {
+        let div = s.photos() / 10_000;
+        cfg.photos /= div;
+        cfg.target_subsets /= div;
+    }
+    generate_openimages(&cfg)
+}
+
+fn ec(d: EcDomain, scale: Scale, salt: u64) -> Universe {
+    let cfg = match scale {
+        Scale::Scaled => EcConfig::small(d, SEED ^ salt),
+        Scale::Full => EcConfig::paper(d, SEED ^ salt),
+    };
+    generate_ecommerce(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_p1k_is_full_size() {
+        let u = dataset(DatasetId::P1K, Scale::Scaled);
+        assert_eq!(u.num_photos(), 1_000);
+    }
+
+    #[test]
+    fn scaled_p100k_shrinks() {
+        let u = dataset(DatasetId::P100K, Scale::Scaled);
+        assert_eq!(u.num_photos(), 10_000);
+    }
+
+    #[test]
+    fn ec_scaled_generates() {
+        let u = dataset(DatasetId::EcFashion, Scale::Scaled);
+        assert!(u.num_photos() > 100);
+        assert_eq!(u.num_subsets(), 40);
+    }
+}

@@ -1,0 +1,265 @@
+//! Shared test fixtures: the paper's Figure 1 worked example and a
+//! deterministic random-instance generator.
+//!
+//! The Figure 1 instance (7 photos, 4 pre-defined subsets) is the input whose
+//! CELF execution is traced step by step in Figure 3 of the paper; encoding it
+//! here lets every crate in the workspace assert against the published trace
+//! (initial gains 7.83 / 6.74 / 6.75 / 0.7 / 0.82 / 4.61 / 0.78 and selection
+//! order p1 → p6 → p2 under the unit-cost rule).
+//!
+//! The random generator intentionally avoids external dependencies (a tiny
+//! SplitMix64) so that `par-core` keeps `rand` out of its public dependency
+//! tree while every downstream test suite can build reproducible instances.
+
+use crate::sim::FnSimilarity;
+use crate::{Instance, InstanceBuilder, PhotoId, SubsetId};
+
+/// One megabyte, the unit used in the paper's Figure 1 photo sizes.
+pub const MB: u64 = 1_000_000;
+
+/// Builds the paper's Figure 1 instance with the given budget (bytes).
+///
+/// Photos `p1..p7` map to [`PhotoId`] `0..7`. Sizes, subsets, weights,
+/// relevance scores and contextual similarities follow Figure 1 exactly.
+pub fn figure1_instance(budget: u64) -> Instance {
+    let mut b = InstanceBuilder::new(budget);
+    let sizes_mb = [1.2, 0.7, 2.1, 0.9, 0.8, 1.1, 1.3];
+    let ps: Vec<PhotoId> = sizes_mb
+        .iter()
+        .enumerate()
+        .map(|(i, &mb)| b.add_photo(format!("p{}", i + 1), (mb * MB as f64) as u64))
+        .collect();
+
+    // q1 = {p1, p2, p3} "Bikes", w = 9, R = (.5, .3, .2)
+    b.add_subset("Bikes", 9.0, vec![ps[0], ps[1], ps[2]], vec![0.5, 0.3, 0.2]);
+    // q2 = {p4, p5, p6} "Cats", w = 1, R = (.3, .4, .3)
+    b.add_subset("Cats", 1.0, vec![ps[3], ps[4], ps[5]], vec![0.3, 0.4, 0.3]);
+    // q3 = {p6} "Bookshelf", w = 3, R = (1)
+    b.add_subset("Bookshelf", 3.0, vec![ps[5]], vec![1.0]);
+    // q4 = {p6, p7} "Books", w = 1, R = (.7, .3)
+    b.add_subset("Books", 1.0, vec![ps[5], ps[6]], vec![0.7, 0.3]);
+
+    let sim = FnSimilarity(|q: SubsetId, a: PhotoId, b: PhotoId| {
+        let (lo, hi) = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        // Photo ids are 0-based; the paper's p_k is id k-1.
+        match (q.0, lo, hi) {
+            (0, 0, 1) => 0.7, // SIM(q1, p1, p2)
+            (0, 0, 2) => 0.8, // SIM(q1, p1, p3)
+            (0, 1, 2) => 0.5, // SIM(q1, p2, p3)
+            (1, 3, 4) => 0.7, // SIM(q2, p4, p5)
+            (1, 3, 5) => 0.4, // SIM(q2, p4, p6)
+            (1, 4, 5) => 0.7, // SIM(q2, p5, p6)
+            (3, 5, 6) => 0.7, // SIM(q4, p6, p7)
+            _ => 0.0,
+        }
+    });
+    b.build_with_provider(&sim)
+        .expect("figure 1 fixture is valid")
+}
+
+/// A tiny deterministic PRNG (SplitMix64) for dependency-free fixtures.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be nonzero.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Configuration for [`random_instance`].
+#[derive(Debug, Clone)]
+pub struct RandomInstanceConfig {
+    /// Number of photos.
+    pub photos: usize,
+    /// Number of pre-defined subsets.
+    pub subsets: usize,
+    /// Minimum and maximum subset size (inclusive).
+    pub subset_size: (usize, usize),
+    /// Minimum and maximum photo cost in bytes (inclusive).
+    pub cost_range: (u64, u64),
+    /// Budget as a fraction of total archive cost, in `(0, 1]`.
+    pub budget_fraction: f64,
+    /// Probability that a photo is marked policy-required.
+    pub required_prob: f64,
+}
+
+impl Default for RandomInstanceConfig {
+    fn default() -> Self {
+        RandomInstanceConfig {
+            photos: 30,
+            subsets: 8,
+            subset_size: (2, 6),
+            cost_range: (100, 1000),
+            budget_fraction: 0.4,
+            required_prob: 0.0,
+        }
+    }
+}
+
+/// Generates a reproducible random PAR instance for tests and property
+/// checks. Similarities are symmetric pseudo-random values in `[0, 1)`
+/// derived from the seed, photo ids and context id.
+pub fn random_instance(seed: u64, cfg: &RandomInstanceConfig) -> Instance {
+    assert!(cfg.photos > 0 && cfg.subsets > 0);
+    assert!(cfg.subset_size.0 >= 1 && cfg.subset_size.0 <= cfg.subset_size.1);
+    let mut rng = SplitMix64::new(seed);
+    let mut b = InstanceBuilder::new(0);
+    let mut total = 0u64;
+    let mut ids = Vec::with_capacity(cfg.photos);
+    for i in 0..cfg.photos {
+        let span = cfg.cost_range.1 - cfg.cost_range.0 + 1;
+        let cost = cfg.cost_range.0 + rng.next_u64() % span;
+        total += cost;
+        ids.push(b.add_photo(format!("photo-{i}"), cost));
+    }
+    for s in 0..cfg.subsets {
+        let size_span = cfg.subset_size.1 - cfg.subset_size.0 + 1;
+        let size = (cfg.subset_size.0 + rng.next_below(size_span)).min(cfg.photos);
+        // Sample `size` distinct photos.
+        let mut members = Vec::with_capacity(size);
+        let mut taken = vec![false; cfg.photos];
+        while members.len() < size {
+            let k = rng.next_below(cfg.photos);
+            if !taken[k] {
+                taken[k] = true;
+                members.push(ids[k]);
+            }
+        }
+        let weight = 0.5 + rng.next_f64() * 9.5;
+        let relevance = (0..size).map(|_| 0.05 + rng.next_f64()).collect();
+        b.add_subset(format!("subset-{s}"), weight, members, relevance);
+    }
+    if cfg.required_prob > 0.0 {
+        for &p in &ids {
+            if rng.next_f64() < cfg.required_prob {
+                b.require(p);
+            }
+        }
+    }
+    let budget = ((total as f64 * cfg.budget_fraction).ceil() as u64).max(1);
+
+    // Similarities are a symmetric hash of (seed, context, photo pair).
+    let seed2 = seed ^ 0xA5A5_5A5A_DEAD_BEEF;
+    let sim = FnSimilarity(move |q: SubsetId, a: PhotoId, b: PhotoId| {
+        let (lo, hi) = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        let mut h = SplitMix64::new(
+            seed2
+                .wrapping_mul(0x100000001B3)
+                .wrapping_add(((q.0 as u64) << 42) ^ ((lo as u64) << 21) ^ hi as u64),
+        );
+        h.next_f64()
+    });
+    // The builder was created with budget 0 (validation requires budget ≥
+    // C(S₀)), so build with an ample budget and derive the real one, clamped
+    // up to the required-set cost so it is always feasible.
+    b.set_budget(u64::MAX);
+    let inst = b.build_with_provider(&sim).expect("random instance valid");
+    let budget = budget.max(inst.required_cost());
+    inst.with_budget(budget).expect("budget covers S0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_score;
+
+    #[test]
+    fn figure1_has_expected_shape() {
+        let inst = figure1_instance(4 * MB);
+        assert_eq!(inst.num_photos(), 7);
+        assert_eq!(inst.num_subsets(), 4);
+        assert_eq!(inst.budget(), 4 * MB);
+        assert_eq!(inst.max_score(), 14.0);
+        assert_eq!(inst.cost(PhotoId(0)), 1_200_000);
+        // Contextual: p6-p7 similar in q4 only.
+        assert!((inst.sim(SubsetId(3)).sim(0, 1) - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn figure1_similarity_is_contextual() {
+        let inst = figure1_instance(u64::MAX);
+        // q2 = {p4, p5, p6}: SIM(q2, p4, p6) = 0.4.
+        assert!((inst.sim(SubsetId(1)).sim(0, 2) - 0.4).abs() < 1e-6);
+        // q3 = {p6} alone: no pairs.
+        assert_eq!(inst.sim(SubsetId(2)).len(), 1);
+    }
+
+    #[test]
+    fn figure1_full_retention_is_max_score() {
+        let inst = figure1_instance(u64::MAX);
+        let all: Vec<PhotoId> = (0..7).map(PhotoId).collect();
+        assert!((exact_score(&inst, &all) - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_instance_is_reproducible() {
+        let cfg = RandomInstanceConfig::default();
+        let a = random_instance(7, &cfg);
+        let b = random_instance(7, &cfg);
+        assert_eq!(a.num_photos(), b.num_photos());
+        assert_eq!(a.subset(SubsetId(0)).members, b.subset(SubsetId(0)).members);
+        assert_eq!(a.budget(), b.budget());
+        let c = random_instance(8, &cfg);
+        // Different seed ⇒ (almost surely) different structure.
+        assert!(
+            a.budget() != c.budget()
+                || a.subset(SubsetId(0)).members != c.subset(SubsetId(0)).members
+        );
+    }
+
+    #[test]
+    fn random_instance_respects_config() {
+        let cfg = RandomInstanceConfig {
+            photos: 50,
+            subsets: 12,
+            subset_size: (3, 5),
+            cost_range: (10, 20),
+            budget_fraction: 0.5,
+            required_prob: 0.1,
+        };
+        let inst = random_instance(42, &cfg);
+        assert_eq!(inst.num_photos(), 50);
+        assert_eq!(inst.num_subsets(), 12);
+        for q in inst.subsets() {
+            assert!(q.members.len() >= 3 && q.members.len() <= 5);
+            let s: f64 = q.relevance.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        for p in inst.photos() {
+            assert!(p.cost >= 10 && p.cost <= 20);
+        }
+        assert!(inst.budget() >= inst.required_cost());
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let f = SplitMix64::new(2).next_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

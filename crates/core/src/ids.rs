@@ -1,0 +1,90 @@
+//! Strongly-typed identifiers for photos and pre-defined subsets.
+//!
+//! Both identifiers are dense indices into the owning [`Instance`]'s storage
+//! (`u32`, so an instance can hold up to ~4 billion photos/subsets). Using
+//! newtypes rather than bare `usize` prevents the classic bug of indexing a
+//! subset-local array with a global photo id.
+//!
+//! [`Instance`]: crate::Instance
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a photo within an [`Instance`](crate::Instance).
+///
+/// Photo ids are dense: an instance with `n` photos uses ids `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhotoId(pub u32);
+
+/// Identifier of a pre-defined subset within an [`Instance`](crate::Instance).
+///
+/// Subset ids are dense: an instance with `m` subsets uses ids `0..m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SubsetId(pub u32);
+
+impl PhotoId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl SubsetId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for PhotoId {
+    fn from(v: u32) -> Self {
+        PhotoId(v)
+    }
+}
+
+impl From<u32> for SubsetId {
+    fn from(v: u32) -> Self {
+        SubsetId(v)
+    }
+}
+
+impl fmt::Display for PhotoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for SubsetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn photo_id_roundtrip() {
+        let id = PhotoId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(PhotoId::from(42u32), id);
+        assert_eq!(id.to_string(), "p42");
+    }
+
+    #[test]
+    fn subset_id_roundtrip() {
+        let id = SubsetId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(SubsetId::from(7u32), id);
+        assert_eq!(id.to_string(), "q7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(PhotoId(1) < PhotoId(2));
+        assert!(SubsetId(0) < SubsetId(10));
+    }
+}

@@ -1,0 +1,530 @@
+//! The PAR objective `G` and its incremental [`Evaluator`].
+//!
+//! The objective (Section 3.1 of the paper) is
+//!
+//! ```text
+//! G(S) = Σ_{q∈Q} W(q) · Σ_{p∈q} R(q,p) · SIM(q, p, NN(q,p,S))
+//! ```
+//!
+//! Solvers evaluate *marginal gains* `G(S ∪ {c}) − G(S)` millions of times, so
+//! the evaluator maintains, for every subset `q` and member `p ∈ q`, the best
+//! similarity `best(q,p) = SIM(q, p, NN(q,p,S))` achieved by the current
+//! solution. A marginal-gain query for candidate `c` then only touches the
+//! contexts containing `c` and, within each, only `c`'s stored neighbors:
+//!
+//! ```text
+//! Δ(c) = Σ_{(q,ℓ) ∋ c} W(q) · Σ_{j ~ ℓ} R(q,j) · max(0, SIM(q,ℓ,j) − best(q,j))
+//! ```
+//!
+//! which is `O(Σ deg(c))` — the quantity that τ-sparsification (Section 4.3)
+//! shrinks. [`exact_score`] recomputes `G` from scratch and is used to
+//! cross-check the incremental state in tests and to evaluate baseline
+//! selections under the *true* objective.
+
+use crate::{Instance, PhotoId, SubsetId};
+use std::cell::Cell;
+
+/// Instrumentation counters exposed by [`Evaluator`], used by the experiment
+/// harness to report evaluation counts (the paper's ~700× lazy-evaluation
+/// argument) and similarity-operation counts (the sparsification speedup).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of marginal-gain queries answered.
+    pub gain_evals: u64,
+    /// Number of similarity lookups performed across all queries and updates.
+    pub sim_ops: u64,
+}
+
+/// Incremental evaluator of the PAR objective over a growing solution set.
+///
+/// The evaluator is tied to one [`Instance`] (and hence one similarity view);
+/// baselines that *select* under a simplified objective but are *scored*
+/// under the true one simply run two evaluators over two instance views.
+#[derive(Debug, Clone)]
+pub struct Evaluator<'a> {
+    inst: &'a Instance,
+    selected: Vec<bool>,
+    selected_ids: Vec<PhotoId>,
+    /// `best[s][j]` = best similarity of subset `s`'s member `j` to the
+    /// current solution (0 when no member of `s` is selected).
+    best: Vec<Vec<f64>>,
+    /// `provider[s][j]` = local index of the selected member achieving
+    /// `best[s][j]` (`NO_PROVIDER` when no member of `s` is selected).
+    provider: Vec<Vec<u32>>,
+    score: f64,
+    cost: u64,
+    gain_evals: Cell<u64>,
+    sim_ops: Cell<u64>,
+}
+
+/// Sentinel for "no selected member covers this one yet".
+const NO_PROVIDER: u32 = u32::MAX;
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator with an empty solution.
+    pub fn new(inst: &'a Instance) -> Self {
+        let best = inst
+            .subsets()
+            .iter()
+            .map(|q| vec![0.0; q.members.len()])
+            .collect();
+        let provider = inst
+            .subsets()
+            .iter()
+            .map(|q| vec![NO_PROVIDER; q.members.len()])
+            .collect();
+        Evaluator {
+            inst,
+            selected: vec![false; inst.num_photos()],
+            selected_ids: Vec::new(),
+            best,
+            provider,
+            score: 0.0,
+            cost: 0,
+            gain_evals: Cell::new(0),
+            sim_ops: Cell::new(0),
+        }
+    }
+
+    /// Creates an evaluator seeded with the policy-retained set `S₀`.
+    pub fn with_required(inst: &'a Instance) -> Self {
+        let mut ev = Self::new(inst);
+        for &p in inst.required() {
+            ev.add(p);
+        }
+        ev
+    }
+
+    /// The instance this evaluator scores against.
+    #[inline]
+    pub fn instance(&self) -> &'a Instance {
+        self.inst
+    }
+
+    /// Current objective value `G(S)`.
+    #[inline]
+    pub fn score(&self) -> f64 {
+        self.score
+    }
+
+    /// Current solution cost `C(S)` in bytes.
+    #[inline]
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    /// Number of selected photos `|S|`.
+    #[inline]
+    pub fn num_selected(&self) -> usize {
+        self.selected_ids.len()
+    }
+
+    /// Whether photo `p` is in the current solution.
+    #[inline]
+    pub fn is_selected(&self, p: PhotoId) -> bool {
+        self.selected[p.index()]
+    }
+
+    /// The selected photos, in insertion order.
+    #[inline]
+    pub fn selected_ids(&self) -> &[PhotoId] {
+        &self.selected_ids
+    }
+
+    /// Whether adding `p` keeps the solution within `budget`.
+    #[inline]
+    pub fn fits(&self, p: PhotoId, budget: u64) -> bool {
+        self.cost + self.inst.cost(p) <= budget
+    }
+
+    /// Instrumentation counters accumulated so far.
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            gain_evals: self.gain_evals.get(),
+            sim_ops: self.sim_ops.get(),
+        }
+    }
+
+    /// Resets instrumentation counters.
+    pub fn reset_stats(&mut self) {
+        self.gain_evals.set(0);
+        self.sim_ops.set(0);
+    }
+
+    /// Marginal gain `G(S ∪ {p}) − G(S)`. Zero if `p` is already selected.
+    ///
+    /// Complexity: `O(Σ_{q ∋ p} deg_q(p))` similarity lookups.
+    pub fn gain(&self, p: PhotoId) -> f64 {
+        self.gain_evals.set(self.gain_evals.get() + 1);
+        if self.selected[p.index()] {
+            return 0.0;
+        }
+        let mut delta = 0.0;
+        let mut ops = 0u64;
+        for m in self.inst.memberships(p) {
+            let q = self.inst.subset(m.subset);
+            let sim = self.inst.sim(m.subset);
+            let best = &self.best[m.subset.index()];
+            let local = m.local as usize;
+            let w = q.weight;
+            // p itself: SIM(q, p, p) = 1.
+            if 1.0 > best[local] {
+                delta += w * q.relevance[local] * (1.0 - best[local]);
+            }
+            ops += 1;
+            sim.for_neighbors(local, |j, s| {
+                ops += 1;
+                let b = best[j];
+                if s > b {
+                    delta += w * q.relevance[j] * (s - b);
+                }
+            });
+        }
+        self.sim_ops.set(self.sim_ops.get() + ops);
+        delta
+    }
+
+    /// Adds `p` to the solution, updating the score, cost, and per-member
+    /// best-similarity state. Returns the realized marginal gain.
+    ///
+    /// Adding an already-selected photo is a no-op returning 0.
+    pub fn add(&mut self, p: PhotoId) -> f64 {
+        if self.selected[p.index()] {
+            return 0.0;
+        }
+        self.selected[p.index()] = true;
+        self.selected_ids.push(p);
+        self.cost += self.inst.cost(p);
+        let mut delta = 0.0;
+        let mut ops = 0u64;
+        for m in self.inst.memberships(p) {
+            let q = self.inst.subset(m.subset);
+            let sim = self.inst.sim(m.subset);
+            let best = &mut self.best[m.subset.index()];
+            let provider = &mut self.provider[m.subset.index()];
+            let local = m.local as usize;
+            let w = q.weight;
+            if 1.0 > best[local] {
+                delta += w * q.relevance[local] * (1.0 - best[local]);
+                best[local] = 1.0;
+            }
+            // A member always prefers itself once selected.
+            provider[local] = local as u32;
+            ops += 1;
+            sim.for_neighbors(local, |j, s| {
+                ops += 1;
+                if s > best[j] {
+                    delta += w * q.relevance[j] * (s - best[j]);
+                    best[j] = s;
+                    provider[j] = local as u32;
+                }
+            });
+        }
+        self.sim_ops.set(self.sim_ops.get() + ops);
+        self.score += delta;
+        delta
+    }
+
+    /// Removes `p` from the solution, rescanning only the members whose
+    /// nearest neighbor was `p`. Returns the (nonnegative) score decrease.
+    ///
+    /// Removing an unselected photo is a no-op returning 0. Complexity:
+    /// `O(Σ_{q ∋ p} affected_q · deg_q)` — proportional to how much of the
+    /// solution actually leaned on `p`.
+    pub fn remove(&mut self, p: PhotoId) -> f64 {
+        if !self.selected[p.index()] {
+            return 0.0;
+        }
+        self.selected[p.index()] = false;
+        self.selected_ids.retain(|&x| x != p);
+        self.cost -= self.inst.cost(p);
+        let mut delta = 0.0;
+        let mut ops = 0u64;
+        for m in self.inst.memberships(p) {
+            let qid = m.subset;
+            let q = self.inst.subset(qid);
+            let sim = self.inst.sim(qid);
+            let local = m.local as usize;
+            let w = q.weight;
+            let n = q.members.len();
+            for j in 0..n {
+                if self.provider[qid.index()][j] != local as u32 {
+                    continue;
+                }
+                // Member j lost its nearest neighbor: rescan.
+                let mut new_best = 0.0f64;
+                let mut new_provider = NO_PROVIDER;
+                if self.selected[q.members[j].index()] {
+                    new_best = 1.0;
+                    new_provider = j as u32;
+                } else {
+                    sim.for_neighbors(j, |k, s| {
+                        ops += 1;
+                        if s > new_best && self.selected[q.members[k].index()] {
+                            new_best = s;
+                            new_provider = k as u32;
+                        }
+                    });
+                }
+                let old = self.best[qid.index()][j];
+                delta += w * q.relevance[j] * (old - new_best);
+                self.best[qid.index()][j] = new_best;
+                self.provider[qid.index()][j] = new_provider;
+            }
+        }
+        self.sim_ops.set(self.sim_ops.get() + ops);
+        self.score -= delta;
+        delta
+    }
+
+    /// Current per-subset score `G(q, S)` (already weighted by nothing —
+    /// multiply by `W(q)` for the contribution to `G(S)`).
+    pub fn subset_score(&self, q: SubsetId) -> f64 {
+        let subset = self.inst.subset(q);
+        subset
+            .relevance
+            .iter()
+            .zip(&self.best[q.index()])
+            .map(|(r, b)| r * b)
+            .sum()
+    }
+}
+
+/// Recomputes `G(S)` from scratch for an arbitrary photo set.
+///
+/// `O(Σ_q |q| · deg)`; used for verification and for scoring baseline
+/// selections under the true objective.
+pub fn exact_score(inst: &Instance, set: &[PhotoId]) -> f64 {
+    let mut selected = vec![false; inst.num_photos()];
+    for &p in set {
+        selected[p.index()] = true;
+    }
+    inst.subsets()
+        .iter()
+        .map(|q| q.weight * exact_subset_score_flags(inst, q.id, &selected))
+        .sum()
+}
+
+/// Recomputes the per-subset score `G(q, S)` from scratch.
+pub fn exact_subset_score(inst: &Instance, q: SubsetId, set: &[PhotoId]) -> f64 {
+    let mut selected = vec![false; inst.num_photos()];
+    for &p in set {
+        selected[p.index()] = true;
+    }
+    exact_subset_score_flags(inst, q, &selected)
+}
+
+fn exact_subset_score_flags(inst: &Instance, qid: SubsetId, selected: &[bool]) -> f64 {
+    let q = inst.subset(qid);
+    let sim = inst.sim(qid);
+    let mut total = 0.0;
+    for (i, (&p, &r)) in q.members.iter().zip(&q.relevance).enumerate() {
+        let mut best = 0.0;
+        if selected[p.index()] {
+            best = 1.0;
+        } else {
+            // NN over selected co-members via stored similarities.
+            sim.for_neighbors(i, |j, s| {
+                if selected[q.members[j].index()] && s > best {
+                    best = s;
+                }
+            });
+        }
+        total += r * best;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_instance;
+    use crate::{FnSimilarity, InstanceBuilder};
+
+    #[test]
+    fn empty_solution_scores_zero() {
+        let inst = figure1_instance(u64::MAX);
+        let ev = Evaluator::new(&inst);
+        assert_eq!(ev.score(), 0.0);
+        assert_eq!(ev.cost(), 0);
+    }
+
+    #[test]
+    fn full_solution_scores_max() {
+        let inst = figure1_instance(u64::MAX);
+        let mut ev = Evaluator::new(&inst);
+        for p in 0..inst.num_photos() {
+            ev.add(PhotoId(p as u32));
+        }
+        assert!((ev.score() - inst.max_score()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure1_initial_gains_match_paper() {
+        // Step 1 of Figure 3: δ_{p1}=7.83, δ_{p2}=6.74, δ_{p3}=6.75,
+        // δ_{p4}=0.7, δ_{p5}=0.82, δ_{p6}=4.61, δ_{p7}=0.78.
+        let inst = figure1_instance(u64::MAX);
+        let ev = Evaluator::new(&inst);
+        let expected = [7.83, 6.74, 6.75, 0.7, 0.82, 4.61, 0.78];
+        for (i, &e) in expected.iter().enumerate() {
+            let g = ev.gain(PhotoId(i as u32));
+            assert!(
+                (g - e).abs() < 0.015,
+                "gain of p{} = {g}, paper says {e}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn add_returns_gain_and_updates_score() {
+        let inst = figure1_instance(u64::MAX);
+        let mut ev = Evaluator::new(&inst);
+        let g1 = ev.gain(PhotoId(0));
+        let realized = ev.add(PhotoId(0));
+        assert!((g1 - realized).abs() < 1e-12);
+        assert!((ev.score() - realized).abs() < 1e-12);
+        // Re-adding is a no-op.
+        assert_eq!(ev.add(PhotoId(0)), 0.0);
+        assert_eq!(ev.num_selected(), 1);
+    }
+
+    #[test]
+    fn incremental_matches_exact_score() {
+        let inst = figure1_instance(u64::MAX);
+        let mut ev = Evaluator::new(&inst);
+        let order = [2u32, 5, 0, 6, 3];
+        let mut set = Vec::new();
+        for &p in &order {
+            ev.add(PhotoId(p));
+            set.push(PhotoId(p));
+            let exact = exact_score(&inst, &set);
+            assert!(
+                (ev.score() - exact).abs() < 1e-9,
+                "incremental {} vs exact {exact}",
+                ev.score()
+            );
+        }
+    }
+
+    #[test]
+    fn with_required_seeds_s0() {
+        let mut b = InstanceBuilder::new(100);
+        let p0 = b.add_photo("a", 10);
+        let p1 = b.add_photo("b", 10);
+        b.require(p1);
+        b.add_subset("q", 1.0, vec![p0, p1], vec![]);
+        let inst = b.build_with_provider(&FnSimilarity(|_, _, _| 0.5)).unwrap();
+        let ev = Evaluator::with_required(&inst);
+        assert!(ev.is_selected(p1));
+        assert_eq!(ev.cost(), 10);
+        // p1 selected: covers itself (0.5 relevance × 1) + p0 (0.5 × 0.5).
+        assert!((ev.score() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gains_are_monotone_decreasing_in_solution_growth() {
+        // Submodularity: gain of a fixed photo never increases as S grows.
+        let inst = figure1_instance(u64::MAX);
+        let mut ev = Evaluator::new(&inst);
+        let probe = PhotoId(1);
+        let mut last = ev.gain(probe);
+        for p in [0u32, 5, 2, 6] {
+            ev.add(PhotoId(p));
+            let g = ev.gain(probe);
+            assert!(g <= last + 1e-12, "gain increased: {g} > {last}");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn stats_count_evaluations() {
+        let inst = figure1_instance(u64::MAX);
+        let mut ev = Evaluator::new(&inst);
+        ev.gain(PhotoId(0));
+        ev.gain(PhotoId(1));
+        ev.add(PhotoId(0));
+        let stats = ev.stats();
+        assert_eq!(stats.gain_evals, 2);
+        assert!(stats.sim_ops > 0);
+        ev.reset_stats();
+        assert_eq!(ev.stats(), EvalStats::default());
+    }
+
+    #[test]
+    fn remove_reverses_add_exactly() {
+        let inst = figure1_instance(u64::MAX);
+        let mut ev = Evaluator::new(&inst);
+        for p in [0u32, 5, 1] {
+            ev.add(PhotoId(p));
+        }
+        let score_before = ev.score();
+        let cost_before = ev.cost();
+        let gain = ev.gain(PhotoId(4));
+        let realized = ev.add(PhotoId(4));
+        assert!((gain - realized).abs() < 1e-12);
+        let lost = ev.remove(PhotoId(4));
+        assert!(
+            (lost - realized).abs() < 1e-9,
+            "remove {lost} vs add {realized}"
+        );
+        assert!((ev.score() - score_before).abs() < 1e-9);
+        assert_eq!(ev.cost(), cost_before);
+        assert!(!ev.is_selected(PhotoId(4)));
+    }
+
+    #[test]
+    fn remove_matches_exact_recomputation() {
+        let inst = figure1_instance(u64::MAX);
+        let mut ev = Evaluator::new(&inst);
+        let all: Vec<PhotoId> = (0..7).map(PhotoId).collect();
+        for &p in &all {
+            ev.add(p);
+        }
+        // Remove photos one by one in a scrambled order, checking against
+        // from-scratch scoring at every step.
+        let mut remaining = all.clone();
+        for &p in &[PhotoId(5), PhotoId(0), PhotoId(6), PhotoId(2)] {
+            ev.remove(p);
+            remaining.retain(|&x| x != p);
+            let exact = exact_score(&inst, &remaining);
+            assert!(
+                (ev.score() - exact).abs() < 1e-9,
+                "after removing {p}: {} vs {exact}",
+                ev.score()
+            );
+        }
+        // Removing an unselected photo is a no-op.
+        assert_eq!(ev.remove(PhotoId(5)), 0.0);
+    }
+
+    #[test]
+    fn remove_with_tied_providers() {
+        use crate::{FnSimilarity, InstanceBuilder};
+        // Two selected photos provide the same similarity to a third.
+        let mut b = InstanceBuilder::new(u64::MAX);
+        let a = b.add_photo("a", 1);
+        let c = b.add_photo("c", 1);
+        let t = b.add_photo("t", 1);
+        b.add_subset("q", 1.0, vec![a, c, t], vec![]);
+        let inst = b.build_with_provider(&FnSimilarity(|_, _, _| 0.5)).unwrap();
+        let mut ev = Evaluator::new(&inst);
+        ev.add(a);
+        ev.add(c);
+        // t covered at 0.5 by either. Remove both; coverage must drop to 0.
+        ev.remove(a);
+        let exact = exact_score(&inst, &[c]);
+        assert!((ev.score() - exact).abs() < 1e-9);
+        ev.remove(c);
+        assert!(ev.score().abs() < 1e-9);
+    }
+
+    #[test]
+    fn subset_score_tracks_per_context_coverage() {
+        let inst = figure1_instance(u64::MAX);
+        let mut ev = Evaluator::new(&inst);
+        assert_eq!(ev.subset_score(SubsetId(2)), 0.0);
+        ev.add(PhotoId(5)); // p6 covers q3 entirely.
+        assert!((ev.subset_score(SubsetId(2)) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,465 @@
+//! Contextualized similarity storage and providers.
+//!
+//! The paper's `SIM : Q × P × P → [0,1]` is *contextual*: the similarity of
+//! the same pair of photos differs between pre-defined subsets. Within an
+//! [`Instance`](crate::Instance) similarities are therefore stored per subset,
+//! indexed by the *local* member index within that subset.
+//!
+//! Two storage layouts are provided:
+//!
+//! * [`DenseSim`] — a packed lower-triangular matrix, used when all pairwise
+//!   similarities are materialized (the paper's PHOcus-NS configuration);
+//! * [`SparseSim`] — per-member adjacency lists, used after τ-sparsification
+//!   (Section 4.3) or when the pairs come from an LSH index.
+//!
+//! Both layouts implicitly define `SIM(q, p, p) = 1` and treat missing pairs
+//! as similarity 0, exactly as the sparsified model does.
+//!
+//! [`SimilarityProvider`] abstracts over *sources* of similarity (embedding
+//! cosine, test oracles, closures) from which the stores are materialized.
+
+use crate::{ModelError, PhotoId, Result, Subset, SubsetId};
+
+/// A source of contextualized similarity scores, used to materialize
+/// [`ContextSim`] stores during instance construction.
+///
+/// Implementations must be symmetric (`similarity(q, a, b) ==
+/// similarity(q, b, a)`), return values in `[0, 1]`, and return 1 for
+/// identical photos. These invariants are validated at materialization time.
+pub trait SimilarityProvider {
+    /// `SIM(context, a, b)` for two photos that are members of `context`.
+    fn similarity(&self, context: &Subset, a: PhotoId, b: PhotoId) -> f64;
+}
+
+/// The trivial provider with `SIM ≡ 1` for all co-members.
+///
+/// Under this provider the PAR objective degenerates to weighted coverage of
+/// subsets — the selection objective of the paper's Greedy-NR baseline, and
+/// the gadget used in the Max-Coverage hardness reduction (Theorem 3.4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitSimilarity;
+
+impl SimilarityProvider for UnitSimilarity {
+    fn similarity(&self, _context: &Subset, _a: PhotoId, _b: PhotoId) -> f64 {
+        1.0
+    }
+}
+
+/// A provider backed by a closure, convenient for tests and fixtures.
+pub struct FnSimilarity<F>(pub F)
+where
+    F: Fn(SubsetId, PhotoId, PhotoId) -> f64;
+
+impl<F> SimilarityProvider for FnSimilarity<F>
+where
+    F: Fn(SubsetId, PhotoId, PhotoId) -> f64,
+{
+    fn similarity(&self, context: &Subset, a: PhotoId, b: PhotoId) -> f64 {
+        if a == b {
+            1.0
+        } else {
+            (self.0)(context.id, a, b)
+        }
+    }
+}
+
+/// Packed lower-triangular matrix of pairwise similarities over the members
+/// of one subset. The diagonal (`SIM = 1`) is implicit.
+///
+/// Entry `(i, j)` with `i > j` is stored at offset `i·(i−1)/2 + j`. Values are
+/// kept as `f32` to halve memory traffic; all arithmetic is done in `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseSim {
+    n: usize,
+    /// Lower triangle, row-major: entry (i,j), i>j at `i*(i-1)/2 + j`.
+    tri: Vec<f32>,
+}
+
+impl DenseSim {
+    /// Materializes all pairwise similarities of `subset`'s members from a
+    /// provider. Costs `O(|q|²)` provider calls.
+    pub fn from_provider<P: SimilarityProvider + ?Sized>(
+        subset: &Subset,
+        provider: &P,
+    ) -> Result<Self> {
+        let n = subset.members.len();
+        let mut tri = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 1..n {
+            for j in 0..i {
+                let s = provider.similarity(subset, subset.members[i], subset.members[j]);
+                if !(0.0..=1.0).contains(&s) || s.is_nan() {
+                    return Err(ModelError::InvalidSimilarity {
+                        subset: subset.id,
+                        value: s,
+                    });
+                }
+                tri.push(s as f32);
+            }
+        }
+        Ok(DenseSim { n, tri })
+    }
+
+    /// Builds a dense store directly from a full `n×n` matrix slice
+    /// (row-major). Only the lower triangle is read.
+    pub fn from_matrix(subset_id: SubsetId, n: usize, matrix: &[f64]) -> Result<Self> {
+        assert_eq!(matrix.len(), n * n, "matrix must be n*n row-major");
+        let mut tri = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 1..n {
+            for j in 0..i {
+                let s = matrix[i * n + j];
+                if !(0.0..=1.0).contains(&s) || s.is_nan() {
+                    return Err(ModelError::InvalidSimilarity {
+                        subset: subset_id,
+                        value: s,
+                    });
+                }
+                tri.push(s as f32);
+            }
+        }
+        Ok(DenseSim { n, tri })
+    }
+
+    /// Number of members in the underlying subset.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the store covers zero members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Similarity between local member indices `i` and `j`.
+    #[inline]
+    pub fn sim(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        self.tri[hi * (hi - 1) / 2 + lo] as f64
+    }
+
+    /// Converts to a sparse store, dropping all similarities `< tau`
+    /// (the τ-sparsification of Section 4.3).
+    pub fn sparsify(&self, tau: f64) -> SparseSim {
+        let mut adj: Vec<Vec<(u32, f32)>> = vec![Vec::new(); self.n];
+        for i in 1..self.n {
+            for j in 0..i {
+                let s = self.tri[i * (i - 1) / 2 + j];
+                if (s as f64) >= tau && s > 0.0 {
+                    adj[i].push((j as u32, s));
+                    adj[j].push((i as u32, s));
+                }
+            }
+        }
+        SparseSim { adj }
+    }
+
+    /// Number of stored (unordered) pairs with nonzero similarity.
+    pub fn nonzero_pairs(&self) -> usize {
+        self.tri.iter().filter(|&&s| s > 0.0).count()
+    }
+}
+
+/// Per-member adjacency lists of similarities over one subset's members.
+///
+/// `adj[i]` holds `(j, SIM(q, mᵢ, mⱼ))` for every *other* member `j` whose
+/// stored similarity is nonzero. The diagonal is implicit (1.0); absent pairs
+/// have similarity 0 — exactly the semantics of a τ-sparsified instance.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseSim {
+    adj: Vec<Vec<(u32, f32)>>,
+}
+
+impl SparseSim {
+    /// Builds a sparse store over `n` members from unordered pairs
+    /// `(i, j, sim)`. Pairs are inserted symmetrically; duplicate pairs keep
+    /// the maximum similarity; self-pairs and zero similarities are ignored.
+    pub fn from_pairs(
+        subset_id: SubsetId,
+        n: usize,
+        pairs: impl IntoIterator<Item = (u32, u32, f64)>,
+    ) -> Result<Self> {
+        let mut adj: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n];
+        for (i, j, s) in pairs {
+            if !(0.0..=1.0).contains(&s) || s.is_nan() {
+                return Err(ModelError::InvalidSimilarity {
+                    subset: subset_id,
+                    value: s,
+                });
+            }
+            if i == j || s == 0.0 {
+                continue;
+            }
+            let (i, j) = (i as usize, j as usize);
+            assert!(i < n && j < n, "pair index out of range");
+            upsert_max(&mut adj[i], j as u32, s as f32);
+            upsert_max(&mut adj[j], i as u32, s as f32);
+        }
+        for list in &mut adj {
+            list.sort_unstable_by_key(|&(j, _)| j);
+        }
+        Ok(SparseSim { adj })
+    }
+
+    /// Number of members covered by the store.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the store covers zero members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Similarity between local member indices `i` and `j` (0 if not stored).
+    pub fn sim(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        self.adj[i]
+            .binary_search_by_key(&(j as u32), |&(k, _)| k)
+            .map(|pos| self.adj[i][pos].1 as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Neighbors of member `i`: other members with nonzero stored similarity.
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> &[(u32, f32)] {
+        &self.adj[i]
+    }
+
+    /// Number of stored (unordered) nonzero pairs.
+    pub fn nonzero_pairs(&self) -> usize {
+        self.adj.iter().map(|l| l.len()).sum::<usize>() / 2
+    }
+}
+
+fn upsert_max(list: &mut Vec<(u32, f32)>, j: u32, s: f32) {
+    if let Some(entry) = list.iter_mut().find(|(k, _)| *k == j) {
+        if s > entry.1 {
+            entry.1 = s;
+        }
+    } else {
+        list.push((j, s));
+    }
+}
+
+/// Per-subset similarity storage: dense all-pairs, sparse adjacency, or the
+/// implicit all-ones store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContextSim {
+    /// All pairwise similarities materialized (PHOcus-NS).
+    Dense(DenseSim),
+    /// Only pairs above a threshold / produced by LSH (PHOcus).
+    Sparse(SparseSim),
+    /// Implicit `SIM ≡ 1` over `n` members, stored in O(1) memory. Used by
+    /// the Greedy-NR baseline view and the Max-Coverage hardness gadget.
+    Unit(usize),
+}
+
+impl ContextSim {
+    /// Number of members covered by the store.
+    pub fn len(&self) -> usize {
+        match self {
+            ContextSim::Dense(d) => d.len(),
+            ContextSim::Sparse(s) => s.len(),
+            ContextSim::Unit(n) => *n,
+        }
+    }
+
+    /// Whether the store covers zero members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Similarity between local member indices `i` and `j`.
+    #[inline]
+    pub fn sim(&self, i: usize, j: usize) -> f64 {
+        match self {
+            ContextSim::Dense(d) => d.sim(i, j),
+            ContextSim::Sparse(s) => s.sim(i, j),
+            ContextSim::Unit(_) => 1.0,
+        }
+    }
+
+    /// Calls `f(j, sim)` for every member `j ≠ i` with nonzero stored
+    /// similarity to `i`. For dense stores this visits all other members
+    /// (zero entries included — the evaluator relies on nonnegativity, not
+    /// on skipping zeros); for sparse stores only stored neighbors.
+    #[inline]
+    pub fn for_neighbors(&self, i: usize, mut f: impl FnMut(usize, f64)) {
+        match self {
+            ContextSim::Dense(d) => {
+                for j in 0..d.n {
+                    if j != i {
+                        f(j, d.sim(i, j));
+                    }
+                }
+            }
+            ContextSim::Sparse(s) => {
+                for &(j, sim) in &s.adj[i] {
+                    f(j as usize, sim as f64);
+                }
+            }
+            ContextSim::Unit(n) => {
+                for j in 0..*n {
+                    if j != i {
+                        f(j, 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of stored (unordered) nonzero pairs — a measure of how much
+    /// work each marginal-gain evaluation performs.
+    pub fn nonzero_pairs(&self) -> usize {
+        match self {
+            ContextSim::Dense(d) => d.nonzero_pairs(),
+            ContextSim::Sparse(s) => s.nonzero_pairs(),
+            ContextSim::Unit(n) => n * n.saturating_sub(1) / 2,
+        }
+    }
+
+    /// Applies τ-sparsification, producing a store with all similarities
+    /// `< tau` dropped.
+    pub fn sparsify(&self, tau: f64) -> ContextSim {
+        match self {
+            ContextSim::Unit(n) => {
+                if tau <= 1.0 {
+                    ContextSim::Unit(*n)
+                } else {
+                    ContextSim::Sparse(SparseSim {
+                        adj: vec![Vec::new(); *n],
+                    })
+                }
+            }
+            ContextSim::Dense(d) => ContextSim::Sparse(d.sparsify(tau)),
+            ContextSim::Sparse(s) => {
+                let adj = s
+                    .adj
+                    .iter()
+                    .map(|l| {
+                        l.iter()
+                            .copied()
+                            .filter(|&(_, sim)| sim as f64 >= tau)
+                            .collect()
+                    })
+                    .collect();
+                ContextSim::Sparse(SparseSim { adj })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subset3() -> Subset {
+        Subset {
+            id: SubsetId(0),
+            label: "t".into(),
+            weight: 1.0,
+            members: vec![PhotoId(0), PhotoId(1), PhotoId(2)],
+            relevance: vec![0.4, 0.3, 0.3],
+        }
+    }
+
+    #[test]
+    fn dense_from_provider_is_symmetric() {
+        let q = subset3();
+        let prov =
+            FnSimilarity(|_, a: PhotoId, b: PhotoId| 1.0 / (1.0 + (a.0 as f64 - b.0 as f64).abs()));
+        let d = DenseSim::from_provider(&q, &prov).unwrap();
+        assert_eq!(d.sim(0, 0), 1.0);
+        assert!((d.sim(0, 1) - 0.5).abs() < 1e-6);
+        assert_eq!(d.sim(0, 1), d.sim(1, 0));
+        assert!((d.sim(0, 2) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dense_rejects_out_of_range() {
+        let q = subset3();
+        let bad = FnSimilarity(|_, _, _| 1.5);
+        assert!(matches!(
+            DenseSim::from_provider(&q, &bad),
+            Err(ModelError::InvalidSimilarity { .. })
+        ));
+    }
+
+    #[test]
+    fn sparsify_drops_below_tau() {
+        let q = subset3();
+        let prov = FnSimilarity(
+            |_, a: PhotoId, b: PhotoId| {
+                if a.0 + b.0 == 1 {
+                    0.9
+                } else {
+                    0.2
+                }
+            },
+        );
+        let d = DenseSim::from_provider(&q, &prov).unwrap();
+        let s = d.sparsify(0.5);
+        assert!((s.sim(0, 1) - 0.9).abs() < 1e-6);
+        assert_eq!(s.sim(0, 2), 0.0);
+        assert_eq!(s.sim(1, 2), 0.0);
+        assert_eq!(s.nonzero_pairs(), 1);
+    }
+
+    #[test]
+    fn sparse_from_pairs_dedups_by_max() {
+        let s = SparseSim::from_pairs(SubsetId(0), 3, vec![(0, 1, 0.3), (1, 0, 0.7), (0, 2, 0.0)])
+            .unwrap();
+        assert!((s.sim(0, 1) - 0.7).abs() < 1e-6);
+        assert_eq!(s.sim(0, 2), 0.0);
+        assert_eq!(s.nonzero_pairs(), 1);
+    }
+
+    #[test]
+    fn neighbors_iteration_matches_sim() {
+        let s = SparseSim::from_pairs(
+            SubsetId(0),
+            4,
+            vec![(0, 1, 0.5), (0, 2, 0.25), (2, 3, 0.75)],
+        )
+        .unwrap();
+        let cs = ContextSim::Sparse(s);
+        let mut seen = Vec::new();
+        cs.for_neighbors(0, |j, sim| seen.push((j, sim)));
+        assert_eq!(seen, vec![(1, 0.5), (2, 0.25)]);
+    }
+
+    #[test]
+    fn dense_neighbors_visits_all_others() {
+        let q = subset3();
+        let d = DenseSim::from_provider(&q, &UnitSimilarity).unwrap();
+        let cs = ContextSim::Dense(d);
+        let mut count = 0;
+        cs.for_neighbors(1, |_, sim| {
+            assert_eq!(sim, 1.0);
+            count += 1;
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn unit_similarity_is_one() {
+        let q = subset3();
+        assert_eq!(UnitSimilarity.similarity(&q, PhotoId(0), PhotoId(2)), 1.0);
+    }
+
+    #[test]
+    fn context_sparsify_on_sparse_store() {
+        let s = SparseSim::from_pairs(SubsetId(0), 3, vec![(0, 1, 0.9), (1, 2, 0.3)]).unwrap();
+        let cs = ContextSim::Sparse(s).sparsify(0.5);
+        assert_eq!(cs.sim(1, 2), 0.0);
+        assert!((cs.sim(0, 1) - 0.9).abs() < 1e-6);
+    }
+}

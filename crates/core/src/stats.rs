@@ -1,0 +1,110 @@
+//! Descriptive statistics of a PAR instance, for reports and dataset
+//! sanity-checking (the Table 2 companion view).
+
+use crate::Instance;
+
+/// Summary statistics of an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Number of photos.
+    pub photos: usize,
+    /// Number of pre-defined subsets.
+    pub subsets: usize,
+    /// Total archive cost in bytes.
+    pub total_cost: u64,
+    /// Storage budget in bytes.
+    pub budget: u64,
+    /// Photo-cost percentiles `[p10, p50, p90, p99, max]` in bytes.
+    pub cost_percentiles: [u64; 5],
+    /// Subset-size percentiles `[p10, p50, p90, p99, max]`.
+    pub subset_size_percentiles: [usize; 5],
+    /// Mean subset size.
+    pub mean_subset_size: f64,
+    /// Total stored nonzero similarity pairs across contexts.
+    pub stored_pairs: usize,
+    /// Sum of subset weights (= the maximum attainable objective).
+    pub weight_sum: f64,
+    /// Number of policy-required photos.
+    pub required: usize,
+}
+
+fn percentile<T: Copy + Ord>(sorted: &[T], p: f64) -> T {
+    debug_assert!(!sorted.is_empty());
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+impl InstanceStats {
+    /// Computes the statistics for an instance.
+    pub fn compute(inst: &Instance) -> InstanceStats {
+        let mut costs: Vec<u64> = inst.photos().iter().map(|p| p.cost).collect();
+        costs.sort_unstable();
+        let mut sizes: Vec<usize> = inst.subsets().iter().map(|q| q.members.len()).collect();
+        sizes.sort_unstable();
+        let pct = [0.1, 0.5, 0.9, 0.99, 1.0];
+        InstanceStats {
+            photos: inst.num_photos(),
+            subsets: inst.num_subsets(),
+            total_cost: inst.total_cost(),
+            budget: inst.budget(),
+            cost_percentiles: pct.map(|p| percentile(&costs, p)),
+            subset_size_percentiles: pct.map(|p| percentile(&sizes, p)),
+            mean_subset_size: sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64,
+            stored_pairs: inst.stored_pairs(),
+            weight_sum: inst.max_score(),
+            required: inst.required().len(),
+        }
+    }
+
+    /// Renders a compact multi-line summary.
+    pub fn render(&self) -> String {
+        format!(
+            "photos {}  subsets {}  required {}\n\
+             archive {} B  budget {} B ({:.1}%)\n\
+             photo cost p10/p50/p90/p99/max: {:?}\n\
+             subset size p10/p50/p90/p99/max: {:?} (mean {:.1})\n\
+             stored similarity pairs {}  ΣW {:.2}",
+            self.photos,
+            self.subsets,
+            self.required,
+            self.total_cost,
+            self.budget,
+            100.0 * self.budget as f64 / self.total_cost.max(1) as f64,
+            self.cost_percentiles,
+            self.subset_size_percentiles,
+            self.mean_subset_size,
+            self.stored_pairs,
+            self.weight_sum,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure1_instance, MB};
+
+    #[test]
+    fn figure1_stats() {
+        let inst = figure1_instance(4 * MB);
+        let s = InstanceStats::compute(&inst);
+        assert_eq!(s.photos, 7);
+        assert_eq!(s.subsets, 4);
+        assert_eq!(s.required, 0);
+        assert_eq!(s.weight_sum, 14.0);
+        assert_eq!(s.subset_size_percentiles[4], 3); // max |q|
+        assert_eq!(s.cost_percentiles[4], 2_100_000); // p3 is biggest
+        assert!((s.mean_subset_size - 9.0 / 4.0).abs() < 1e-12);
+        let text = s.render();
+        assert!(text.contains("photos 7"));
+        assert!(text.contains("subsets 4"));
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let v = vec![1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 0.5), 6);
+        assert_eq!(percentile(&v, 1.0), 10);
+    }
+}

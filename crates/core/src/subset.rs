@@ -1,0 +1,94 @@
+//! The [`Subset`] record: a pre-defined subset `q ∈ Q` with its importance
+//! weight `W(q)` and normalized relevance scores `R(q, ·)`.
+
+use crate::{PhotoId, SubsetId};
+use serde::{Deserialize, Serialize};
+
+/// A pre-defined subset of photos (a landing page, album, label group, or
+/// query result set), together with its importance weight and the relevance
+/// score of each member photo.
+///
+/// Invariants enforced by [`InstanceBuilder`](crate::InstanceBuilder):
+///
+/// * `members` is non-empty and free of duplicates;
+/// * `relevance` is parallel to `members`, strictly positive, and normalized
+///   so that `Σ relevance = 1` (the paper's `Σ_{p∈q} R(q,p) = 1`);
+/// * `weight` is strictly positive and finite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subset {
+    /// Dense identifier of this subset within its instance.
+    pub id: SubsetId,
+    /// Human-readable label (query text, album title, product-category name).
+    pub label: String,
+    /// Importance weight `W(q)`.
+    pub weight: f64,
+    /// Member photos, in the order their relevance scores are stored.
+    pub members: Vec<PhotoId>,
+    /// Normalized relevance `R(q, p)` parallel to `members`; sums to 1.
+    pub relevance: Vec<f64>,
+}
+
+impl Subset {
+    /// Number of member photos `|q|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the subset has no members (never true for validated instances).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Local index of `photo` within this subset, if it is a member.
+    ///
+    /// This is a linear scan; the [`Instance`](crate::Instance) maintains a
+    /// reverse index ([`Membership`](crate::Membership)) for hot paths.
+    pub fn local_index(&self, photo: PhotoId) -> Option<usize> {
+        self.members.iter().position(|&m| m == photo)
+    }
+
+    /// Relevance score of `photo` in this subset, or 0 if not a member
+    /// (matching the paper's convention that `R(q,p) = 0` for `p ∉ q`).
+    pub fn relevance_of(&self, photo: PhotoId) -> f64 {
+        self.local_index(photo)
+            .map(|i| self.relevance[i])
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Subset {
+        Subset {
+            id: SubsetId(0),
+            label: "Bikes".into(),
+            weight: 9.0,
+            members: vec![PhotoId(0), PhotoId(1), PhotoId(2)],
+            relevance: vec![0.5, 0.3, 0.2],
+        }
+    }
+
+    #[test]
+    fn local_index_finds_members() {
+        let q = sample();
+        assert_eq!(q.local_index(PhotoId(1)), Some(1));
+        assert_eq!(q.local_index(PhotoId(9)), None);
+    }
+
+    #[test]
+    fn relevance_of_nonmember_is_zero() {
+        let q = sample();
+        assert_eq!(q.relevance_of(PhotoId(2)), 0.2);
+        assert_eq!(q.relevance_of(PhotoId(7)), 0.0);
+    }
+
+    #[test]
+    fn len_reports_member_count() {
+        assert_eq!(sample().len(), 3);
+        assert!(!sample().is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the PAR objective: nonnegativity, monotonicity,
+//! submodularity (Lemma 4.5 of the paper), and agreement between the
+//! incremental evaluator and from-scratch scoring.
+
+use par_core::fixtures::{random_instance, RandomInstanceConfig, SplitMix64};
+use par_core::{exact_score, Evaluator, Instance, PhotoId};
+use proptest::prelude::*;
+
+fn small_instance_strategy() -> impl Strategy<Value = (Instance, u64)> {
+    (any::<u64>(), 5usize..30, 2usize..8).prop_map(|(seed, photos, subsets)| {
+        let cfg = RandomInstanceConfig {
+            photos,
+            subsets,
+            subset_size: (1, photos.min(6)),
+            cost_range: (10, 500),
+            budget_fraction: 0.5,
+            required_prob: 0.0,
+        };
+        (random_instance(seed, &cfg), seed)
+    })
+}
+
+/// Draws a random subset of photo ids from the instance.
+fn random_set(inst: &Instance, seed: u64, density: f64) -> Vec<PhotoId> {
+    let mut rng = SplitMix64::new(seed);
+    (0..inst.num_photos() as u32)
+        .map(PhotoId)
+        .filter(|_| rng.next_f64() < density)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn objective_is_nonnegative((inst, seed) in small_instance_strategy()) {
+        let set = random_set(&inst, seed ^ 1, 0.3);
+        prop_assert!(exact_score(&inst, &set) >= 0.0);
+    }
+
+    #[test]
+    fn objective_is_monotone((inst, seed) in small_instance_strategy()) {
+        // Adding any photo never decreases the score.
+        let set = random_set(&inst, seed ^ 2, 0.3);
+        let base = exact_score(&inst, &set);
+        let mut rng = SplitMix64::new(seed ^ 3);
+        let extra = PhotoId(rng.next_below(inst.num_photos()) as u32);
+        let mut bigger = set.clone();
+        bigger.push(extra);
+        let grown = exact_score(&inst, &bigger);
+        prop_assert!(grown >= base - 1e-9, "monotonicity violated: {grown} < {base}");
+    }
+
+    #[test]
+    fn objective_is_submodular((inst, seed) in small_instance_strategy()) {
+        // For S ⊆ T and any v: f(S∪v) − f(S) ≥ f(T∪v) − f(T).
+        let s = random_set(&inst, seed ^ 4, 0.2);
+        let mut t = s.clone();
+        t.extend(random_set(&inst, seed ^ 5, 0.2));
+        t.sort_unstable();
+        t.dedup();
+        let mut rng = SplitMix64::new(seed ^ 6);
+        let v = PhotoId(rng.next_below(inst.num_photos()) as u32);
+        let f = |set: &[PhotoId]| exact_score(&inst, set);
+        let mut sv = s.clone();
+        sv.push(v);
+        let mut tv = t.clone();
+        tv.push(v);
+        let gain_s = f(&sv) - f(&s);
+        let gain_t = f(&tv) - f(&t);
+        prop_assert!(
+            gain_s >= gain_t - 1e-9,
+            "submodularity violated: {gain_s} < {gain_t}"
+        );
+    }
+
+    #[test]
+    fn incremental_evaluator_matches_exact((inst, seed) in small_instance_strategy()) {
+        let mut ev = Evaluator::new(&inst);
+        let mut rng = SplitMix64::new(seed ^ 7);
+        let mut set = Vec::new();
+        for _ in 0..inst.num_photos() / 2 {
+            let p = PhotoId(rng.next_below(inst.num_photos()) as u32);
+            let gain = ev.gain(p);
+            let realized = ev.add(p);
+            prop_assert!((gain - realized).abs() < 1e-9);
+            if !set.contains(&p) {
+                set.push(p);
+            }
+            let exact = exact_score(&inst, &set);
+            prop_assert!(
+                (ev.score() - exact).abs() < 1e-6,
+                "incremental {} vs exact {exact}",
+                ev.score()
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_add_remove_matches_exact((inst, seed) in small_instance_strategy()) {
+        // Random interleaving of adds and removes stays consistent with
+        // from-scratch scoring.
+        let mut ev = Evaluator::new(&inst);
+        let mut rng = SplitMix64::new(seed ^ 0xAD0);
+        let mut current: Vec<PhotoId> = Vec::new();
+        for _ in 0..2 * inst.num_photos() {
+            let p = PhotoId(rng.next_below(inst.num_photos()) as u32);
+            if rng.next_f64() < 0.6 {
+                ev.add(p);
+                if !current.contains(&p) {
+                    current.push(p);
+                }
+            } else {
+                ev.remove(p);
+                current.retain(|&x| x != p);
+            }
+            let exact = exact_score(&inst, &current);
+            prop_assert!(
+                (ev.score() - exact).abs() < 1e-6,
+                "incremental {} vs exact {exact}",
+                ev.score()
+            );
+        }
+    }
+
+    #[test]
+    fn sparsified_score_never_exceeds_original((inst, seed) in small_instance_strategy()) {
+        // Rounding similarities down to 0 can only lower the score.
+        let set = random_set(&inst, seed ^ 8, 0.4);
+        let tau = 0.5;
+        let sparse = inst.sparsify(tau);
+        let orig = exact_score(&inst, &set);
+        let sp = exact_score(&sparse, &set);
+        prop_assert!(sp <= orig + 1e-9, "sparsified {sp} > original {orig}");
+        // Retained photos themselves still count fully: if every photo is
+        // retained, both scores equal Σ W(q).
+        let all: Vec<PhotoId> = (0..inst.num_photos() as u32).map(PhotoId).collect();
+        let full = exact_score(&sparse, &all);
+        prop_assert!((full - inst.max_score()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unit_view_scores_weighted_coverage((inst, seed) in small_instance_strategy()) {
+        // Under the unit-similarity view, G(S) = Σ_{q : S∩q ≠ ∅} W(q).
+        let set = random_set(&inst, seed ^ 9, 0.3);
+        let unit = inst.with_unit_sims();
+        let score = exact_score(&unit, &set);
+        let mut selected = vec![false; inst.num_photos()];
+        for &p in &set {
+            selected[p.index()] = true;
+        }
+        let expected: f64 = inst
+            .subsets()
+            .iter()
+            .filter(|q| q.members.iter().any(|m| selected[m.index()]))
+            .map(|q| q.weight)
+            .sum();
+        prop_assert!((score - expected).abs() < 1e-9);
+    }
+}

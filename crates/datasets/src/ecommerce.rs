@@ -1,0 +1,463 @@
+//! The e-commerce dataset family (EC-Fashion / EC-Electronics /
+//! EC-Home & Garden of Table 2), built by the paper's own recipe
+//! (Section 5.2): business domains → query log → top-250 queries → result
+//! sets from the search engine → subsets with retrieval-score relevance and
+//! frequency weights.
+//!
+//! The private XYZ catalog is replaced by a templated synthetic catalog
+//! (brand × color × product-noun × modifier titles) indexed by the real BM25
+//! engine of `par-search`; everything downstream of the catalog is the same
+//! pipeline the paper describes.
+
+use crate::universe::{SubsetDef, Universe};
+use crate::zipf::Zipf;
+use par_embed::{ImageSpec, SpecEmbedder};
+use par_search::SearchEngine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The three business domains of the paper's user study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EcDomain {
+    /// Smartphones, laptops, headphones, …
+    Electronics,
+    /// Shirts, shoes, dresses, …
+    Fashion,
+    /// Chairs, lamps, planters, …
+    HomeGarden,
+}
+
+impl EcDomain {
+    /// Dataset name as printed in Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            EcDomain::Electronics => "EC-Electronics",
+            EcDomain::Fashion => "EC-Fashion",
+            EcDomain::HomeGarden => "EC-Home & Garden",
+        }
+    }
+
+    /// The photo count Table 2 reports for this domain.
+    pub fn paper_photos(self) -> usize {
+        match self {
+            EcDomain::Fashion => 18_745,
+            EcDomain::Electronics => 22_783,
+            EcDomain::HomeGarden => 19_235,
+        }
+    }
+
+    /// Product nouns of the domain.
+    pub fn nouns(self) -> &'static [&'static str] {
+        match self {
+            EcDomain::Electronics => &[
+                "smartphone",
+                "laptop",
+                "headphones",
+                "monitor",
+                "keyboard",
+                "tablet",
+                "camera",
+                "router",
+                "speaker",
+                "smartwatch",
+                "charger",
+                "projector",
+            ],
+            EcDomain::Fashion => &[
+                "shirt", "shoes", "dress", "jacket", "jeans", "sweater", "skirt", "boots",
+                "sneakers", "coat", "scarf", "hat",
+            ],
+            EcDomain::HomeGarden => &[
+                "chair", "lamp", "table", "sofa", "planter", "rug", "shelf", "curtain", "grill",
+                "mattress", "mirror", "cushion",
+            ],
+        }
+    }
+
+    /// Brands of the domain.
+    pub fn brands(self) -> &'static [&'static str] {
+        match self {
+            EcDomain::Electronics => &[
+                "samsung", "apple", "sony", "lenovo", "asus", "logitech", "canon", "jbl",
+            ],
+            EcDomain::Fashion => &[
+                "nike", "adidas", "zara", "levis", "gucci", "puma", "uniqlo", "gap",
+            ],
+            EcDomain::HomeGarden => &[
+                "ikea", "ashley", "wayfair", "herman", "weber", "dyson", "philips", "casper",
+            ],
+        }
+    }
+
+    /// Colors shared across domains.
+    pub fn colors(self) -> &'static [&'static str] {
+        &[
+            "black", "white", "red", "blue", "green", "silver", "gray", "brown",
+        ]
+    }
+
+    /// Title modifiers of the domain.
+    pub fn modifiers(self) -> &'static [&'static str] {
+        match self {
+            EcDomain::Electronics => &[
+                "wireless",
+                "portable",
+                "gaming",
+                "4k",
+                "bluetooth",
+                "compact",
+                "pro",
+                "ultra",
+            ],
+            EcDomain::Fashion => &[
+                "slim",
+                "casual",
+                "sports",
+                "buttoned",
+                "vintage",
+                "waterproof",
+                "summer",
+                "classic",
+            ],
+            EcDomain::HomeGarden => &[
+                "ergonomic",
+                "outdoor",
+                "wooden",
+                "foldable",
+                "modern",
+                "rustic",
+                "adjustable",
+                "compact",
+            ],
+        }
+    }
+}
+
+/// Configuration for [`generate_ecommerce`].
+#[derive(Debug, Clone)]
+pub struct EcConfig {
+    /// Business domain.
+    pub domain: EcDomain,
+    /// Catalog size (products generated; the universe keeps only products
+    /// retrieved by a top query, as in the paper).
+    pub catalog_size: usize,
+    /// Number of top queries to keep (the paper uses 250 per domain).
+    pub num_queries: usize,
+    /// Query-log draws used to estimate query frequencies.
+    pub query_log_size: usize,
+    /// Result-list depth per query.
+    pub results_per_query: usize,
+    /// Embedding dimensionality.
+    pub embed_dim: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability that a retrieved photo of the domain's first brand is
+    /// policy-required (simulating legal-contract images).
+    pub required_brand_fraction: f64,
+    /// Modulate relevance by a no-reference image-quality assessment of the
+    /// rendered photo (Example 5.1 computes R from "the quality of the
+    /// image" and the retrieval score). Renders each kept photo once.
+    pub quality_weighting: bool,
+}
+
+impl EcConfig {
+    /// A scaled-down config (fast; keeps the paper's shape).
+    pub fn small(domain: EcDomain, seed: u64) -> Self {
+        EcConfig {
+            domain,
+            catalog_size: 1_200,
+            num_queries: 40,
+            query_log_size: 20_000,
+            results_per_query: 40,
+            embed_dim: 64,
+            seed,
+            required_brand_fraction: 0.0,
+            quality_weighting: false,
+        }
+    }
+
+    /// The paper-sized config: 250 queries, ~20K photos.
+    pub fn paper(domain: EcDomain, seed: u64) -> Self {
+        EcConfig {
+            domain,
+            catalog_size: domain.paper_photos() * 3 / 2,
+            num_queries: 250,
+            query_log_size: 400_000,
+            results_per_query: domain.paper_photos() / 123,
+            embed_dim: 64,
+            seed,
+            required_brand_fraction: 0.0,
+            quality_weighting: false,
+        }
+    }
+}
+
+/// Generates an e-commerce universe via the query-log pipeline.
+pub fn generate_ecommerce(cfg: &EcConfig) -> Universe {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let d = cfg.domain;
+    let (nouns, brands, colors, mods) = (d.nouns(), d.brands(), d.colors(), d.modifiers());
+
+    // 1. Catalog: templated product titles + image specs.
+    let mut titles = Vec::with_capacity(cfg.catalog_size);
+    let mut specs = Vec::with_capacity(cfg.catalog_size);
+    let noun_zipf = Zipf::new(nouns.len(), 0.8);
+    let brand_zipf = Zipf::new(brands.len(), 0.8);
+    for i in 0..cfg.catalog_size {
+        let noun = noun_zipf.sample(&mut rng);
+        let brand = brand_zipf.sample(&mut rng);
+        let color = rng.gen_range(0..colors.len());
+        let modifier = rng.gen_range(0..mods.len());
+        titles.push(format!(
+            "{} {} {} {}",
+            brands[brand], colors[color], mods[modifier], nouns[noun]
+        ));
+        // Rendering category is the product noun; attributes encode the
+        // visual factors (color, brand styling, modifier, random pose).
+        specs.push(ImageSpec::new(
+            noun as u32,
+            [
+                color as f32 / colors.len() as f32,
+                brand as f32 / brands.len() as f32,
+                modifier as f32 / mods.len() as f32,
+                rng.gen(),
+            ],
+            cfg.seed ^ (i as u64).rotate_left(21),
+        ));
+    }
+
+    // 2. Query log: template queries with Zipfian popularity.
+    let mut query_pool = Vec::new();
+    for &n in nouns {
+        query_pool.push(n.to_string());
+        for &c in colors {
+            query_pool.push(format!("{c} {n}"));
+        }
+        for &b in brands {
+            query_pool.push(format!("{b} {n}"));
+        }
+        for &m in mods {
+            query_pool.push(format!("{m} {n}"));
+        }
+        for &b in brands {
+            for &c in colors {
+                query_pool.push(format!("{b} {c} {n}"));
+            }
+        }
+    }
+    // Shuffle so popularity is not tied to template order, then draw the log.
+    for i in (1..query_pool.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        query_pool.swap(i, j);
+    }
+    let qzipf = Zipf::new(query_pool.len(), 1.05);
+    let mut freq: HashMap<usize, u64> = HashMap::new();
+    for _ in 0..cfg.query_log_size {
+        *freq.entry(qzipf.sample(&mut rng)).or_insert(0) += 1;
+    }
+    let mut by_freq: Vec<(usize, u64)> = freq.into_iter().collect();
+    by_freq.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    // 3. Run the top queries through the engine; keep those with results.
+    let engine = SearchEngine::build(&titles);
+    let mut kept_queries: Vec<(String, u64, Vec<par_search::Hit>)> = Vec::new();
+    for &(qi, count) in &by_freq {
+        if kept_queries.len() == cfg.num_queries {
+            break;
+        }
+        let hits = engine.search(&query_pool[qi], cfg.results_per_query);
+        if hits.len() >= 2 {
+            kept_queries.push((query_pool[qi].clone(), count, hits));
+        }
+    }
+
+    // 4. The universe keeps only retrieved products; remap ids.
+    let mut keep: Vec<bool> = vec![false; cfg.catalog_size];
+    for (_, _, hits) in &kept_queries {
+        for h in hits {
+            keep[h.doc as usize] = true;
+        }
+    }
+    let mut remap: Vec<u32> = vec![u32::MAX; cfg.catalog_size];
+    let mut names = Vec::new();
+    let mut costs = Vec::new();
+    let mut embeddings = Vec::new();
+    let mut embedder = SpecEmbedder::new(cfg.embed_dim, cfg.seed ^ 0xEC0);
+    // A landing page's result set holds many *distinct* products of one
+    // kind — moderately similar, not near-duplicates. Strong attribute and
+    // noise components push intra-query cosines into the ~[0.3, 0.8] band.
+    embedder.attr_scale = 0.9;
+    embedder.noise_scale = 0.35;
+    let mut proto_cache: HashMap<u32, Vec<f32>> = HashMap::new();
+    for i in 0..cfg.catalog_size {
+        if !keep[i] {
+            continue;
+        }
+        remap[i] = names.len() as u32;
+        names.push(titles[i].clone());
+        costs.push(lognormal_cost(&mut rng));
+        embeddings.push(embedder.embed_cached(&specs[i], &mut proto_cache));
+    }
+
+    // 5. Image-quality factors (Example 5.1: R combines the retrieval score
+    // with the photo's assessed quality).
+    let quality: Vec<f64> = if cfg.quality_weighting {
+        (0..cfg.catalog_size)
+            .map(|i| {
+                if !keep[i] {
+                    return 1.0;
+                }
+                let img = par_embed::Image::render(&specs[i], 24, 24);
+                0.5 + 0.5 * par_embed::assess(&img).overall
+            })
+            .collect()
+    } else {
+        vec![1.0; cfg.catalog_size]
+    };
+
+    // 6. Subsets: one per kept query; relevance = BM25 score × quality,
+    // weight = query frequency.
+    let subsets = kept_queries
+        .iter()
+        .map(|(label, count, hits)| SubsetDef {
+            label: label.clone(),
+            weight: *count as f64,
+            members: hits.iter().map(|h| remap[h.doc as usize]).collect(),
+            relevance: hits
+                .iter()
+                .map(|h| h.score * quality[h.doc as usize])
+                .collect(),
+        })
+        .collect();
+
+    // 7. Legal-contract photos: images of the domain's flagship brand.
+    let mut required = Vec::new();
+    if cfg.required_brand_fraction > 0.0 {
+        let flagship = brands[0];
+        for (idx, name) in names.iter().enumerate() {
+            if name.starts_with(flagship) && rng.gen::<f64>() < cfg.required_brand_fraction {
+                required.push(idx as u32);
+            }
+        }
+    }
+
+    let universe = Universe {
+        name: d.name().to_string(),
+        names,
+        costs,
+        embeddings,
+        exif: None,
+        subsets,
+        required,
+    };
+    universe.validate().expect("generated universe is valid");
+    universe
+}
+
+fn lognormal_cost<R: Rng>(rng: &mut R) -> u64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let bytes = (11.1 + 0.45 * z).exp(); // median ≈ 66 KB (product shots)
+    (bytes as u64).clamp(10_000, 500_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_config_produces_query_subsets() {
+        let u = generate_ecommerce(&EcConfig::small(EcDomain::Fashion, 1));
+        assert_eq!(u.num_subsets(), 40);
+        assert!(u.num_photos() > 100, "photos {}", u.num_photos());
+        // Every photo appears in at least one subset (universe = retrieved).
+        let mut seen = vec![false; u.num_photos()];
+        for s in &u.subsets {
+            for &m in &s.members {
+                seen[m as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn weights_are_query_frequencies() {
+        let u = generate_ecommerce(&EcConfig::small(EcDomain::Electronics, 2));
+        // Frequencies are positive and heavy-tailed.
+        let mut w: Vec<f64> = u.subsets.iter().map(|s| s.weight).collect();
+        w.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!(w[0] >= 2.0 * w[w.len() - 1]);
+        assert!(w.iter().all(|&x| x >= 1.0));
+    }
+
+    #[test]
+    fn relevance_comes_from_retrieval_scores() {
+        let u = generate_ecommerce(&EcConfig::small(EcDomain::HomeGarden, 3));
+        for s in &u.subsets {
+            // BM25 scores are positive and sorted descending per result list.
+            assert!(s.relevance.iter().all(|&r| r > 0.0));
+            for w in s.relevance.windows(2) {
+                assert!(w[0] >= w[1] - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn domains_have_disjoint_vocabulary_subsets() {
+        let f = generate_ecommerce(&EcConfig::small(EcDomain::Fashion, 4));
+        let e = generate_ecommerce(&EcConfig::small(EcDomain::Electronics, 4));
+        // Query labels should not overlap across domains (different nouns).
+        let fl: std::collections::HashSet<&String> = f.subsets.iter().map(|s| &s.label).collect();
+        assert!(e.subsets.iter().all(|s| !fl.contains(&s.label)));
+    }
+
+    #[test]
+    fn required_brand_marks_photos() {
+        let mut cfg = EcConfig::small(EcDomain::Fashion, 5);
+        cfg.required_brand_fraction = 0.5;
+        let u = generate_ecommerce(&cfg);
+        assert!(!u.required.is_empty());
+        let flagship = EcDomain::Fashion.brands()[0];
+        for &r in &u.required {
+            assert!(u.names[r as usize].starts_with(flagship));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_ecommerce(&EcConfig::small(EcDomain::Fashion, 6));
+        let b = generate_ecommerce(&EcConfig::small(EcDomain::Fashion, 6));
+        assert_eq!(a.names, b.names);
+        assert_eq!(a.costs, b.costs);
+        assert_eq!(a.subsets.len(), b.subsets.len());
+    }
+}
+
+#[cfg(test)]
+mod quality_tests {
+    use super::*;
+
+    #[test]
+    fn quality_weighting_modulates_relevance() {
+        let mut with = EcConfig::small(EcDomain::Fashion, 12);
+        with.quality_weighting = true;
+        let mut without = EcConfig::small(EcDomain::Fashion, 12);
+        without.quality_weighting = false;
+        let a = generate_ecommerce(&with);
+        let b = generate_ecommerce(&without);
+        // Same structure, different relevance profile.
+        assert_eq!(a.num_photos(), b.num_photos());
+        assert_eq!(a.subsets.len(), b.subsets.len());
+        let changed = a.subsets.iter().zip(&b.subsets).any(|(x, y)| {
+            x.relevance
+                .iter()
+                .zip(&y.relevance)
+                .any(|(ra, rb)| (ra - rb).abs() > 1e-9)
+        });
+        assert!(changed, "quality weighting had no effect");
+        // Still a valid universe.
+        assert!(a.validate().is_ok());
+    }
+}

@@ -1,0 +1,278 @@
+//! Dataset import/export in a simple line-oriented text format.
+//!
+//! Reproduction artifacts are more useful when the generated datasets can be
+//! inspected and exchanged with external tooling, so a [`Universe`] can be
+//! written to (and re-read from) a dependency-free TSV-style format:
+//!
+//! ```text
+//! # phocus-universe v1
+//! name <dataset name>
+//! photo <id> <cost> <name with spaces>
+//! embedding <id> <f32> <f32> …
+//! exif <id> <timestamp> <lat> <lon> <camera>
+//! subset <label-no-tabs> <weight> <member:relevance> <member:relevance> …
+//! required <id> <id> …
+//! ```
+//!
+//! Floats round-trip via their shortest exact representation, so
+//! `write → read` is lossless (verified by tests).
+
+use crate::universe::{SubsetDef, Universe};
+use par_embed::{Embedding, ExifData};
+use std::fmt::Write as _;
+
+/// Serializes a universe to the text format.
+pub fn to_text(u: &Universe) -> String {
+    let mut out = String::new();
+    out.push_str("# phocus-universe v1\n");
+    let _ = writeln!(out, "name\t{}", u.name);
+    for (i, name) in u.names.iter().enumerate() {
+        let _ = writeln!(out, "photo\t{i}\t{}\t{name}", u.costs[i]);
+    }
+    for (i, e) in u.embeddings.iter().enumerate() {
+        let _ = write!(out, "embedding\t{i}");
+        for v in e.as_slice() {
+            let _ = write!(out, "\t{v}");
+        }
+        out.push('\n');
+    }
+    if let Some(exif) = &u.exif {
+        for (i, e) in exif.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "exif\t{i}\t{}\t{}\t{}\t{}",
+                e.timestamp, e.latitude, e.longitude, e.camera
+            );
+        }
+    }
+    for s in &u.subsets {
+        let _ = write!(out, "subset\t{}\t{}", s.label.replace('\t', " "), s.weight);
+        for (&m, &r) in s.members.iter().zip(&s.relevance) {
+            let _ = write!(out, "\t{m}:{r}");
+        }
+        out.push('\n');
+    }
+    if !u.required.is_empty() {
+        let _ = write!(out, "required");
+        for &r in &u.required {
+            let _ = write!(out, "\t{r}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse error for the universe text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a universe from the text format. Validates the result.
+pub fn from_text(text: &str) -> Result<Universe, ParseError> {
+    let mut name = String::from("unnamed");
+    let mut photos: Vec<(u32, u64, String)> = Vec::new();
+    let mut embeddings: Vec<(u32, Embedding)> = Vec::new();
+    let mut exif: Vec<(u32, ExifData)> = Vec::new();
+    let mut subsets: Vec<SubsetDef> = Vec::new();
+    let mut required: Vec<u32> = Vec::new();
+
+    for (ln, raw) in text.lines().enumerate() {
+        let lineno = ln + 1;
+        let line = raw.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let tag = fields.next().unwrap_or_default();
+        let rest: Vec<&str> = fields.collect();
+        match tag {
+            "name" => {
+                name = rest
+                    .first()
+                    .ok_or_else(|| err(lineno, "missing name"))?
+                    .to_string();
+            }
+            "photo" => {
+                if rest.len() < 3 {
+                    return Err(err(lineno, "photo needs id, cost, name"));
+                }
+                let id: u32 = rest[0].parse().map_err(|_| err(lineno, "bad photo id"))?;
+                let cost: u64 = rest[1].parse().map_err(|_| err(lineno, "bad cost"))?;
+                photos.push((id, cost, rest[2..].join("\t")));
+            }
+            "embedding" => {
+                if rest.len() < 2 {
+                    return Err(err(lineno, "embedding needs id and values"));
+                }
+                let id: u32 = rest[0].parse().map_err(|_| err(lineno, "bad id"))?;
+                let values: Result<Vec<f32>, _> = rest[1..].iter().map(|v| v.parse()).collect();
+                let values = values.map_err(|_| err(lineno, "bad embedding value"))?;
+                embeddings.push((id, Embedding(values)));
+            }
+            "exif" => {
+                if rest.len() != 5 {
+                    return Err(err(lineno, "exif needs id, ts, lat, lon, camera"));
+                }
+                let id: u32 = rest[0].parse().map_err(|_| err(lineno, "bad id"))?;
+                exif.push((
+                    id,
+                    ExifData {
+                        timestamp: rest[1].parse().map_err(|_| err(lineno, "bad ts"))?,
+                        latitude: rest[2].parse().map_err(|_| err(lineno, "bad lat"))?,
+                        longitude: rest[3].parse().map_err(|_| err(lineno, "bad lon"))?,
+                        camera: rest[4].parse().map_err(|_| err(lineno, "bad camera"))?,
+                    },
+                ));
+            }
+            "subset" => {
+                if rest.len() < 3 {
+                    return Err(err(lineno, "subset needs label, weight, members"));
+                }
+                let label = rest[0].to_string();
+                let weight: f64 = rest[1].parse().map_err(|_| err(lineno, "bad weight"))?;
+                let mut members = Vec::new();
+                let mut relevance = Vec::new();
+                for pair in &rest[2..] {
+                    let (m, r) = pair
+                        .split_once(':')
+                        .ok_or_else(|| err(lineno, "member needs id:relevance"))?;
+                    members.push(m.parse().map_err(|_| err(lineno, "bad member id"))?);
+                    relevance.push(r.parse().map_err(|_| err(lineno, "bad relevance"))?);
+                }
+                subsets.push(SubsetDef {
+                    label,
+                    weight,
+                    members,
+                    relevance,
+                });
+            }
+            "required" => {
+                for r in rest {
+                    required.push(r.parse().map_err(|_| err(lineno, "bad required id"))?);
+                }
+            }
+            other => return Err(err(lineno, format!("unknown record `{other}`"))),
+        }
+    }
+
+    let n = photos.len();
+    photos.sort_unstable_by_key(|&(id, _, _)| id);
+    for (expect, &(id, _, _)) in photos.iter().enumerate() {
+        if id as usize != expect {
+            return Err(err(0, format!("photo ids not dense: missing {expect}")));
+        }
+    }
+    embeddings.sort_unstable_by_key(|&(id, _)| id);
+    if embeddings.len() != n {
+        return Err(err(0, "embedding count does not match photo count"));
+    }
+    let exif_opt = if exif.is_empty() {
+        None
+    } else {
+        if exif.len() != n {
+            return Err(err(0, "exif count does not match photo count"));
+        }
+        exif.sort_unstable_by_key(|&(id, _)| id);
+        Some(exif.into_iter().map(|(_, e)| e).collect())
+    };
+
+    let universe = Universe {
+        name,
+        names: photos.iter().map(|(_, _, n)| n.clone()).collect(),
+        costs: photos.iter().map(|&(_, c, _)| c).collect(),
+        embeddings: embeddings.into_iter().map(|(_, e)| e).collect(),
+        exif: exif_opt,
+        subsets,
+        required,
+    };
+    universe.validate().map_err(|m| err(0, m))?;
+    Ok(universe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::openimages::{generate_openimages, OpenImagesConfig};
+
+    fn sample() -> Universe {
+        let mut u = generate_openimages(&OpenImagesConfig {
+            name: "io-test".into(),
+            photos: 40,
+            target_subsets: 10,
+            seed: 5,
+            required_fraction: 0.1,
+            ..Default::default()
+        });
+        u.exif = Some((0..40).map(|i| ExifData::synthesize(i % 4, i)).collect());
+        u
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let u = sample();
+        let text = to_text(&u);
+        let v = from_text(&text).unwrap();
+        assert_eq!(u.name, v.name);
+        assert_eq!(u.names, v.names);
+        assert_eq!(u.costs, v.costs);
+        assert_eq!(u.required, v.required);
+        assert_eq!(u.subsets.len(), v.subsets.len());
+        for (a, b) in u.subsets.iter().zip(&v.subsets) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.members, b.members);
+            assert_eq!(a.weight, b.weight);
+            for (ra, rb) in a.relevance.iter().zip(&b.relevance) {
+                assert_eq!(ra, rb, "relevance must round-trip exactly");
+            }
+        }
+        for (ea, eb) in u.embeddings.iter().zip(&v.embeddings) {
+            assert_eq!(ea.as_slice(), eb.as_slice());
+        }
+        assert_eq!(u.exif, v.exif);
+    }
+
+    #[test]
+    fn rejects_missing_embeddings() {
+        let u = sample();
+        let text: String = to_text(&u)
+            .lines()
+            .filter(|l| !l.starts_with("embedding\t3\t"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(from_text(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_text("frobnicate\t1").is_err());
+        assert!(from_text("photo\tx\ty\tz").is_err());
+        let e = from_text("subset\tq\tnot-a-number\t0:1").unwrap_err();
+        assert!(e.to_string().contains("weight"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let u = sample();
+        let text = format!("# leading comment\n\n{}\n# trailing\n", to_text(&u));
+        assert!(from_text(&text).is_ok());
+    }
+}

@@ -1,0 +1,39 @@
+//! # par-datasets — synthetic dataset generators for the PAR experiments
+//!
+//! The paper evaluates on eight datasets from two sources (Table 2): five
+//! slices of the public Open Images corpus (P-1K … P-100K) and three private
+//! e-commerce domains (EC-Fashion, EC-Electronics, EC-Home & Garden). Neither
+//! source is shippable in a reproduction, so this crate generates synthetic
+//! equivalents that preserve the statistical shape the algorithms see:
+//!
+//! * [`openimages`] — a labeled photo corpus: Zipf-distributed label
+//!   vocabulary, multi-label photos with confidence scores, per-label
+//!   subsets weighted by label frequency, heavy-tailed photo sizes;
+//! * [`ecommerce`] — a product catalog with templated titles, a Zipfian
+//!   query log, and subsets derived by running the top-250 queries through
+//!   the real BM25 engine of `par-search` (retrieval scores → relevance,
+//!   query frequencies → weights) — exactly the paper's Example 5.1
+//!   pipeline;
+//! * [`universe`] — the common output type: photos (names, costs,
+//!   embeddings, optional EXIF) plus subset definitions, *without* committed
+//!   similarity stores. PHOcus's Data Representation Module turns a
+//!   [`Universe`] into a solvable [`par_core::Instance`] (dense or
+//!   LSH-sparsified);
+//! * [`zipf`] — a seeded Zipf sampler used by both generators;
+//! * [`table2`] — reproduces Table 2's dataset-statistics rows.
+
+#![warn(missing_docs)]
+
+pub mod ecommerce;
+pub mod io;
+pub mod openimages;
+pub mod table2;
+pub mod universe;
+pub mod zipf;
+
+pub use ecommerce::{generate_ecommerce, EcConfig, EcDomain};
+pub use io::{from_text, to_text};
+pub use openimages::{generate_openimages, OpenImagesConfig, PublicScale};
+pub use table2::{table2_rows, Table2Row};
+pub use universe::{SubsetDef, Universe};
+pub use zipf::Zipf;

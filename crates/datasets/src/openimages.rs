@@ -1,0 +1,369 @@
+//! The Open-Images-like public dataset family (P-1K … P-100K of Table 2).
+//!
+//! The real pipeline of Section 5.2: photos carry labels with confidence
+//! scores; each label that appears defines a pre-defined subset whose members
+//! are the photos carrying it; the confidence is the relevance score and the
+//! label's frequency in the full corpus is the subset's importance weight.
+//! This generator reproduces that pipeline over synthetic photos:
+//!
+//! * a Zipf-distributed label vocabulary (the real corpus has 6000+ labels
+//!   with heavy-tailed frequencies);
+//! * each photo gets a primary label (drawn Zipf — it is also the photo's
+//!   rendering category) and a few secondary labels, each with a confidence
+//!   in `(0.5, 1]`, primaries highest;
+//! * photo costs follow a lognormal around ~45 KB (web-thumbnail scale, so
+//!   that the paper's MB-range budgets span the same fraction of the
+//!   archive);
+//! * embeddings come from the ResNet-simulating [`SpecEmbedder`]
+//!   ([`Fidelity::Fast`]) or the full pixels→features→projection pipeline
+//!   ([`Fidelity::Rendered`], practical up to a few thousand photos).
+
+use crate::universe::{SubsetDef, Universe};
+use crate::zipf::Zipf;
+use par_embed::{features, FeatureEmbedder, Image, ImageSpec, SpecEmbedder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// How photo embeddings (and costs) are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Closed-form spec embeddings and lognormal costs — linear time,
+    /// suitable for 100K-photo scalability runs.
+    Fast,
+    /// Render pixels, extract features, project; costs from the simulated
+    /// JPEG model. Exercises the whole substrate; use for ≤ ~5K photos.
+    Rendered,
+}
+
+/// The paper's five public dataset scales (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublicScale {
+    /// 1 000 photos, ~193 subsets.
+    P1K,
+    /// 5 000 photos, ~1 409 subsets.
+    P5K,
+    /// 10 000 photos, ~3 955 subsets.
+    P10K,
+    /// 50 000 photos, ~14 326 subsets.
+    P50K,
+    /// 100 000 photos, ~33 721 subsets.
+    P100K,
+}
+
+impl PublicScale {
+    /// Dataset name as printed in Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            PublicScale::P1K => "P-1K",
+            PublicScale::P5K => "P-5K",
+            PublicScale::P10K => "P-10K",
+            PublicScale::P50K => "P-50K",
+            PublicScale::P100K => "P-100K",
+        }
+    }
+
+    /// Number of photos.
+    pub fn photos(self) -> usize {
+        match self {
+            PublicScale::P1K => 1_000,
+            PublicScale::P5K => 5_000,
+            PublicScale::P10K => 10_000,
+            PublicScale::P50K => 50_000,
+            PublicScale::P100K => 100_000,
+        }
+    }
+
+    /// The subset count the paper reports for this scale (our generator
+    /// lands close; EXPERIMENTS.md records paper-vs-measured).
+    pub fn paper_subsets(self) -> usize {
+        match self {
+            PublicScale::P1K => 193,
+            PublicScale::P5K => 1_409,
+            PublicScale::P10K => 3_955,
+            PublicScale::P50K => 14_326,
+            PublicScale::P100K => 33_721,
+        }
+    }
+
+    /// A default config for this scale.
+    pub fn config(self, seed: u64) -> OpenImagesConfig {
+        OpenImagesConfig {
+            name: self.name().to_string(),
+            photos: self.photos(),
+            target_subsets: self.paper_subsets(),
+            seed,
+            fidelity: Fidelity::Fast,
+            ..OpenImagesConfig::default()
+        }
+    }
+}
+
+/// Configuration for [`generate_openimages`].
+#[derive(Debug, Clone)]
+pub struct OpenImagesConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Number of photos.
+    pub photos: usize,
+    /// Approximate number of distinct labels (hence subsets) to produce.
+    pub target_subsets: usize,
+    /// Zipf exponent of label popularity.
+    pub zipf_s: f64,
+    /// Mean secondary labels per photo (primary label always present).
+    pub extra_labels: f64,
+    /// Embedding dimensionality.
+    pub embed_dim: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Embedding/cost fidelity.
+    pub fidelity: Fidelity,
+    /// Fraction of photos marked policy-required (`S₀`).
+    pub required_fraction: f64,
+    /// Drop labels observed on fewer than this many photos.
+    pub min_subset_size: usize,
+}
+
+impl Default for OpenImagesConfig {
+    fn default() -> Self {
+        OpenImagesConfig {
+            name: "P".into(),
+            photos: 1_000,
+            target_subsets: 200,
+            zipf_s: 1.0,
+            extra_labels: 1.5,
+            embed_dim: 64,
+            seed: 0,
+            fidelity: Fidelity::Fast,
+            required_fraction: 0.0,
+            min_subset_size: 1,
+        }
+    }
+}
+
+/// Generates an Open-Images-like universe.
+pub fn generate_openimages(cfg: &OpenImagesConfig) -> Universe {
+    assert!(cfg.photos > 0 && cfg.target_subsets > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // The observed distinct-label count is below the vocabulary size: with
+    // D zipf draws over a vocabulary of V, roughly V·f(D/V) labels are seen,
+    // where f(r) ≈ 1 − e^{−r/c} (c ≈ 3.9 fitted empirically for s = 1).
+    // Solve V·f(D/V) = target by fixed point so every Table 2 scale lands
+    // near its paper subset count.
+    let draws = cfg.photos as f64 * (1.0 + cfg.extra_labels);
+    let seen_fraction = |r: f64| 1.0 - (-r / 3.9).exp();
+    let mut vocab_f = cfg.target_subsets as f64;
+    for _ in 0..30 {
+        vocab_f = cfg.target_subsets as f64 / seen_fraction(draws / vocab_f).max(0.05);
+    }
+    let vocab = vocab_f.ceil() as usize + 8;
+    let zipf = Zipf::new(vocab, cfg.zipf_s);
+
+    let mut spec_embedder = SpecEmbedder::new(cfg.embed_dim, cfg.seed ^ 0xE5EED);
+    // Spread intra-label similarities across ~[0.4, 0.95] (real photo
+    // corpora are nowhere near duplicate-only), so τ-sparsification has a
+    // real knee and coverage does not trivially saturate.
+    spec_embedder.attr_scale = 0.7;
+    spec_embedder.noise_scale = 0.3;
+    let feature_embedder = match cfg.fidelity {
+        Fidelity::Rendered => Some(FeatureEmbedder::new(
+            features::COLOR_BINS + features::GRID * features::GRID * features::ORIENT_BINS,
+            cfg.embed_dim,
+            cfg.seed ^ 0xFEA7,
+        )),
+        Fidelity::Fast => None,
+    };
+    let mut proto_cache: HashMap<u32, Vec<f32>> = HashMap::new();
+
+    let mut names = Vec::with_capacity(cfg.photos);
+    let mut costs = Vec::with_capacity(cfg.photos);
+    let mut embeddings = Vec::with_capacity(cfg.photos);
+    // label → (members, confidences)
+    let mut label_members: HashMap<u32, (Vec<u32>, Vec<f64>)> = HashMap::new();
+    let mut label_freq: HashMap<u32, u64> = HashMap::new();
+
+    for i in 0..cfg.photos {
+        let primary = zipf.sample(&mut rng) as u32;
+        let attributes = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+        let spec = ImageSpec::new(primary, attributes, cfg.seed ^ (i as u64) << 1);
+
+        let (embedding, cost) = match (&feature_embedder, cfg.fidelity) {
+            (Some(fe), Fidelity::Rendered) => {
+                let img = Image::render(&spec, 32, 32);
+                let emb = fe.embed(&features::full_features(&img));
+                (emb, img.simulated_jpeg_bytes())
+            }
+            _ => {
+                let emb = spec_embedder.embed_cached(&spec, &mut proto_cache);
+                (emb, lognormal_cost(&mut rng))
+            }
+        };
+        names.push(format!("{}/img_{i:06}.jpg", cfg.name));
+        costs.push(cost);
+        embeddings.push(embedding);
+
+        // Primary label with high confidence.
+        let conf = 0.85 + 0.15 * rng.gen::<f64>();
+        let entry = label_members.entry(primary).or_default();
+        entry.0.push(i as u32);
+        entry.1.push(conf);
+        *label_freq.entry(primary).or_insert(0) += 1;
+
+        // Secondary labels (Poisson-ish via geometric trials).
+        let extra = sample_count(&mut rng, cfg.extra_labels);
+        let mut seen = vec![primary];
+        for _ in 0..extra {
+            let l = zipf.sample(&mut rng) as u32;
+            if seen.contains(&l) {
+                continue;
+            }
+            seen.push(l);
+            let conf = 0.5 + 0.35 * rng.gen::<f64>();
+            let entry = label_members.entry(l).or_default();
+            entry.0.push(i as u32);
+            entry.1.push(conf);
+            *label_freq.entry(l).or_insert(0) += 1;
+        }
+    }
+
+    // One subset per observed label, weighted by corpus frequency.
+    let mut labels: Vec<u32> = label_members.keys().copied().collect();
+    labels.sort_unstable();
+    let mut subsets = Vec::with_capacity(labels.len());
+    for l in labels {
+        let (members, relevance) = label_members.remove(&l).expect("label present");
+        if members.len() < cfg.min_subset_size {
+            continue;
+        }
+        subsets.push(SubsetDef {
+            label: format!("label-{l:04}"),
+            weight: label_freq[&l] as f64,
+            members,
+            relevance,
+        });
+    }
+
+    // Policy-required photos.
+    let mut required = Vec::new();
+    if cfg.required_fraction > 0.0 {
+        for i in 0..cfg.photos as u32 {
+            if rng.gen::<f64>() < cfg.required_fraction {
+                required.push(i);
+            }
+        }
+    }
+
+    let universe = Universe {
+        name: cfg.name.clone(),
+        names,
+        costs,
+        embeddings,
+        exif: None,
+        subsets,
+        required,
+    };
+    universe.validate().expect("generated universe is valid");
+    universe
+}
+
+/// Lognormal photo cost around ~45 KB, clamped to `[8 KB, 400 KB]`.
+fn lognormal_cost<R: Rng>(rng: &mut R) -> u64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let bytes = (10.7 + 0.5 * z).exp(); // median e^10.7 ≈ 44 KB
+    (bytes as u64).clamp(8_000, 400_000)
+}
+
+/// Draws a small nonnegative count with the given mean (geometric-like).
+fn sample_count<R: Rng>(rng: &mut R, mean: f64) -> usize {
+    let p = mean / (1.0 + mean);
+    let mut k = 0;
+    while k < 7 && rng.gen::<f64>() < p {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p1k_has_roughly_paper_shape() {
+        let cfg = PublicScale::P1K.config(42);
+        let u = generate_openimages(&cfg);
+        assert_eq!(u.num_photos(), 1_000);
+        // Within ±40% of the paper's 193 subsets.
+        let m = u.num_subsets();
+        assert!((115..=271).contains(&m), "subsets {m}");
+        // Mean cost near 50 KB.
+        assert!(
+            (20_000.0..120_000.0).contains(&u.mean_cost()),
+            "{}",
+            u.mean_cost()
+        );
+    }
+
+    #[test]
+    fn weights_follow_label_frequency() {
+        let u = generate_openimages(&PublicScale::P1K.config(1));
+        // The heaviest subset should be much larger than the median.
+        let mut weights: Vec<f64> = u.subsets.iter().map(|s| s.weight).collect();
+        weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!(weights[0] > 4.0 * weights[weights.len() / 2]);
+        // Weight equals member count (frequency) for this generator.
+        for s in &u.subsets {
+            assert_eq!(s.weight as usize, s.members.len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_openimages(&PublicScale::P1K.config(7));
+        let b = generate_openimages(&PublicScale::P1K.config(7));
+        assert_eq!(a.costs, b.costs);
+        assert_eq!(a.subsets.len(), b.subsets.len());
+        assert_eq!(a.subsets[0].members, b.subsets[0].members);
+    }
+
+    #[test]
+    fn rendered_fidelity_works_on_small_corpus() {
+        let cfg = OpenImagesConfig {
+            name: "P-tiny".into(),
+            photos: 40,
+            target_subsets: 12,
+            fidelity: Fidelity::Rendered,
+            seed: 3,
+            ..Default::default()
+        };
+        let u = generate_openimages(&cfg);
+        assert_eq!(u.num_photos(), 40);
+        // Rendered costs come from the JPEG model (≥ base 4 KB).
+        assert!(u.costs.iter().all(|&c| c >= 4_000));
+        assert!(u.embeddings.iter().all(|e| e.dim() == cfg.embed_dim));
+    }
+
+    #[test]
+    fn required_fraction_marks_photos() {
+        let cfg = OpenImagesConfig {
+            photos: 500,
+            required_fraction: 0.05,
+            seed: 9,
+            ..Default::default()
+        };
+        let u = generate_openimages(&cfg);
+        let frac = u.required.len() as f64 / 500.0;
+        assert!((0.01..0.12).contains(&frac), "required fraction {frac}");
+    }
+
+    #[test]
+    fn confidences_are_valid_relevance() {
+        let u = generate_openimages(&PublicScale::P1K.config(5));
+        for s in &u.subsets {
+            for &r in &s.relevance {
+                assert!((0.5..=1.0).contains(&r), "confidence {r}");
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Table 2 of the paper: dataset statistics (name, photo count, subset
+//! count), paper-reported vs measured for our generators.
+
+use crate::ecommerce::{generate_ecommerce, EcConfig, EcDomain};
+use crate::openimages::{generate_openimages, PublicScale};
+
+/// One row of Table 2, paper numbers alongside generator numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Dataset name.
+    pub name: String,
+    /// Photos as reported in the paper.
+    pub paper_photos: usize,
+    /// Subsets as reported in the paper.
+    pub paper_subsets: usize,
+    /// Photos produced by our generator.
+    pub measured_photos: usize,
+    /// Subsets produced by our generator.
+    pub measured_subsets: usize,
+}
+
+/// Generates all eight datasets and returns the Table 2 rows.
+///
+/// `full` regenerates at paper scale (P-100K takes a while); otherwise the
+/// public family is generated at paper scale up to P-10K and the two largest
+/// public scales plus the EC domains are scaled down by `scale_divisor`.
+pub fn table2_rows(full: bool, seed: u64) -> Vec<Table2Row> {
+    let mut rows = Vec::new();
+    for scale in [
+        PublicScale::P1K,
+        PublicScale::P5K,
+        PublicScale::P10K,
+        PublicScale::P50K,
+        PublicScale::P100K,
+    ] {
+        let mut cfg = scale.config(seed);
+        if !full && scale.photos() > 10_000 {
+            let div = scale.photos() / 10_000;
+            cfg.photos /= div;
+            cfg.target_subsets /= div;
+        }
+        let u = generate_openimages(&cfg);
+        rows.push(Table2Row {
+            name: scale.name().to_string(),
+            paper_photos: scale.photos(),
+            paper_subsets: scale.paper_subsets(),
+            measured_photos: u.num_photos(),
+            measured_subsets: u.num_subsets(),
+        });
+    }
+    for (salt, domain) in [
+        EcDomain::Fashion,
+        EcDomain::Electronics,
+        EcDomain::HomeGarden,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let seed = seed ^ ((salt as u64 + 1) << 32);
+        let cfg = if full {
+            EcConfig::paper(domain, seed)
+        } else {
+            EcConfig::small(domain, seed)
+        };
+        let u = generate_ecommerce(&cfg);
+        rows.push(Table2Row {
+            name: domain.name().to_string(),
+            paper_photos: domain.paper_photos(),
+            paper_subsets: 250,
+            measured_photos: u.num_photos(),
+            measured_subsets: u.num_subsets(),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_table_has_eight_rows() {
+        let rows = table2_rows(false, 11);
+        assert_eq!(rows.len(), 8);
+        let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "P-1K",
+                "P-5K",
+                "P-10K",
+                "P-50K",
+                "P-100K",
+                "EC-Fashion",
+                "EC-Electronics",
+                "EC-Home & Garden"
+            ]
+        );
+        for r in &rows {
+            assert!(r.measured_photos > 0 && r.measured_subsets > 0);
+        }
+    }
+
+    #[test]
+    fn small_public_scales_match_paper_photo_counts() {
+        let rows = table2_rows(false, 2);
+        assert_eq!(rows[0].measured_photos, 1_000);
+        assert_eq!(rows[1].measured_photos, 5_000);
+        assert_eq!(rows[2].measured_photos, 10_000);
+    }
+}

@@ -1,0 +1,280 @@
+//! Visual-word codebooks: k-means (k-means++ seeding + Lloyd iterations)
+//! over local descriptors, and bag-of-visual-words histograms.
+//!
+//! The paper's similarity derivation cites "generating visual words via the
+//! SIFT algorithm"; this module provides the quantization stage of that
+//! pipeline over the SIFT-lite descriptors of [`crate::features`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for k-means training.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters (visual words).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tolerance: f32,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 32,
+            max_iters: 50,
+            tolerance: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained codebook of visual words.
+#[derive(Debug, Clone)]
+pub struct Codebook {
+    centroids: Vec<Vec<f32>>,
+    dim: usize,
+}
+
+impl Codebook {
+    /// Trains a codebook on the given descriptors (all of equal dimension).
+    ///
+    /// Panics if `samples` is empty. If there are fewer samples than
+    /// clusters, `k` is reduced to the sample count.
+    pub fn train(samples: &[Vec<f32>], cfg: &KMeansConfig) -> Codebook {
+        assert!(!samples.is_empty(), "cannot train a codebook on no samples");
+        let dim = samples[0].len();
+        let k = cfg.k.min(samples.len()).max(1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // k-means++ initialization.
+        let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+        centroids.push(samples[rng.gen_range(0..samples.len())].clone());
+        let mut dists: Vec<f32> = samples.iter().map(|s| sq_dist(s, &centroids[0])).collect();
+        while centroids.len() < k {
+            let total: f32 = dists.iter().sum();
+            let next = if total <= 1e-12 {
+                rng.gen_range(0..samples.len())
+            } else {
+                let mut r = rng.gen::<f32>() * total;
+                let mut idx = 0;
+                for (i, &d) in dists.iter().enumerate() {
+                    r -= d;
+                    if r <= 0.0 {
+                        idx = i;
+                        break;
+                    }
+                    idx = i;
+                }
+                idx
+            };
+            centroids.push(samples[next].clone());
+            for (i, s) in samples.iter().enumerate() {
+                let d = sq_dist(s, centroids.last().unwrap());
+                if d < dists[i] {
+                    dists[i] = d;
+                }
+            }
+        }
+
+        // Lloyd iterations.
+        let mut assignment = vec![0usize; samples.len()];
+        for _ in 0..cfg.max_iters {
+            for (i, s) in samples.iter().enumerate() {
+                assignment[i] = nearest(s, &centroids).0;
+            }
+            let mut sums = vec![vec![0.0f32; dim]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (i, s) in samples.iter().enumerate() {
+                counts[assignment[i]] += 1;
+                for (d, &x) in sums[assignment[i]].iter_mut().zip(s) {
+                    *d += x;
+                }
+            }
+            let mut movement = 0.0f32;
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                if counts[c] == 0 {
+                    continue; // keep empty clusters where they are
+                }
+                for (d, s) in centroid.iter_mut().zip(&sums[c]) {
+                    let new = s / counts[c] as f32;
+                    movement += (new - *d).abs();
+                    *d = new;
+                }
+            }
+            if movement < cfg.tolerance {
+                break;
+            }
+        }
+
+        Codebook { centroids, dim }
+    }
+
+    /// Number of visual words.
+    pub fn len(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Whether the codebook has no words (never true after training).
+    pub fn is_empty(&self) -> bool {
+        self.centroids.is_empty()
+    }
+
+    /// Descriptor dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Index of the nearest visual word for a descriptor.
+    pub fn quantize(&self, descriptor: &[f32]) -> usize {
+        nearest(descriptor, &self.centroids).0
+    }
+
+    /// L1-normalized bag-of-visual-words histogram over a set of local
+    /// descriptors.
+    pub fn bow_histogram(&self, descriptors: &[Vec<f32>]) -> Vec<f32> {
+        let mut hist = vec![0.0f32; self.centroids.len()];
+        for d in descriptors {
+            hist[self.quantize(d)] += 1.0;
+        }
+        let sum: f32 = hist.iter().sum();
+        if sum > 0.0 {
+            for h in &mut hist {
+                *h /= sum;
+            }
+        }
+        hist
+    }
+
+    /// Mean squared distance of samples to their assigned centroid
+    /// (the k-means objective; decreases as the codebook improves).
+    pub fn inertia(&self, samples: &[Vec<f32>]) -> f32 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples
+            .iter()
+            .map(|s| nearest(s, &self.centroids).1)
+            .sum::<f32>()
+            / samples.len() as f32
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(s: &[f32], centroids: &[Vec<f32>]) -> (usize, f32) {
+    let mut best = (0usize, f32::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(s, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_samples() -> Vec<Vec<f32>> {
+        // Three tight clusters in 2D.
+        let mut v = Vec::new();
+        for (cx, cy) in [(0.0f32, 0.0f32), (10.0, 0.0), (0.0, 10.0)] {
+            for k in 0..10 {
+                v.push(vec![cx + 0.01 * k as f32, cy - 0.01 * k as f32]);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn kmeans_recovers_clusters() {
+        let samples = clustered_samples();
+        let cb = Codebook::train(
+            &samples,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(cb.len(), 3);
+        // All members of a cluster quantize to the same word.
+        for c in 0..3 {
+            let w0 = cb.quantize(&samples[c * 10]);
+            for k in 1..10 {
+                assert_eq!(cb.quantize(&samples[c * 10 + k]), w0);
+            }
+        }
+        // Different clusters map to different words.
+        let words: std::collections::HashSet<usize> =
+            (0..3).map(|c| cb.quantize(&samples[c * 10])).collect();
+        assert_eq!(words.len(), 3);
+        assert!(cb.inertia(&samples) < 0.1);
+    }
+
+    #[test]
+    fn more_words_never_hurt_inertia_much() {
+        let samples = clustered_samples();
+        let small = Codebook::train(
+            &samples,
+            &KMeansConfig {
+                k: 2,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let large = Codebook::train(
+            &samples,
+            &KMeansConfig {
+                k: 6,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        assert!(large.inertia(&samples) <= small.inertia(&samples) + 1e-3);
+    }
+
+    #[test]
+    fn bow_histogram_is_normalized() {
+        let samples = clustered_samples();
+        let cb = Codebook::train(&samples, &KMeansConfig::default());
+        let hist = cb.bow_histogram(&samples);
+        let sum: f32 = hist.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert_eq!(hist.len(), cb.len());
+    }
+
+    #[test]
+    fn k_capped_at_sample_count() {
+        let samples = vec![vec![1.0f32, 2.0], vec![3.0, 4.0]];
+        let cb = Codebook::train(
+            &samples,
+            &KMeansConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
+        assert_eq!(cb.len(), 2);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let samples = clustered_samples();
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 42,
+            ..Default::default()
+        };
+        let a = Codebook::train(&samples, &cfg);
+        let b = Codebook::train(&samples, &cfg);
+        for (ca, cb_) in a.centroids.iter().zip(&b.centroids) {
+            assert_eq!(ca, cb_);
+        }
+    }
+}

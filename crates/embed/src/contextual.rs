@@ -1,0 +1,325 @@
+//! Contextualized similarity — the paper's key modeling novelty.
+//!
+//! "There is a different embedding of the same photo for different predefined
+//! subsets" (Section 2). Each context (subset) carries an attention vector
+//! over embedding dimensions, derived deterministically from the context's
+//! label; the contextual similarity of two photos is the cosine of their
+//! attention-reweighted embeddings, optionally blended with the EXIF context
+//! distance of Sinha et al. The non-contextual provider (identical similarity
+//! in every context) backs the paper's Greedy-NCS baseline.
+
+use crate::embedding::Embedding;
+use crate::exif::ExifData;
+use par_core::{PhotoId, SimilarityProvider, Subset};
+
+/// Per-context attention weights over embedding dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextVector {
+    weights: Vec<f32>,
+}
+
+impl ContextVector {
+    /// Derives a context vector from a label hash: each dimension gets a
+    /// deterministic pseudo-random weight in `[0, 1]`.
+    pub fn from_label(dim: usize, label: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in label.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self::from_seed(dim, h)
+    }
+
+    /// Derives a context vector from a numeric seed.
+    pub fn from_seed(dim: usize, seed: u64) -> Self {
+        let mut state = seed;
+        let weights = (0..dim)
+            .map(|_| {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                (z >> 11) as f32 / (1u64 << 53) as f32
+            })
+            .collect();
+        ContextVector { weights }
+    }
+
+    /// The uniform (identity) context: contextual similarity degenerates to
+    /// the global cosine.
+    pub fn uniform(dim: usize) -> Self {
+        ContextVector {
+            weights: vec![1.0; dim],
+        }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Effective per-dimension weight with a floor `blend ∈ [0,1]`:
+    /// `blend + (1 − blend) · wᵢ`. A floor of 1 disables contextualization.
+    #[inline]
+    pub fn effective(&self, i: usize, blend: f32) -> f32 {
+        blend + (1.0 - blend) * self.weights[i]
+    }
+
+    /// The contextual (attention-reweighted, renormalized) embedding of `e`
+    /// under this context — the per-context vector hashed by the LSH
+    /// pipeline.
+    pub fn contextual_embedding(&self, e: &Embedding, blend: f32) -> Embedding {
+        let v = e
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * self.effective(i, blend))
+            .collect();
+        Embedding::new(v)
+    }
+
+    /// Cosine of the two contextual embeddings, computed without
+    /// materializing them.
+    pub fn contextual_cosine(&self, a: &Embedding, b: &Embedding, blend: f32) -> f64 {
+        let mut dot = 0.0f64;
+        let mut na = 0.0f64;
+        let mut nb = 0.0f64;
+        for i in 0..self.weights.len() {
+            let w = self.effective(i, blend) as f64;
+            let w2 = w * w;
+            let x = a.as_slice()[i] as f64;
+            let y = b.as_slice()[i] as f64;
+            dot += w2 * x * y;
+            na += w2 * x * x;
+            nb += w2 * y * y;
+        }
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0)
+        }
+    }
+}
+
+/// The contextualized similarity provider used by PHOcus.
+///
+/// `SIM(q, a, b) = (1 − γ) · max(0, ctx_cosine_q(a, b)) + γ · (1 − exif_distance(a, b))`
+/// with `γ = exif_weight` (0 disables metadata mixing). Context vectors are
+/// indexed by subset id; photos by photo id.
+#[derive(Debug, Clone)]
+pub struct ContextualSimilarity {
+    /// Global embeddings indexed by [`PhotoId`].
+    pub embeddings: Vec<Embedding>,
+    /// Context vectors indexed by subset id.
+    pub contexts: Vec<ContextVector>,
+    /// Attention floor `α ∈ [0,1]`; 1 disables contextualization.
+    pub blend: f32,
+    /// Optional EXIF metadata indexed by [`PhotoId`].
+    pub exif: Option<Vec<ExifData>>,
+    /// Weight `γ` of the EXIF context distance in the final similarity.
+    pub exif_weight: f64,
+}
+
+impl ContextualSimilarity {
+    /// Creates a provider with the given embeddings and per-subset context
+    /// vectors (no EXIF mixing, default blend 0.3).
+    pub fn new(embeddings: Vec<Embedding>, contexts: Vec<ContextVector>) -> Self {
+        ContextualSimilarity {
+            embeddings,
+            contexts,
+            blend: 0.3,
+            exif: None,
+            exif_weight: 0.0,
+        }
+    }
+
+    /// Attaches EXIF metadata with the given mixing weight `γ`.
+    pub fn with_exif(mut self, exif: Vec<ExifData>, weight: f64) -> Self {
+        assert_eq!(exif.len(), self.embeddings.len());
+        self.exif = Some(exif);
+        self.exif_weight = weight.clamp(0.0, 1.0);
+        self
+    }
+
+    fn visual(&self, subset: &Subset, a: PhotoId, b: PhotoId) -> f64 {
+        let ctx = &self.contexts[subset.id.index()];
+        let cos = ctx.contextual_cosine(
+            &self.embeddings[a.index()],
+            &self.embeddings[b.index()],
+            self.blend,
+        );
+        cos.max(0.0)
+    }
+}
+
+impl SimilarityProvider for ContextualSimilarity {
+    fn similarity(&self, context: &Subset, a: PhotoId, b: PhotoId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let vis = self.visual(context, a, b);
+        match (&self.exif, self.exif_weight) {
+            (Some(exif), g) if g > 0.0 => {
+                let ctx_sim = 1.0 - exif[a.index()].context_distance(&exif[b.index()]);
+                (1.0 - g) * vis + g * ctx_sim
+            }
+            _ => vis,
+        }
+    }
+}
+
+/// The non-contextual provider backing the Greedy-NCS baseline: plain global
+/// cosine (clamped to `[0, 1]`), identical in every context.
+#[derive(Debug, Clone)]
+pub struct NonContextualSimilarity {
+    /// Global embeddings indexed by [`PhotoId`].
+    pub embeddings: Vec<Embedding>,
+}
+
+impl SimilarityProvider for NonContextualSimilarity {
+    fn similarity(&self, _context: &Subset, a: PhotoId, b: PhotoId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        self.embeddings[a.index()]
+            .cosine(&self.embeddings[b.index()])
+            .max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::SpecEmbedder;
+    use crate::image::ImageSpec;
+    use par_core::SubsetId;
+
+    fn subset(id: u32, members: Vec<PhotoId>) -> Subset {
+        let n = members.len();
+        Subset {
+            id: SubsetId(id),
+            label: format!("q{id}"),
+            weight: 1.0,
+            members,
+            relevance: vec![1.0 / n as f64; n],
+        }
+    }
+
+    fn embeddings() -> Vec<Embedding> {
+        let emb = SpecEmbedder::new(32, 11);
+        vec![
+            emb.embed(&ImageSpec::new(1, [0.5; 4], 1)),
+            emb.embed(&ImageSpec::new(1, [0.52, 0.5, 0.5, 0.5], 2)),
+            emb.embed(&ImageSpec::new(8, [0.5; 4], 3)),
+        ]
+    }
+
+    #[test]
+    fn similarity_is_contextual() {
+        let ctxs = vec![
+            ContextVector::from_label(32, "red shirts"),
+            ContextVector::from_label(32, "office chairs"),
+        ];
+        let sim = ContextualSimilarity::new(embeddings(), ctxs);
+        let q0 = subset(0, vec![PhotoId(0), PhotoId(1)]);
+        let q1 = subset(1, vec![PhotoId(0), PhotoId(1)]);
+        let s0 = sim.similarity(&q0, PhotoId(0), PhotoId(1));
+        let s1 = sim.similarity(&q1, PhotoId(0), PhotoId(1));
+        assert!((0.0..=1.0).contains(&s0));
+        assert_ne!(s0, s1, "different contexts must give different scores");
+    }
+
+    #[test]
+    fn self_similarity_is_one_and_symmetric() {
+        let ctxs = vec![ContextVector::from_seed(32, 5)];
+        let sim = ContextualSimilarity::new(embeddings(), ctxs);
+        let q = subset(0, vec![PhotoId(0), PhotoId(1), PhotoId(2)]);
+        assert_eq!(sim.similarity(&q, PhotoId(1), PhotoId(1)), 1.0);
+        let ab = sim.similarity(&q, PhotoId(0), PhotoId(2));
+        let ba = sim.similarity(&q, PhotoId(2), PhotoId(0));
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_category_scores_higher() {
+        let ctxs = vec![ContextVector::from_seed(32, 5)];
+        let sim = ContextualSimilarity::new(embeddings(), ctxs);
+        let q = subset(0, vec![PhotoId(0), PhotoId(1), PhotoId(2)]);
+        let same = sim.similarity(&q, PhotoId(0), PhotoId(1));
+        let cross = sim.similarity(&q, PhotoId(0), PhotoId(2));
+        assert!(same > cross, "same {same} vs cross {cross}");
+    }
+
+    #[test]
+    fn uniform_context_equals_global_cosine() {
+        let embs = embeddings();
+        let ctxs = vec![ContextVector::uniform(32)];
+        let mut sim = ContextualSimilarity::new(embs.clone(), ctxs);
+        sim.blend = 0.0;
+        let q = subset(0, vec![PhotoId(0), PhotoId(1)]);
+        let ctx_sim = sim.similarity(&q, PhotoId(0), PhotoId(1));
+        let global = embs[0].cosine(&embs[1]).max(0.0);
+        assert!((ctx_sim - global).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blend_one_disables_contextualization() {
+        let embs = embeddings();
+        let ctxs = vec![
+            ContextVector::from_seed(32, 1),
+            ContextVector::from_seed(32, 2),
+        ];
+        let mut sim = ContextualSimilarity::new(embs, ctxs);
+        sim.blend = 1.0;
+        let q0 = subset(0, vec![PhotoId(0), PhotoId(1)]);
+        let q1 = subset(1, vec![PhotoId(0), PhotoId(1)]);
+        let s0 = sim.similarity(&q0, PhotoId(0), PhotoId(1));
+        let s1 = sim.similarity(&q1, PhotoId(0), PhotoId(1));
+        assert!((s0 - s1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exif_mixing_shifts_similarity() {
+        let embs = embeddings();
+        let ctxs = vec![ContextVector::from_seed(32, 3)];
+        let exif = vec![
+            ExifData::synthesize(1, 1),
+            ExifData::synthesize(1, 2), // same event as photo 0
+            ExifData::synthesize(99, 3),
+        ];
+        let plain = ContextualSimilarity::new(embs.clone(), ctxs.clone());
+        let mixed = ContextualSimilarity::new(embs, ctxs).with_exif(exif, 0.5);
+        let q = subset(0, vec![PhotoId(0), PhotoId(1), PhotoId(2)]);
+        let p_same = plain.similarity(&q, PhotoId(0), PhotoId(1));
+        let m_same = mixed.similarity(&q, PhotoId(0), PhotoId(1));
+        // Same-event EXIF (distance ≈ 0) pulls the similarity up.
+        assert!(m_same >= p_same * 0.5, "mixing collapsed the similarity");
+        let m_cross = mixed.similarity(&q, PhotoId(0), PhotoId(2));
+        assert!(m_same > m_cross);
+    }
+
+    #[test]
+    fn contextual_cosine_matches_materialized_embeddings() {
+        let embs = embeddings();
+        let ctx = ContextVector::from_seed(32, 8);
+        let direct = ctx.contextual_cosine(&embs[0], &embs[1], 0.3);
+        let via_embed = ctx
+            .contextual_embedding(&embs[0], 0.3)
+            .cosine(&ctx.contextual_embedding(&embs[1], 0.3));
+        assert!((direct - via_embed).abs() < 1e-5);
+    }
+
+    #[test]
+    fn non_contextual_is_context_free() {
+        let sim = NonContextualSimilarity {
+            embeddings: embeddings(),
+        };
+        let q0 = subset(0, vec![PhotoId(0), PhotoId(1)]);
+        let q1 = subset(1, vec![PhotoId(0), PhotoId(1)]);
+        assert_eq!(
+            sim.similarity(&q0, PhotoId(0), PhotoId(1)),
+            sim.similarity(&q1, PhotoId(0), PhotoId(1))
+        );
+    }
+}

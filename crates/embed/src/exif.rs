@@ -1,0 +1,99 @@
+//! Synthesized EXIF-like metadata.
+//!
+//! The Sinha-et-al. photolog distance the paper builds on combines visual
+//! content with *context* attributes read from EXIF: capture time,
+//! geolocation, and camera. This module synthesizes plausible metadata
+//! (deterministic per seed) and provides the normalized context distance
+//! used by [`crate::contextual`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// EXIF-like metadata for a synthetic photo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExifData {
+    /// Capture time as a Unix timestamp (seconds).
+    pub timestamp: i64,
+    /// Latitude in degrees.
+    pub latitude: f64,
+    /// Longitude in degrees.
+    pub longitude: f64,
+    /// Camera model identifier.
+    pub camera: u16,
+}
+
+/// Time window (seconds) within which two photos count as "same event".
+pub const EVENT_WINDOW_SECS: f64 = 6.0 * 3600.0;
+
+/// Geographic radius (degrees, ~100km) for "same place".
+pub const PLACE_RADIUS_DEG: f64 = 1.0;
+
+impl ExifData {
+    /// Synthesizes metadata for a photo: photos sharing an `event_seed`
+    /// cluster in time and space (same shoot/trip), with per-photo jitter.
+    pub fn synthesize(event_seed: u64, photo_seed: u64) -> ExifData {
+        let mut event_rng = StdRng::seed_from_u64(event_seed);
+        // Event anchor: some time in 2015–2023, somewhere on land-ish.
+        let anchor_ts: i64 = 1_420_070_400 + event_rng.gen_range(0..252_460_800);
+        let anchor_lat: f64 = event_rng.gen_range(-60.0..70.0);
+        let anchor_lon: f64 = event_rng.gen_range(-180.0..180.0);
+        let camera: u16 = event_rng.gen_range(0..32);
+
+        let mut photo_rng = StdRng::seed_from_u64(photo_seed ^ event_seed.rotate_left(17));
+        ExifData {
+            timestamp: anchor_ts + photo_rng.gen_range(-7200..7200),
+            latitude: anchor_lat + photo_rng.gen_range(-0.05..0.05),
+            longitude: anchor_lon + photo_rng.gen_range(-0.05..0.05),
+            camera,
+        }
+    }
+
+    /// Normalized context distance in `[0, 1]`: a weighted mix of temporal
+    /// distance (saturating at [`EVENT_WINDOW_SECS`]), geographic distance
+    /// (saturating at [`PLACE_RADIUS_DEG`]), and camera mismatch.
+    pub fn context_distance(&self, other: &ExifData) -> f64 {
+        let dt = ((self.timestamp - other.timestamp).abs() as f64 / EVENT_WINDOW_SECS).min(1.0);
+        let dlat = self.latitude - other.latitude;
+        let dlon = self.longitude - other.longitude;
+        let dgeo = ((dlat * dlat + dlon * dlon).sqrt() / PLACE_RADIUS_DEG).min(1.0);
+        let dcam = if self.camera == other.camera {
+            0.0
+        } else {
+            1.0
+        };
+        0.5 * dt + 0.4 * dgeo + 0.1 * dcam
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_event_photos_are_close() {
+        let a = ExifData::synthesize(100, 1);
+        let b = ExifData::synthesize(100, 2);
+        let c = ExifData::synthesize(999, 3);
+        let d_same = a.context_distance(&b);
+        let d_cross = a.context_distance(&c);
+        assert!(d_same < 0.5, "same-event distance {d_same}");
+        assert!(d_cross > d_same, "cross {d_cross} vs same {d_same}");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        let a = ExifData::synthesize(5, 1);
+        let b = ExifData::synthesize(7, 2);
+        let d1 = a.context_distance(&b);
+        let d2 = b.context_distance(&a);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&d1));
+        assert_eq!(a.context_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        assert_eq!(ExifData::synthesize(3, 4), ExifData::synthesize(3, 4));
+        assert_ne!(ExifData::synthesize(3, 4), ExifData::synthesize(3, 5));
+    }
+}

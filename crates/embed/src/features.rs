@@ -1,0 +1,222 @@
+//! Feature extraction over rendered images: HSV color histograms and
+//! gradient-orientation descriptors (a SIFT-lite), the "standard methods"
+//! the paper cites for deriving similarity attributes.
+
+use crate::image::Image;
+
+/// A plain feature vector.
+pub type FeatureVector = Vec<f32>;
+
+/// Number of hue × value bins in the color histogram.
+pub const COLOR_BINS: usize = 12 * 4;
+
+/// Number of orientation bins per spatial cell in the gradient descriptor.
+pub const ORIENT_BINS: usize = 8;
+
+/// Spatial grid (cells per side) for gradient descriptors.
+pub const GRID: usize = 4;
+
+/// L1-normalized hue×value histogram (12 hue bins × 4 value bins).
+///
+/// Saturation gates the hue contribution so that near-gray pixels land in
+/// the value-only bins, mirroring standard color descriptors.
+pub fn color_histogram(img: &Image) -> FeatureVector {
+    let mut hist = vec![0.0f32; COLOR_BINS];
+    for &[r, g, b] in &img.pixels {
+        let (h, s, v) = rgb_to_hsv(r, g, b);
+        let vbin = ((v * 3.999) as usize).min(3);
+        if s > 0.2 {
+            let hbin = ((h / 30.0) as usize).min(11);
+            hist[hbin * 4 + vbin] += 1.0;
+        } else {
+            // Achromatic: spread across all hue bins of this value level so
+            // gray images still have mass.
+            for hbin in 0..12 {
+                hist[hbin * 4 + vbin] += 1.0 / 12.0;
+            }
+        }
+    }
+    l1_normalize(&mut hist);
+    hist
+}
+
+/// Grid of gradient-orientation histograms over the luma channel
+/// (`GRID²` cells × `ORIENT_BINS` orientations), L2-normalized per cell —
+/// the HOG/SIFT-style "visual words" input.
+pub fn gradient_descriptors(img: &Image) -> FeatureVector {
+    let mut desc = vec![0.0f32; GRID * GRID * ORIENT_BINS];
+    if img.width < 3 || img.height < 3 {
+        return desc;
+    }
+    for y in 1..img.height - 1 {
+        for x in 1..img.width - 1 {
+            let gx = img.luma(x + 1, y) - img.luma(x - 1, y);
+            let gy = img.luma(x, y + 1) - img.luma(x, y - 1);
+            let mag = (gx * gx + gy * gy).sqrt();
+            if mag < 1e-3 {
+                continue;
+            }
+            let angle = gy.atan2(gx); // [-π, π]
+            let bin = (((angle + std::f32::consts::PI) / (2.0 * std::f32::consts::PI)
+                * ORIENT_BINS as f32) as usize)
+                .min(ORIENT_BINS - 1);
+            let cx = (x * GRID / img.width).min(GRID - 1);
+            let cy = (y * GRID / img.height).min(GRID - 1);
+            desc[(cy * GRID + cx) * ORIENT_BINS + bin] += mag;
+        }
+    }
+    // Per-cell L2 normalization (illumination invariance).
+    for cell in desc.chunks_mut(ORIENT_BINS) {
+        let norm: f32 = cell.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > 1e-6 {
+            for v in cell {
+                *v /= norm;
+            }
+        }
+    }
+    desc
+}
+
+/// Concatenated color + gradient feature vector for an image.
+pub fn full_features(img: &Image) -> FeatureVector {
+    let mut f = color_histogram(img);
+    f.extend(gradient_descriptors(img));
+    f
+}
+
+fn l1_normalize(v: &mut [f32]) {
+    let sum: f32 = v.iter().sum();
+    if sum > 1e-9 {
+        for x in v {
+            *x /= sum;
+        }
+    }
+}
+
+/// RGB → HSV with h in degrees, s/v in `[0,1]`.
+pub fn rgb_to_hsv(r: u8, g: u8, b: u8) -> (f32, f32, f32) {
+    let r = r as f32 / 255.0;
+    let g = g as f32 / 255.0;
+    let b = b as f32 / 255.0;
+    let max = r.max(g).max(b);
+    let min = r.min(g).min(b);
+    let delta = max - min;
+    let h = if delta < 1e-6 {
+        0.0
+    } else if max == r {
+        60.0 * (((g - b) / delta).rem_euclid(6.0))
+    } else if max == g {
+        60.0 * ((b - r) / delta + 2.0)
+    } else {
+        60.0 * ((r - g) / delta + 4.0)
+    };
+    let s = if max < 1e-6 { 0.0 } else { delta / max };
+    (h, s, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{Image, ImageSpec};
+
+    fn flat(color: [u8; 3]) -> Image {
+        Image {
+            width: 16,
+            height: 16,
+            pixels: vec![color; 256],
+        }
+    }
+
+    #[test]
+    fn color_histogram_sums_to_one() {
+        let img = Image::render(&ImageSpec::new(4, [0.3; 4], 11), 32, 32);
+        let h = color_histogram(&img);
+        let sum: f32 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert_eq!(h.len(), COLOR_BINS);
+    }
+
+    #[test]
+    fn red_image_peaks_in_red_bin() {
+        let h = color_histogram(&flat([255, 0, 0]));
+        // Hue 0 → bin 0, value 1.0 → vbin 3.
+        let peak = h
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 3, "peak bin {peak}");
+    }
+
+    #[test]
+    fn flat_image_has_zero_gradients() {
+        let d = gradient_descriptors(&flat([100, 100, 100]));
+        assert!(d.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn vertical_edge_produces_horizontal_gradients() {
+        // Left half dark, right half bright: gradient along +x (angle ≈ 0).
+        let mut pixels = vec![[0u8, 0, 0]; 256];
+        for y in 0..16 {
+            for x in 8..16 {
+                pixels[y * 16 + x] = [255, 255, 255];
+            }
+        }
+        let img = Image {
+            width: 16,
+            height: 16,
+            pixels,
+        };
+        let d = gradient_descriptors(&img);
+        // Angle 0 falls in bin ORIENT_BINS/2 (since bins cover [-π, π]).
+        let mid_bin = ORIENT_BINS / 2;
+        let mass_mid: f32 = (0..GRID * GRID).map(|c| d[c * ORIENT_BINS + mid_bin]).sum();
+        let mass_other: f32 = d.iter().sum::<f32>() - mass_mid;
+        assert!(
+            mass_mid > mass_other,
+            "mid {mass_mid} vs other {mass_other}"
+        );
+    }
+
+    #[test]
+    fn same_category_features_are_closer_than_cross_category() {
+        let a1 = full_features(&Image::render(
+            &ImageSpec::new(5, [0.4, 0.5, 0.5, 0.5], 1),
+            32,
+            32,
+        ));
+        let a2 = full_features(&Image::render(
+            &ImageSpec::new(5, [0.45, 0.5, 0.5, 0.5], 2),
+            32,
+            32,
+        ));
+        let b = full_features(&Image::render(
+            &ImageSpec::new(12, [0.4, 0.5, 0.5, 0.5], 3),
+            32,
+            32,
+        ));
+        let d_same = l2(&a1, &a2);
+        let d_cross = l2(&a1, &b);
+        assert!(d_same < d_cross, "same {d_same} vs cross {d_cross}");
+    }
+
+    fn l2(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    #[test]
+    fn rgb_hsv_roundtrip_hues() {
+        let (h, s, v) = rgb_to_hsv(255, 0, 0);
+        assert!((h - 0.0).abs() < 1e-3 && s > 0.99 && v > 0.99);
+        let (h, _, _) = rgb_to_hsv(0, 255, 0);
+        assert!((h - 120.0).abs() < 1e-3);
+        let (h, _, _) = rgb_to_hsv(0, 0, 255);
+        assert!((h - 240.0).abs() < 1e-3);
+    }
+}

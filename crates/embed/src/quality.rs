@@ -1,0 +1,192 @@
+//! No-reference image quality assessment.
+//!
+//! Example 5.1 computes the relevance `R` "based both on the quality of the
+//! image (using ML model …) and the relevance score of the product". This
+//! module provides the quality half with classical no-reference metrics over
+//! the raster:
+//!
+//! * **sharpness** — mean gradient magnitude of the luma channel (blurry
+//!   photos score low);
+//! * **exposure** — penalizes clipped/crushed luma histograms and rewards
+//!   mid-range balance;
+//! * **noise** — high-frequency residual energy after a 3×3 box smoothing
+//!   (sensor noise scores *against* quality).
+//!
+//! The [`QualityScore::overall`] combination lands in `[0, 1]` and is used
+//! by the e-commerce generator to modulate retrieval-score relevance.
+
+use crate::image::Image;
+
+/// Component scores and their combination, all in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityScore {
+    /// Gradient-energy sharpness (higher = crisper).
+    pub sharpness: f64,
+    /// Histogram-balance exposure (higher = better exposed).
+    pub exposure: f64,
+    /// Noise penalty already inverted: higher = cleaner.
+    pub cleanliness: f64,
+    /// Weighted combination.
+    pub overall: f64,
+}
+
+/// Assesses an image with the classical no-reference metrics.
+pub fn assess(img: &Image) -> QualityScore {
+    let sharpness = sharpness(img);
+    let exposure = exposure(img);
+    let cleanliness = cleanliness(img);
+    let overall = (0.45 * sharpness + 0.35 * exposure + 0.2 * cleanliness).clamp(0.0, 1.0);
+    QualityScore {
+        sharpness,
+        exposure,
+        cleanliness,
+        overall,
+    }
+}
+
+/// Mean luma gradient magnitude, squashed to `[0, 1]`.
+fn sharpness(img: &Image) -> f64 {
+    if img.width < 2 || img.height < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    let mut count = 0u64;
+    for y in 0..img.height - 1 {
+        for x in 0..img.width - 1 {
+            let gx = (img.luma(x + 1, y) - img.luma(x, y)).abs() as f64;
+            let gy = (img.luma(x, y + 1) - img.luma(x, y)).abs() as f64;
+            total += gx + gy;
+            count += 1;
+        }
+    }
+    let mean = total / count as f64;
+    // ~15 luma levels of mean gradient ≈ a crisp product shot.
+    (mean / 15.0).min(1.0)
+}
+
+/// Exposure balance: fraction of pixels neither crushed (< 16) nor clipped
+/// (> 239), times a mid-tone-coverage factor.
+fn exposure(img: &Image) -> f64 {
+    let mut usable = 0u64;
+    let mut mid = 0u64;
+    let total = (img.width * img.height) as u64;
+    for y in 0..img.height {
+        for x in 0..img.width {
+            let l = img.luma(x, y);
+            if (16.0..=239.0).contains(&l) {
+                usable += 1;
+            }
+            if (64.0..=191.0).contains(&l) {
+                mid += 1;
+            }
+        }
+    }
+    let usable_frac = usable as f64 / total as f64;
+    let mid_frac = mid as f64 / total as f64;
+    (0.7 * usable_frac + 0.3 * (mid_frac * 2.0).min(1.0)).clamp(0.0, 1.0)
+}
+
+/// Inverted noise estimate: 1 − squashed high-frequency residual after a
+/// 3×3 box filter.
+fn cleanliness(img: &Image) -> f64 {
+    if img.width < 3 || img.height < 3 {
+        return 1.0;
+    }
+    let mut residual = 0.0f64;
+    let mut count = 0u64;
+    for y in 1..img.height - 1 {
+        for x in 1..img.width - 1 {
+            let mut sum = 0.0f32;
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    sum += img.luma((x as i32 + dx) as usize, (y as i32 + dy) as usize);
+                }
+            }
+            let smooth = sum / 9.0;
+            residual += (img.luma(x, y) - smooth).abs() as f64;
+            count += 1;
+        }
+    }
+    let mean = residual / count as f64;
+    // Box-residual also reacts to real edges, so normalize leniently:
+    // ~12 levels of residual ⇒ fully "noisy".
+    (1.0 - mean / 12.0).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{Image, ImageSpec};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn flat(l: u8) -> Image {
+        Image {
+            width: 24,
+            height: 24,
+            pixels: vec![[l, l, l]; 24 * 24],
+        }
+    }
+
+    #[test]
+    fn flat_gray_is_unsharp_but_clean() {
+        let q = assess(&flat(128));
+        assert_eq!(q.sharpness, 0.0);
+        assert_eq!(q.cleanliness, 1.0);
+        assert!(q.exposure > 0.9, "mid-gray is well exposed: {}", q.exposure);
+    }
+
+    #[test]
+    fn clipped_images_score_poor_exposure() {
+        let white = assess(&flat(255));
+        let black = assess(&flat(2));
+        let mid = assess(&flat(128));
+        assert!(white.exposure < 0.2);
+        assert!(black.exposure < 0.2);
+        assert!(mid.exposure > white.exposure);
+        assert!(mid.exposure > black.exposure);
+    }
+
+    #[test]
+    fn rendered_images_beat_degenerate_ones() {
+        let good = assess(&Image::render(&ImageSpec::new(3, [0.5; 4], 7), 32, 32));
+        let blank = assess(&flat(250));
+        assert!(
+            good.overall > blank.overall,
+            "{} vs {}",
+            good.overall,
+            blank.overall
+        );
+        assert!((0.0..=1.0).contains(&good.overall));
+    }
+
+    #[test]
+    fn noise_lowers_cleanliness() {
+        let clean = flat(128);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut noisy = clean.clone();
+        for px in &mut noisy.pixels {
+            for c in px.iter_mut() {
+                *c = (*c as i16 + rng.gen_range(-40..=40)).clamp(0, 255) as u8;
+            }
+        }
+        let q_clean = assess(&clean);
+        let q_noisy = assess(&noisy);
+        assert!(q_noisy.cleanliness < q_clean.cleanliness);
+    }
+
+    #[test]
+    fn sharp_edges_raise_sharpness() {
+        // Checkerboard = maximal gradients.
+        let mut img = flat(0);
+        for y in 0..24 {
+            for x in 0..24 {
+                if (x + y) % 2 == 0 {
+                    img.pixels[y * 24 + x] = [255, 255, 255];
+                }
+            }
+        }
+        let q = assess(&img);
+        assert!(q.sharpness > 0.9, "checkerboard sharpness {}", q.sharpness);
+    }
+}

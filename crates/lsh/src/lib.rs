@@ -1,0 +1,124 @@
+//! # par-lsh — SimHash locality-sensitive hashing
+//!
+//! Implements the randomized sparsification front-end of Section 4.3: instead
+//! of computing all `Θ(|q|²)` pairwise cosine similarities per context, hash
+//! each embedding a constant number of times with random hyperplanes
+//! (SimHash, Charikar 2002) and only verify pairs whose signatures collide in
+//! at least one band. With parameters tuned by the [`planner`], this finds —
+//! with probability arbitrarily close to 1 — almost all pairs of cosine
+//! similarity at least `τ` in roughly linear time.
+//!
+//! * [`simhash`] — random-hyperplane signatures and Hamming/cosine estimates;
+//! * [`tables`] — banded multi-table index producing candidate pairs;
+//! * [`planner`] — chooses (rows per band, number of bands) to hit a target
+//!   recall at threshold `τ`;
+//! * [`similar_pairs`] — the end-to-end convenience pipeline: plan → hash →
+//!   bucket → verify with exact cosine.
+
+#![warn(missing_docs)]
+
+pub mod planner;
+pub mod simhash;
+pub mod tables;
+
+pub use planner::{plan, LshPlan};
+
+pub use simhash::{cosine, Signature, SimHasher};
+pub use tables::LshIndex;
+
+/// Finds (almost) all pairs of vectors with cosine similarity at least `tau`.
+///
+/// Plans the band structure for the given `target_recall`, hashes all
+/// vectors, collects banded candidate pairs, and verifies each candidate with
+/// an exact cosine computation. Returns `(i, j, cosine)` triples with
+/// `i < j` and `cosine ≥ tau`.
+///
+/// Runtime is `O(n · bits)` hashing plus candidate verification — near-linear
+/// when the similarity graph is sparse, versus `Θ(n²)` for exhaustive
+/// comparison.
+pub fn similar_pairs(
+    vectors: &[impl AsRef<[f32]>],
+    tau: f64,
+    target_recall: f64,
+    seed: u64,
+) -> Vec<(u32, u32, f64)> {
+    similar_pairs_with_plan(vectors, tau, plan(tau, target_recall), seed)
+}
+
+/// [`similar_pairs`] with an explicit banding plan.
+///
+/// Use this when the planner's strict recall target would demand more
+/// signature bits than the application wants to pay for — candidates are
+/// verified exactly either way, so a cheaper plan only *misses* marginal
+/// pairs, it never admits false ones.
+pub fn similar_pairs_with_plan(
+    vectors: &[impl AsRef<[f32]>],
+    tau: f64,
+    plan: LshPlan,
+    seed: u64,
+) -> Vec<(u32, u32, f64)> {
+    if vectors.is_empty() {
+        return Vec::new();
+    }
+    let dim = vectors[0].as_ref().len();
+    let hasher = SimHasher::new(dim, plan.total_bits(), seed);
+    let signatures: Vec<Signature> = vectors.iter().map(|v| hasher.sign(v.as_ref())).collect();
+    let index = LshIndex::build(&signatures, plan.rows, plan.bands);
+    let mut out = Vec::new();
+    index.for_candidate_pairs(|i, j| {
+        let c = cosine(vectors[i as usize].as_ref(), vectors[j as usize].as_ref());
+        if c >= tau {
+            out.push((i, j, c));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(angle: f32) -> Vec<f32> {
+        vec![angle.cos(), angle.sin(), 0.0, 0.0]
+    }
+
+    #[test]
+    fn similar_pairs_finds_close_vectors() {
+        // Three tight clusters on the unit circle.
+        let mut vecs = Vec::new();
+        for c in 0..3 {
+            let base = c as f32 * 2.0;
+            for k in 0..5 {
+                vecs.push(unit(base + 0.02 * k as f32));
+            }
+        }
+        let pairs = similar_pairs(&vecs, 0.95, 0.95, 42);
+        // All within-cluster pairs have cosine ≈ 1; expect ≥ 90% of the 30.
+        let within = pairs.iter().filter(|&&(i, j, _)| i / 5 == j / 5).count();
+        assert!(
+            within >= 27,
+            "found only {within} of 30 within-cluster pairs"
+        );
+        // No cross-cluster pair passes the τ=0.95 verification.
+        assert!(pairs.iter().all(|&(i, j, _)| i / 5 == j / 5));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<Vec<f32>> = Vec::new();
+        assert!(similar_pairs(&v, 0.9, 0.9, 1).is_empty());
+    }
+
+    #[test]
+    fn verification_filters_false_positives() {
+        // Orthogonal vectors can collide in a band but never pass cosine ≥ τ.
+        let vecs = vec![
+            vec![1.0f32, 0.0],
+            vec![0.0, 1.0],
+            vec![-1.0, 0.0],
+            vec![0.0, -1.0],
+        ];
+        let pairs = similar_pairs(&vecs, 0.9, 0.99, 7);
+        assert!(pairs.is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Parameter planning for banded SimHash.
+//!
+//! With `r` rows per band and `b` bands, a pair whose per-bit collision
+//! probability is `p = 1 − θ/π` (where `θ = arccos(sim)`) becomes a
+//! candidate with probability `1 − (1 − pʳ)ᵇ`. The planner picks the
+//! cheapest `(r, b)` whose detection probability at the threshold `τ`
+//! meets a target recall, while keeping the false-candidate rate for
+//! clearly-dissimilar pairs low.
+
+/// A banding plan: `rows` bits per band × `bands` bands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LshPlan {
+    /// Bits per band (AND construction).
+    pub rows: usize,
+    /// Number of bands (OR construction).
+    pub bands: usize,
+}
+
+impl LshPlan {
+    /// Total signature bits required.
+    pub fn total_bits(&self) -> usize {
+        self.rows * self.bands
+    }
+
+    /// Probability that a pair with cosine similarity `sim` becomes a
+    /// candidate under this plan.
+    pub fn detection_probability(&self, sim: f64) -> f64 {
+        let p = collision_probability(sim);
+        1.0 - (1.0 - p.powi(self.rows as i32)).powi(self.bands as i32)
+    }
+}
+
+/// Per-bit collision probability of a pair with cosine similarity `sim`:
+/// `1 − arccos(sim)/π`.
+pub fn collision_probability(sim: f64) -> f64 {
+    1.0 - sim.clamp(-1.0, 1.0).acos() / std::f64::consts::PI
+}
+
+/// Chooses the cheapest plan achieving `target_recall` at threshold `tau`
+/// while keeping the candidate rate for clearly-dissimilar pairs low.
+///
+/// Scans `rows ∈ 1..=24`; for each, takes the smallest number of bands
+/// meeting the recall at `tau`, then requires the detection probability at
+/// the *background* similarity `max(0, τ − 0.3)` to stay below 50% (more
+/// rows sharpen the S-curve; more bands flatten it). Among feasible plans the
+/// fewest total bits wins; if none is feasible the plan with the lowest
+/// background detection rate is returned.
+pub fn plan(tau: f64, target_recall: f64) -> LshPlan {
+    assert!(
+        (0.0..1.0).contains(&target_recall) || target_recall == 1.0,
+        "recall must be in (0,1]"
+    );
+    assert!((-1.0..=1.0).contains(&tau), "tau must be a cosine value");
+    let p = collision_probability(tau);
+    let background = (tau - 0.3).max(0.0);
+    const MAX_BACKGROUND_RATE: f64 = 0.5;
+
+    let mut best: Option<LshPlan> = None;
+    let mut fallback: Option<(f64, LshPlan)> = None;
+    for rows in 1..=24usize {
+        let pr = p.powi(rows as i32);
+        if pr <= 0.0 {
+            break;
+        }
+        // Solve 1 − (1 − pʳ)ᵇ ≥ recall  ⇒  b ≥ ln(1−recall)/ln(1−pʳ).
+        let bands = if target_recall >= 1.0 {
+            // Recall exactly 1 is impossible; use a very high target.
+            (f64::ln(1e-6) / f64::ln(1.0 - pr)).ceil() as usize
+        } else {
+            (f64::ln(1.0 - target_recall) / f64::ln(1.0 - pr)).ceil() as usize
+        }
+        .max(1);
+        if bands > 256 {
+            continue;
+        }
+        let cand = LshPlan { rows, bands };
+        let bg_rate = cand.detection_probability(background);
+        match &mut fallback {
+            Some((rate, plan)) if bg_rate < *rate => {
+                *rate = bg_rate;
+                *plan = cand;
+            }
+            None => fallback = Some((bg_rate, cand)),
+            _ => {}
+        }
+        if bg_rate > MAX_BACKGROUND_RATE {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some(b) => {
+                cand.total_bits() < b.total_bits()
+                    || (cand.total_bits() == b.total_bits() && cand.rows > b.rows)
+            }
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+    best.or(fallback.map(|(_, p)| p))
+        .unwrap_or(LshPlan { rows: 4, bands: 32 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collision_probability_endpoints() {
+        assert!((collision_probability(1.0) - 1.0).abs() < 1e-12);
+        assert!((collision_probability(-1.0)).abs() < 1e-12);
+        assert!((collision_probability(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_meets_recall_at_threshold() {
+        for tau in [0.5, 0.7, 0.9] {
+            for recall in [0.8, 0.9, 0.95] {
+                let p = plan(tau, recall);
+                let d = p.detection_probability(tau);
+                assert!(
+                    d >= recall - 1e-9,
+                    "plan {p:?} detects {d} < {recall} at τ={tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detection_is_monotone_in_similarity() {
+        let p = plan(0.8, 0.9);
+        let d_low = p.detection_probability(0.3);
+        let d_mid = p.detection_probability(0.6);
+        let d_high = p.detection_probability(0.9);
+        assert!(d_low <= d_mid && d_mid <= d_high);
+    }
+
+    #[test]
+    fn plans_filter_dissimilar_pairs() {
+        // At τ=0.9 with decent recall, pairs at sim 0.2 should rarely be
+        // candidates (this is what makes LSH sub-quadratic).
+        let p = plan(0.9, 0.9);
+        assert!(p.rows >= 2, "plan {p:?} has no AND construction");
+        let fp = p.detection_probability(0.2);
+        assert!(fp < 0.6, "false-candidate rate {fp} too high for {p:?}");
+    }
+
+    #[test]
+    fn total_bits_is_rows_times_bands() {
+        let p = LshPlan { rows: 8, bands: 16 };
+        assert_eq!(p.total_bits(), 128);
+    }
+}

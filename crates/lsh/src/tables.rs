@@ -1,0 +1,168 @@
+//! Banded LSH tables: bucket signatures band by band and emit candidate
+//! pairs that collide in at least one band.
+
+use crate::simhash::Signature;
+use std::collections::HashMap;
+
+/// A banded index over a set of signatures.
+///
+/// Band `k` uses signature bits `[k·rows, (k+1)·rows)`. Two items are
+/// *candidates* if they share a bucket in any band. `for_candidate_pairs`
+/// deduplicates pairs across bands.
+#[derive(Debug)]
+pub struct LshIndex {
+    /// Per band: bucket key → item indices.
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+    num_items: usize,
+}
+
+impl LshIndex {
+    /// Builds the index. Signatures must have at least `rows · bands` bits.
+    pub fn build(signatures: &[Signature], rows: usize, bands: usize) -> Self {
+        assert!((1..=64).contains(&rows), "rows must fit a u64 band key");
+        if let Some(s) = signatures.first() {
+            assert!(
+                s.len() >= rows * bands,
+                "signatures too short: {} < {}",
+                s.len(),
+                rows * bands
+            );
+        }
+        let mut tables: Vec<HashMap<u64, Vec<u32>>> = vec![HashMap::new(); bands];
+        for (i, sig) in signatures.iter().enumerate() {
+            for (k, table) in tables.iter_mut().enumerate() {
+                let key = sig.band_key(k * rows, rows);
+                table.entry(key).or_default().push(i as u32);
+            }
+        }
+        LshIndex {
+            tables,
+            num_items: signatures.len(),
+        }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.num_items
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.num_items == 0
+    }
+
+    /// Calls `f(i, j)` (with `i < j`) once for every candidate pair.
+    ///
+    /// Pairs colliding in several bands are deduplicated by collecting the
+    /// packed keys and sort-deduping — substantially faster than hashing
+    /// each occurrence when buckets are large.
+    pub fn for_candidate_pairs(&self, mut f: impl FnMut(u32, u32)) {
+        let mut keys: Vec<u64> = Vec::new();
+        for table in &self.tables {
+            for bucket in table.values() {
+                if bucket.len() < 2 {
+                    continue;
+                }
+                for (a_pos, &a) in bucket.iter().enumerate() {
+                    for &b in &bucket[a_pos + 1..] {
+                        let (i, j) = if a < b { (a, b) } else { (b, a) };
+                        keys.push(((i as u64) << 32) | j as u64);
+                    }
+                }
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        for k in keys {
+            f((k >> 32) as u32, k as u32);
+        }
+    }
+
+    /// Total number of candidate pairs (after deduplication).
+    pub fn num_candidate_pairs(&self) -> usize {
+        let mut n = 0;
+        self.for_candidate_pairs(|_, _| n += 1);
+        n
+    }
+
+    /// The largest bucket size across all bands — a skew diagnostic: huge
+    /// buckets degrade LSH toward quadratic behavior.
+    pub fn max_bucket(&self) -> usize {
+        self.tables
+            .iter()
+            .flat_map(|t| t.values())
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simhash::SimHasher;
+
+    fn cluster_vectors() -> Vec<Vec<f32>> {
+        // Two well-separated clusters of 4.
+        let mut v = Vec::new();
+        for k in 0..4 {
+            v.push(vec![1.0, 0.01 * k as f32, 0.0]);
+        }
+        for k in 0..4 {
+            v.push(vec![-0.01 * k as f32, 0.0, 1.0]);
+        }
+        v
+    }
+
+    #[test]
+    fn within_cluster_pairs_are_candidates() {
+        let vecs = cluster_vectors();
+        let h = SimHasher::new(3, 64, 5);
+        let sigs: Vec<_> = vecs.iter().map(|v| h.sign(v)).collect();
+        let idx = LshIndex::build(&sigs, 4, 16);
+        let mut candidates = std::collections::HashSet::new();
+        idx.for_candidate_pairs(|i, j| {
+            candidates.insert((i, j));
+        });
+        // Each cluster has 6 internal pairs; nearly-identical vectors share
+        // nearly-identical signatures, so all must be candidates.
+        for c in 0..2u32 {
+            for a in 0..4u32 {
+                for b in (a + 1)..4 {
+                    let pair = (c * 4 + a, c * 4 + b);
+                    assert!(candidates.contains(&pair), "missing pair {pair:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_are_deduplicated() {
+        let vecs = [vec![1.0f32, 0.0], vec![1.0, 0.0]];
+        let h = SimHasher::new(2, 64, 6);
+        let sigs: Vec<_> = vecs.iter().map(|v| h.sign(v)).collect();
+        // Identical vectors collide in every band; pair must appear once.
+        let idx = LshIndex::build(&sigs, 4, 16);
+        assert_eq!(idx.num_candidate_pairs(), 1);
+    }
+
+    #[test]
+    fn empty_index() {
+        let sigs: Vec<Signature> = Vec::new();
+        let idx = LshIndex::build(&sigs, 4, 8);
+        assert!(idx.is_empty());
+        assert_eq!(idx.num_candidate_pairs(), 0);
+        assert_eq!(idx.max_bucket(), 0);
+    }
+
+    #[test]
+    fn max_bucket_reports_skew() {
+        let vecs: Vec<Vec<f32>> = std::iter::repeat_with(|| vec![1.0f32, 0.0])
+            .take(10)
+            .collect();
+        let h = SimHasher::new(2, 64, 8);
+        let sigs: Vec<_> = vecs.iter().map(|v| h.sign(v)).collect();
+        let idx = LshIndex::build(&sigs, 4, 16);
+        assert_eq!(idx.max_bucket(), 10);
+    }
+}

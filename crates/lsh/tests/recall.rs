@@ -1,0 +1,105 @@
+//! Statistical property tests: the banded index's empirical recall matches
+//! the planner's detection-probability prediction.
+
+use par_lsh::{cosine, similar_pairs, LshPlan, SimHasher};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Clustered unit vectors: `clusters` centers, `per` members each, with
+/// angular jitter controlling intra-cluster similarity.
+fn clustered(clusters: usize, per: usize, jitter: f32, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for _ in 0..clusters {
+        let center: Vec<f32> = (0..dim).map(|_| rng.gen::<f32>() - 0.5).collect();
+        for _ in 0..per {
+            let v: Vec<f32> = center
+                .iter()
+                .map(|&c| c + jitter * (rng.gen::<f32>() - 0.5))
+                .collect();
+            out.push(v);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn empirical_recall_meets_planned_recall(seed in 0u64..1000) {
+        let tau = 0.9;
+        let target = 0.9;
+        let vectors = clustered(6, 8, 0.25, 16, seed);
+        // Ground truth: all pairs with cosine ≥ τ.
+        let mut truth = 0usize;
+        for i in 0..vectors.len() {
+            for j in 0..i {
+                if cosine(&vectors[i], &vectors[j]) >= tau {
+                    truth += 1;
+                }
+            }
+        }
+        prop_assume!(truth >= 10); // need enough positives to measure recall
+        let found = similar_pairs(&vectors, tau, target, seed ^ 0xF00).len();
+        let recall = found as f64 / truth as f64;
+        // The plan guarantees `target` in expectation; allow sampling slack.
+        prop_assert!(
+            recall >= target - 0.15,
+            "recall {recall:.2} ({found}/{truth}) below planned {target}"
+        );
+    }
+
+    #[test]
+    fn hamming_estimate_is_unbiased(seed in 0u64..1000) {
+        // Mean signed error of the SimHash cosine estimate over random pairs
+        // should be near zero with enough bits.
+        let hasher = SimHasher::new(12, 1024, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE57);
+        let mut err_sum = 0.0f64;
+        let trials = 20;
+        for _ in 0..trials {
+            let a: Vec<f32> = (0..12).map(|_| rng.gen::<f32>() - 0.5).collect();
+            let b: Vec<f32> = (0..12).map(|_| rng.gen::<f32>() - 0.5).collect();
+            let exact = cosine(&a, &b);
+            let est = hasher.estimate_cosine(&hasher.sign(&a), &hasher.sign(&b));
+            err_sum += est - exact;
+        }
+        let bias = err_sum / trials as f64;
+        prop_assert!(bias.abs() < 0.08, "estimator bias {bias:.3}");
+    }
+}
+
+#[test]
+fn detection_probability_matches_monte_carlo() {
+    // Simulate banding on pairs at a known similarity and compare the hit
+    // rate with LshPlan::detection_probability.
+    let plan = LshPlan { rows: 6, bands: 12 };
+    let sim: f64 = 0.8;
+    let angle = sim.acos();
+    let hasher = SimHasher::new(2, plan.total_bits(), 7);
+    let mut rng = StdRng::seed_from_u64(9);
+    let trials = 400;
+    let mut hits = 0;
+    for _ in 0..trials {
+        // A random pair at exactly `angle` apart in 2D.
+        let theta: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+        let a = vec![theta.cos() as f32, theta.sin() as f32];
+        let b = vec![(theta + angle).cos() as f32, (theta + angle).sin() as f32];
+        let sa = hasher.sign(&a);
+        let sb = hasher.sign(&b);
+        let collide = (0..plan.bands).any(|k| {
+            sa.band_key(k * plan.rows, plan.rows) == sb.band_key(k * plan.rows, plan.rows)
+        });
+        if collide {
+            hits += 1;
+        }
+    }
+    let empirical = hits as f64 / trials as f64;
+    let predicted = plan.detection_probability(sim);
+    assert!(
+        (empirical - predicted).abs() < 0.12,
+        "empirical {empirical:.2} vs predicted {predicted:.2}"
+    );
+}

@@ -1,0 +1,296 @@
+//! The PHOcus command-line interface.
+//!
+//! ```text
+//! phocus demo                          # the paper's Figure 1 worked example
+//! phocus table2 [--full]               # Table 2 dataset statistics
+//! phocus solve --dataset p1k --budget-mb 10 [--tau 0.6] [--ns] [--seed 42]
+//! phocus suite --dataset ec-fashion --budget-mb 100 [--seed 42]
+//! ```
+
+use par_core::fixtures::figure1_instance;
+use par_datasets::{
+    generate_ecommerce, generate_openimages, EcConfig, EcDomain, OpenImagesConfig, PublicScale,
+    Universe,
+};
+use phocus::{
+    render_report, representation::RepresentationConfig, representation::Sparsification, run_suite,
+    Phocus, PhocusConfig, SuiteConfig,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "demo" => cmd_demo(),
+        "table2" => cmd_table2(rest),
+        "solve" => cmd_solve(rest),
+        "suite" => cmd_suite(rest),
+        "compress" => cmd_compress(rest),
+        "export" => cmd_export(rest),
+        "plan" => cmd_plan(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+PHOcus — efficiently archiving photos under storage constraints
+
+USAGE:
+  phocus demo
+  phocus table2 [--full] [--seed N]
+  phocus solve --dataset <NAME> --budget-mb <MB> [--tau T] [--ns] [--seed N] [--out FILE]
+  phocus suite --dataset <NAME> --budget-mb <MB> [--tau T] [--seed N]
+  phocus compress --dataset <NAME> --budget-mb <MB> [--seed N]
+  phocus export --dataset <NAME> --out <FILE> [--seed N]
+  phocus plan --dataset <NAME> --target <FRACTION> [--seed N]
+
+DATASETS: p1k p5k p10k p50k p100k ec-fashion ec-electronics ec-home file:<path>
+  (EC datasets use the scaled-down generator; pass --paper-scale for full size)";
+
+fn flag(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+fn opt(rest: &[String], name: &str) -> Option<String> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1).cloned())
+}
+
+fn parse<T: std::str::FromStr>(rest: &[String], name: &str, default: T) -> Result<T, String> {
+    match opt(rest, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {name}: {v}")),
+    }
+}
+
+fn load_dataset(name: &str, seed: u64, paper_scale: bool) -> Result<Universe, String> {
+    if let Some(path) = name.strip_prefix("file:") {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        return par_datasets::from_text(&text).map_err(|e| e.to_string());
+    }
+    let scale = |s: PublicScale| generate_openimages(&s.config(seed));
+    let ec = |d: EcDomain| {
+        generate_ecommerce(&if paper_scale {
+            EcConfig::paper(d, seed)
+        } else {
+            EcConfig::small(d, seed)
+        })
+    };
+    Ok(match name {
+        "p1k" => scale(PublicScale::P1K),
+        "p5k" => scale(PublicScale::P5K),
+        "p10k" => scale(PublicScale::P10K),
+        "p50k" => scale(PublicScale::P50K),
+        "p100k" => scale(PublicScale::P100K),
+        "ec-fashion" => ec(EcDomain::Fashion),
+        "ec-electronics" => ec(EcDomain::Electronics),
+        "ec-home" => ec(EcDomain::HomeGarden),
+        "tiny" => generate_openimages(&OpenImagesConfig {
+            name: "tiny".into(),
+            photos: 200,
+            target_subsets: 40,
+            seed,
+            ..Default::default()
+        }),
+        other => return Err(format!("unknown dataset `{other}`")),
+    })
+}
+
+fn cmd_demo() -> Result<(), String> {
+    println!("Figure 1 worked example (7 photos, 4 pre-defined subsets)\n");
+    let inst = figure1_instance(4 * par_core::fixtures::MB);
+    let report = Phocus::default().solve_instance(&inst, std::time::Duration::ZERO);
+    print!("{}", render_report(&inst, &report));
+    println!("\nselection order:");
+    for (step, p) in report.selected.iter().enumerate() {
+        let photo = inst.photo(*p);
+        println!(
+            "  step {}: p{} ({:.1} MB)",
+            step + 1,
+            p.0 + 1,
+            photo.cost as f64 / 1e6
+        );
+    }
+    Ok(())
+}
+
+fn cmd_table2(rest: &[String]) -> Result<(), String> {
+    let full = flag(rest, "--full");
+    let seed = parse(rest, "--seed", 42u64)?;
+    let rows = par_datasets::table2_rows(full, seed);
+    println!(
+        "{:<20} {:>12} {:>12} {:>14} {:>14}",
+        "Dataset", "paper #P", "paper #Q", "measured #P", "measured #Q"
+    );
+    for r in rows {
+        println!(
+            "{:<20} {:>12} {:>12} {:>14} {:>14}",
+            r.name, r.paper_photos, r.paper_subsets, r.measured_photos, r.measured_subsets
+        );
+    }
+    if !full {
+        println!("\n(scaled-down generation; pass --full for paper-sized datasets)");
+    }
+    Ok(())
+}
+
+fn cmd_solve(rest: &[String]) -> Result<(), String> {
+    let dataset = opt(rest, "--dataset").ok_or("missing --dataset")?;
+    let budget_mb: f64 = parse(rest, "--budget-mb", 10.0)?;
+    let tau: f64 = parse(rest, "--tau", 0.6)?;
+    let seed: u64 = parse(rest, "--seed", 42)?;
+    let universe = load_dataset(&dataset, seed, flag(rest, "--paper-scale"))?;
+    let budget = (budget_mb * 1e6) as u64;
+
+    let representation = if flag(rest, "--ns") {
+        RepresentationConfig::phocus_ns()
+    } else {
+        RepresentationConfig {
+            sparsification: Sparsification::Lsh {
+                tau,
+                target_recall: 0.95,
+                seed,
+            },
+            ..Default::default()
+        }
+    };
+    let solver = Phocus::new(PhocusConfig {
+        representation: representation.clone(),
+        certify_sparsification: !flag(rest, "--ns"),
+    });
+    println!(
+        "dataset {} — {} photos, {} subsets, archive {:.1} MB",
+        universe.name,
+        universe.num_photos(),
+        universe.num_subsets(),
+        universe.total_cost() as f64 / 1e6
+    );
+    let report = solver.solve(&universe, budget).map_err(|e| e.to_string())?;
+    let inst = phocus::represent(&universe, budget, &representation).map_err(|e| e.to_string())?;
+    print!("{}", render_report(&inst, &report));
+    if let Some(out) = opt(rest, "--out") {
+        // One retained photo per line: id, byte cost, name.
+        let mut text = String::new();
+        for &p in &report.selected {
+            let photo = inst.photo(p);
+            text.push_str(&format!("{}\t{}\t{}\n", p.0, photo.cost, photo.name));
+        }
+        std::fs::write(&out, text).map_err(|e| e.to_string())?;
+        println!("wrote retained set to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_compress(rest: &[String]) -> Result<(), String> {
+    let dataset = opt(rest, "--dataset").ok_or("missing --dataset")?;
+    let budget_mb: f64 = parse(rest, "--budget-mb", 2.0)?;
+    let seed: u64 = parse(rest, "--seed", 42)?;
+    let universe = load_dataset(&dataset, seed, flag(rest, "--paper-scale"))?;
+    let budget = (budget_mb * 1e6) as u64;
+    println!(
+        "dataset {} — {} photos ({:.1} MB), budget {:.1} MB",
+        universe.name,
+        universe.num_photos(),
+        universe.total_cost() as f64 / 1e6,
+        budget as f64 / 1e6
+    );
+    let cmp = phocus::compare_remove_vs_compress(
+        &universe,
+        budget,
+        &phocus::DEFAULT_LADDER,
+        &phocus::RepresentationConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!("remove-only quality:        {:.2}", cmp.remove_only);
+    println!(
+        "compression-aware quality:  {:.2} ({:+.1}%)",
+        cmp.with_compression,
+        100.0 * (cmp.with_compression / cmp.remove_only - 1.0)
+    );
+    println!(
+        "retained: {} full-quality photos + {} compressed renditions",
+        cmp.kept_original, cmp.kept_compressed
+    );
+    Ok(())
+}
+
+fn cmd_export(rest: &[String]) -> Result<(), String> {
+    let dataset = opt(rest, "--dataset").ok_or("missing --dataset")?;
+    let out = opt(rest, "--out").ok_or("missing --out")?;
+    let seed: u64 = parse(rest, "--seed", 42)?;
+    let universe = load_dataset(&dataset, seed, flag(rest, "--paper-scale"))?;
+    std::fs::write(&out, par_datasets::to_text(&universe)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} photos, {} subsets)",
+        out,
+        universe.num_photos(),
+        universe.num_subsets()
+    );
+    Ok(())
+}
+
+fn cmd_plan(rest: &[String]) -> Result<(), String> {
+    let dataset = opt(rest, "--dataset").ok_or("missing --dataset")?;
+    let target: f64 = parse(rest, "--target", 0.9)?;
+    let seed: u64 = parse(rest, "--seed", 42)?;
+    let universe = load_dataset(&dataset, seed, flag(rest, "--paper-scale"))?;
+    let tolerance = (universe.total_cost() / 200).max(1);
+    let plan = phocus::minimal_budget(
+        &universe,
+        target,
+        &RepresentationConfig::default(),
+        tolerance,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "dataset {} — archive {:.1} MB",
+        universe.name,
+        universe.total_cost() as f64 / 1e6
+    );
+    println!(
+        "to keep {:.0}% of quality you need ≈ {:.2} MB ({:.1}% of the archive); \
+         achieved {:.1}% there ({} solver probes)",
+        100.0 * target,
+        plan.budget as f64 / 1e6,
+        100.0 * plan.budget_fraction,
+        100.0 * plan.achieved_fraction,
+        plan.probes
+    );
+    Ok(())
+}
+
+fn cmd_suite(rest: &[String]) -> Result<(), String> {
+    let dataset = opt(rest, "--dataset").ok_or("missing --dataset")?;
+    let budget_mb: f64 = parse(rest, "--budget-mb", 10.0)?;
+    let tau: f64 = parse(rest, "--tau", 0.6)?;
+    let seed: u64 = parse(rest, "--seed", 42)?;
+    let universe = load_dataset(&dataset, seed, flag(rest, "--paper-scale"))?;
+    let budget = (budget_mb * 1e6) as u64;
+    let cfg = SuiteConfig {
+        tau,
+        rand_seed: seed,
+        ..Default::default()
+    };
+    let result = run_suite(&universe, budget, &cfg).map_err(|e| e.to_string())?;
+    print!("{}", phocus::report::render_suite(&result));
+    Ok(())
+}

@@ -1,0 +1,471 @@
+//! Compression-aware archival — the paper's future-work extension (§6):
+//! *"consider which photos to compress (i.e., to sacrifice quality to gain
+//! space) rather than to remove. We believe that our model can already
+//! capture this problem."*
+//!
+//! It can, and this module shows how: each photo is expanded into a set of
+//! *variants* — the original plus one or more recompressed renditions with
+//! smaller cost and degraded quality. A variant joins its parent's subsets
+//! as a selectable *representative*, not as content to be represented: its
+//! own relevance is an ε (renditions we invent create no demand), while its
+//! similarity to any photo is the parent's scaled by the rendition's
+//! quality factor — in particular a variant covers its own parent at
+//! `SIM = quality`, not 1. No mutual-exclusion constraint is needed: once
+//! the original is selected a variant's coverage is dominated
+//! (`quality·SIM ≤ SIM`), so by submodularity the greedy never wastes budget
+//! stacking variants of one photo — `tests` verify this, along with the
+//! headline effect: at tight budgets the solver trades full-quality
+//! originals for cheap renditions and ends up with *higher* total quality
+//! than remove-only archival.
+
+use crate::representation::{represent, RepresentationConfig};
+use par_core::{Instance, PhotoId, Result};
+use par_datasets::{SubsetDef, Universe};
+
+/// One compression rendition: retained size fraction and quality factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionLevel {
+    /// Fraction of the original byte cost this rendition occupies, in
+    /// `(0, 1)`.
+    pub size_fraction: f64,
+    /// Quality factor in `(0, 1)`: how well the rendition stands in for the
+    /// original (scales relevance and similarity).
+    pub quality: f64,
+}
+
+/// A sensible default ladder: a strong recompression and a thumbnail.
+pub const DEFAULT_LADDER: [CompressionLevel; 2] = [
+    CompressionLevel {
+        size_fraction: 0.35,
+        quality: 0.85,
+    },
+    CompressionLevel {
+        size_fraction: 0.10,
+        quality: 0.55,
+    },
+];
+
+/// Maps variant indices back to original photos.
+#[derive(Debug, Clone)]
+pub struct VariantMap {
+    /// `parent[i]` = index of variant `i`'s original photo in the source
+    /// universe (originals map to themselves).
+    pub parent: Vec<u32>,
+    /// `level[i]` = `None` for originals, `Some(k)` for ladder level `k`.
+    pub level: Vec<Option<usize>>,
+}
+
+impl VariantMap {
+    /// Whether variant `i` is an unmodified original.
+    pub fn is_original(&self, i: usize) -> bool {
+        self.level[i].is_none()
+    }
+}
+
+/// Expands every photo of `universe` with the given compression ladder.
+///
+/// Original photos keep their indices (`0..n`); variants are appended. Each
+/// variant joins every subset its parent belongs to, with relevance scaled
+/// by its quality. Policy-required photos are *not* expanded into cheaper
+/// variants: policy requires the original.
+pub fn expand_with_variants(
+    universe: &Universe,
+    ladder: &[CompressionLevel],
+) -> (Universe, VariantMap) {
+    let n = universe.num_photos();
+    let mut names = universe.names.clone();
+    let mut costs = universe.costs.clone();
+    let mut embeddings = universe.embeddings.clone();
+    let mut exif = universe.exif.clone();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut level: Vec<Option<usize>> = vec![None; n];
+    let required: std::collections::HashSet<u32> = universe.required.iter().copied().collect();
+
+    // variant_of[p][k] = index of photo p's level-k variant.
+    let mut variant_of: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for p in 0..n {
+        if required.contains(&(p as u32)) {
+            continue;
+        }
+        for (k, lvl) in ladder.iter().enumerate() {
+            assert!(
+                lvl.size_fraction > 0.0 && lvl.size_fraction < 1.0,
+                "size fraction must be in (0,1)"
+            );
+            assert!(
+                lvl.quality > 0.0 && lvl.quality < 1.0,
+                "quality must be in (0,1)"
+            );
+            let idx = names.len() as u32;
+            names.push(format!("{}@q{}", universe.names[p], k));
+            costs.push(
+                ((universe.costs[p] as f64) * lvl.size_fraction)
+                    .ceil()
+                    .max(1.0) as u64,
+            );
+            // The rendition depicts the same content: same embedding. Its
+            // degraded fidelity enters through scaled relevance/similarity,
+            // not through a perturbed embedding.
+            embeddings.push(universe.embeddings[p].clone());
+            if let Some(e) = &mut exif {
+                e.push(e[p].clone());
+            }
+            parent.push(p as u32);
+            level.push(Some(k));
+            variant_of[p].push(idx);
+        }
+    }
+
+    // Subsets: each variant joins its parent's subsets as a selectable
+    // representative. Its own demand is an ε of the parent's relevance —
+    // strictly positive (the model requires it) but negligible, so inventing
+    // renditions does not dilute the real content's relevance mass.
+    const VARIANT_DEMAND_EPS: f64 = 1e-6;
+    let subsets = universe
+        .subsets
+        .iter()
+        .map(|s| {
+            let mut members = s.members.clone();
+            let mut relevance = s.relevance.clone();
+            for (&m, &r) in s.members.iter().zip(&s.relevance) {
+                for &v in &variant_of[m as usize] {
+                    members.push(v);
+                    relevance.push(r * VARIANT_DEMAND_EPS);
+                }
+            }
+            SubsetDef {
+                label: s.label.clone(),
+                weight: s.weight,
+                members,
+                relevance,
+            }
+        })
+        .collect();
+
+    let expanded = Universe {
+        name: format!("{}+compress", universe.name),
+        names,
+        costs,
+        embeddings,
+        exif,
+        subsets,
+        required: universe.required.clone(),
+    };
+    expanded
+        .validate()
+        .expect("expanded universe remains valid");
+    (expanded, VariantMap { parent, level })
+}
+
+/// Represents an expanded universe with a similarity that scales each pair
+/// by the quality factors of the variants involved: for variants `a, b` of
+/// parents `A, B` at qualities `qa, qb`,
+/// `SIM(q, a, b) = qa · qb · SIM_base(q, A, B)` (with `SIM(a, a) = 1` as the
+/// model requires — a retained variant represents itself perfectly, but
+/// represents its *parent* only at `qa`).
+pub fn represent_with_variants(
+    expanded: &Universe,
+    map: &VariantMap,
+    ladder: &[CompressionLevel],
+    budget: u64,
+    cfg: &RepresentationConfig,
+) -> Result<Instance> {
+    // Build the instance on the expanded universe (embeddings equal within a
+    // variant family, so base contextual similarity is the parent's), then
+    // rescale stored similarities by quality factors.
+    let inst = represent(expanded, budget, cfg)?;
+    let quality = |i: usize| -> f64 {
+        match map.level[i] {
+            None => 1.0,
+            Some(k) => ladder[k].quality,
+        }
+    };
+    let mut sims = Vec::with_capacity(inst.num_subsets());
+    for q in inst.subsets() {
+        let store = inst.sim(q.id);
+        let n = q.members.len();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            store.for_neighbors(i, |j, s| {
+                if j < i {
+                    return; // each unordered pair once
+                }
+                let a = q.members[i].index();
+                let b = q.members[j].index();
+                let scaled = s * quality(a) * quality(b);
+                if scaled > 0.0 {
+                    pairs.push((i as u32, j as u32, scaled));
+                }
+            });
+        }
+        sims.push(par_core::ContextSim::Sparse(
+            par_core::SparseSim::from_pairs(q.id, n, pairs)?,
+        ));
+    }
+    Ok(inst.with_sims(sims))
+}
+
+/// Drops superseded renditions from a selection and greedily refills the
+/// freed budget.
+///
+/// The monotone greedy never *removes*, so when a cheap rendition selected
+/// early is later upgraded (by a better rendition or the original of the
+/// same photo), its bytes stay stranded in the solution. This repair pass
+/// removes every selected variant dominated by a selected same-parent
+/// variant of higher quality (the original dominates all), then resumes the
+/// cost-benefit lazy greedy with the recovered budget. Monotonicity
+/// guarantees the result never scores worse than the input selection minus
+/// the ε-demand of the pruned renditions.
+pub fn prune_and_refill(
+    inst: &Instance,
+    map: &VariantMap,
+    ladder: &[CompressionLevel],
+    selected: &[PhotoId],
+) -> Vec<PhotoId> {
+    let prune = |sel: &[PhotoId]| -> Vec<PhotoId> {
+        let quality = |i: usize| -> f64 {
+            match map.level[i] {
+                None => 1.0,
+                Some(k) => ladder[k].quality,
+            }
+        };
+        let mut best: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        for &p in sel {
+            let parent = map.parent[p.index()];
+            let q = quality(p.index());
+            let entry = best.entry(parent).or_insert(0.0);
+            if q > *entry {
+                *entry = q;
+            }
+        }
+        sel.iter()
+            .copied()
+            .filter(|&p| quality(p.index()) >= best[&map.parent[p.index()]])
+            .collect()
+    };
+    let kept = prune(selected);
+    let refilled =
+        par_algo::lazy_greedy_from(inst, &kept, par_algo::GreedyRule::CostBenefit).selected;
+    // Algorithm 2 fills the budget even with near-zero gains, which can
+    // re-introduce dominated renditions as filler; a final prune leaves
+    // that budget unused instead of stored as junk.
+    prune(&refilled)
+}
+
+/// Outcome of the remove-vs-compress comparison.
+#[derive(Debug, Clone)]
+pub struct CompressionComparison {
+    /// Quality of the remove-only solution (original model).
+    pub remove_only: f64,
+    /// Quality of the compression-aware solution, measured on the expanded
+    /// instance.
+    pub with_compression: f64,
+    /// Photos kept at full quality / as compressed variants.
+    pub kept_original: usize,
+    /// Number of compressed renditions retained.
+    pub kept_compressed: usize,
+}
+
+/// Runs the future-work experiment: same universe, same budget, with and
+/// without the compression ladder.
+pub fn compare_remove_vs_compress(
+    universe: &Universe,
+    budget: u64,
+    ladder: &[CompressionLevel],
+    cfg: &RepresentationConfig,
+) -> Result<CompressionComparison> {
+    let base = represent(universe, budget, cfg)?;
+    let remove_only = par_algo::main_algorithm(&base).best.score;
+
+    let (expanded, map) = expand_with_variants(universe, ladder);
+    let inst = represent_with_variants(&expanded, &map, ladder, budget, cfg)?;
+    let out = par_algo::main_algorithm(&inst);
+    let repaired = prune_and_refill(&inst, &map, ladder, &out.best.selected);
+    let score = par_core::exact_score(&inst, &repaired);
+    let mut kept_original = 0;
+    let mut kept_compressed = 0;
+    for &p in &repaired {
+        if map.is_original(p.index()) {
+            kept_original += 1;
+        } else {
+            kept_compressed += 1;
+        }
+    }
+    Ok(CompressionComparison {
+        remove_only,
+        with_compression: score.max(out.best.score),
+        kept_original,
+        kept_compressed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use par_core::{Evaluator, Solution};
+    use par_datasets::{generate_openimages, OpenImagesConfig};
+
+    fn universe() -> Universe {
+        generate_openimages(&OpenImagesConfig {
+            name: "cmp".into(),
+            photos: 120,
+            target_subsets: 25,
+            seed: 55,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn expansion_shape() {
+        let u = universe();
+        let (x, map) = expand_with_variants(&u, &DEFAULT_LADDER);
+        assert_eq!(x.num_photos(), 120 * 3);
+        assert_eq!(map.parent.len(), 360);
+        assert!(map.is_original(0));
+        assert!(!map.is_original(120));
+        // Variant costs are fractions of the parent's.
+        let p = map.parent[121] as usize;
+        assert!(x.costs[121] < u.costs[p]);
+        // Variants join their parent's subsets.
+        assert!(x.subsets[0].members.len() > u.subsets[0].members.len());
+    }
+
+    #[test]
+    fn required_photos_are_not_expanded() {
+        let mut u = universe();
+        u.required = vec![0, 1];
+        let (x, map) = expand_with_variants(&u, &DEFAULT_LADDER);
+        for (i, &p) in map.parent.iter().enumerate() {
+            if !map.is_original(i) {
+                assert!(p != 0 && p != 1, "required photo {p} got a variant");
+            }
+        }
+        assert_eq!(x.required, vec![0, 1]);
+    }
+
+    #[test]
+    fn compression_never_hurts_and_usually_helps_tight_budgets() {
+        let u = universe();
+        let budget = u.total_cost() / 12; // tight: compression should shine
+        let cmp = compare_remove_vs_compress(
+            &u,
+            budget,
+            &DEFAULT_LADDER,
+            &RepresentationConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            cmp.with_compression >= cmp.remove_only - 1e-9,
+            "compression made things worse: {} < {}",
+            cmp.with_compression,
+            cmp.remove_only
+        );
+        assert!(
+            cmp.kept_compressed > 0,
+            "ladder never used at a tight budget"
+        );
+        assert!(
+            cmp.with_compression > 1.02 * cmp.remove_only,
+            "expected a visible gain: {} vs {}",
+            cmp.with_compression,
+            cmp.remove_only
+        );
+    }
+
+    #[test]
+    fn greedy_does_not_keep_variants_alongside_originals() {
+        // After the original is selected, any variant's coverage is fully
+        // dominated (quality·SIM ≤ SIM), so original+variant pairs must not
+        // occur. Two *compressed* renditions of one photo can legitimately
+        // co-exist as an upgrade path (the thumbnail selected early, a
+        // better rendition later) — a modeling artifact of PAR's lack of an
+        // exclusivity constraint, documented in EXPERIMENTS.md.
+        let u = universe();
+        let budget = u.total_cost() / 12;
+        let (x, map) = expand_with_variants(&u, &DEFAULT_LADDER);
+        let inst = represent_with_variants(
+            &x,
+            &map,
+            &DEFAULT_LADDER,
+            budget,
+            &RepresentationConfig::default(),
+        )
+        .unwrap();
+        let out = par_algo::main_algorithm(&inst);
+        let repaired = prune_and_refill(&inst, &map, &DEFAULT_LADDER, &out.best.selected);
+        // The repair pass never lowers the true objective (beyond the
+        // pruned renditions' own ε-demand).
+        let before = par_core::exact_score(&inst, &out.best.selected);
+        let after = par_core::exact_score(&inst, &repaired);
+        assert!(
+            after >= before - 1e-3,
+            "repair lost quality: {after} < {before}"
+        );
+        let mut kept_original = std::collections::HashSet::new();
+        let mut kept_variant_parents = Vec::new();
+        for &p in &repaired {
+            if map.is_original(p.index()) {
+                kept_original.insert(map.parent[p.index()]);
+            } else {
+                kept_variant_parents.push(map.parent[p.index()]);
+            }
+        }
+        let redundant = kept_variant_parents
+            .iter()
+            .filter(|p| kept_original.contains(p))
+            .count();
+        assert_eq!(
+            redundant, 0,
+            "{redundant} variants kept alongside their full-quality original"
+        );
+    }
+
+    #[test]
+    fn variant_gain_is_dominated_after_original() {
+        let u = universe();
+        let (x, map) = expand_with_variants(&u, &DEFAULT_LADDER);
+        let inst = represent_with_variants(
+            &x,
+            &map,
+            &DEFAULT_LADDER,
+            x.total_cost(),
+            &RepresentationConfig::default(),
+        )
+        .unwrap();
+        let mut ev = Evaluator::new(&inst);
+        // Pick a parent with variants: photo 0 (not required).
+        let parent = par_core::PhotoId(0);
+        let variant = par_core::PhotoId(
+            map.parent
+                .iter()
+                .enumerate()
+                .position(|(i, &p)| p == 0 && !map.is_original(i))
+                .unwrap() as u32,
+        );
+        let gain_variant_alone = ev.gain(variant);
+        ev.add(parent);
+        let gain_variant_after = ev.gain(variant);
+        assert!(gain_variant_after <= gain_variant_alone + 1e-9);
+        // After the original, the variant only covers *itself* (its own
+        // membership entries), which carry its scaled relevance.
+        assert!(gain_variant_after < 0.5 * gain_variant_alone + 1e-9);
+    }
+
+    #[test]
+    fn expanded_solutions_remain_feasible() {
+        let u = universe();
+        let budget = u.total_cost() / 10;
+        let (x, map) = expand_with_variants(&u, &DEFAULT_LADDER);
+        let inst = represent_with_variants(
+            &x,
+            &map,
+            &DEFAULT_LADDER,
+            budget,
+            &RepresentationConfig::default(),
+        )
+        .unwrap();
+        let out = par_algo::main_algorithm(&inst);
+        let sol = Solution::new(&inst, out.best.selected).unwrap();
+        assert!(sol.cost() <= budget);
+    }
+}

@@ -1,0 +1,39 @@
+//! # phocus — the end-to-end photo-archival system
+//!
+//! PHOcus (Figure 4 of the paper) consists of two modules behind a user
+//! interface:
+//!
+//! * the **Data Representation Module** ([`representation`]) prepares the PAR
+//!   input: it normalizes relevance scores, derives contextualized
+//!   similarities from embeddings (optionally mixing EXIF context distances
+//!   and applying per-context distance normalization), and materializes the
+//!   similarity stores — dense all-pairs for PHOcus-NS, or τ-sparsified via
+//!   SimHash LSH for PHOcus;
+//! * the **Solver** ([`solver`]) runs the two-rule CELF lazy greedy
+//!   (Algorithm 1) on the represented instance and reports the retained set
+//!   together with a-posteriori quality certificates (online bound,
+//!   Theorem 4.8 sparsification bound).
+//!
+//! [`suite`] orchestrates PHOcus against every baseline of Section 5.2 under
+//! a common true-objective evaluation — the engine behind the experiment
+//! harness in `par-bench`. The `phocus` binary exposes all of it on the
+//! command line.
+
+#![warn(missing_docs)]
+
+pub mod compression;
+pub mod planner;
+pub mod report;
+pub mod representation;
+pub mod solver;
+pub mod suite;
+
+pub use compression::{
+    compare_remove_vs_compress, expand_with_variants, prune_and_refill, represent_with_variants,
+    CompressionComparison, CompressionLevel, VariantMap, DEFAULT_LADDER,
+};
+pub use planner::{minimal_budget, BudgetPlan};
+pub use report::render_report;
+pub use representation::{non_contextual_view, represent, RepresentationConfig, Sparsification};
+pub use solver::{Phocus, PhocusConfig, PhocusReport};
+pub use suite::{run_suite, SuiteConfig, SuiteEntry, SuiteResult};

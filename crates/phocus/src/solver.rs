@@ -1,0 +1,155 @@
+//! The PHOcus Solver facade: represent → solve → certify.
+
+use crate::representation::{represent, RepresentationConfig, Sparsification};
+use par_algo::{main_algorithm, online_bound, GreedyRule, OnlineBound, RunStats};
+use par_core::{Instance, PhotoId, Result};
+use par_datasets::Universe;
+use par_sparse::{sparsification_bound, SparsificationBound};
+use std::time::{Duration, Instant};
+
+/// Configuration of a full PHOcus run.
+#[derive(Debug, Clone, Default)]
+pub struct PhocusConfig {
+    /// The representation choices (contextualization, sparsification, …).
+    pub representation: RepresentationConfig,
+    /// Compute the Theorem 4.8 certificate when sparsifying (adds a
+    /// Budgeted-Max-Coverage run over the GFL graph).
+    pub certify_sparsification: bool,
+}
+
+/// The outcome of a PHOcus run.
+#[derive(Debug, Clone)]
+pub struct PhocusReport {
+    /// Retained photos (including `S₀`), in selection order.
+    pub selected: Vec<PhotoId>,
+    /// Objective value on the selection instance.
+    pub score: f64,
+    /// Solution cost in bytes.
+    pub cost: u64,
+    /// Which greedy rule won inside Algorithm 1.
+    pub winner: GreedyRule,
+    /// Aggregated solver instrumentation (both sub-runs).
+    pub stats: RunStats,
+    /// The a-posteriori online bound on the selection instance.
+    pub online: OnlineBound,
+    /// Theorem 4.8 certificate (present when sparsifying and requested).
+    pub sparsification: Option<SparsificationBound>,
+    /// Stored similarity pairs in the represented instance.
+    pub stored_pairs: usize,
+    /// Wall-clock time of representation.
+    pub represent_time: Duration,
+    /// Wall-clock time of solving.
+    pub solve_time: Duration,
+}
+
+/// The PHOcus system: holds a configuration, solves universes.
+#[derive(Debug, Clone, Default)]
+pub struct Phocus {
+    /// The run configuration.
+    pub config: PhocusConfig,
+}
+
+impl Phocus {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: PhocusConfig) -> Self {
+        Phocus { config }
+    }
+
+    /// Represents the universe under `budget` and solves it.
+    pub fn solve(&self, universe: &Universe, budget: u64) -> Result<PhocusReport> {
+        let t0 = Instant::now();
+        let inst = represent(universe, budget, &self.config.representation)?;
+        let represent_time = t0.elapsed();
+        Ok(self.solve_instance(&inst, represent_time))
+    }
+
+    /// Solves an already-represented instance.
+    pub fn solve_instance(&self, inst: &Instance, represent_time: Duration) -> PhocusReport {
+        let t1 = Instant::now();
+        let outcome = main_algorithm(inst);
+        let solve_time = t1.elapsed();
+        let online = online_bound(inst, &outcome.best.selected);
+        let sparsification = match (
+            self.config.certify_sparsification,
+            self.config.representation.sparsification,
+        ) {
+            (true, Sparsification::Threshold { tau }) | (true, Sparsification::Lsh { tau, .. }) => {
+                Some(sparsification_bound(inst, tau))
+            }
+            _ => None,
+        };
+        PhocusReport {
+            selected: outcome.best.selected.clone(),
+            score: outcome.best.score,
+            cost: outcome.best.cost,
+            winner: outcome.winner,
+            stats: outcome.total_stats(),
+            online,
+            sparsification,
+            stored_pairs: inst.stored_pairs(),
+            represent_time,
+            solve_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use par_datasets::{generate_openimages, OpenImagesConfig};
+
+    fn universe() -> Universe {
+        generate_openimages(&OpenImagesConfig {
+            name: "S".into(),
+            photos: 150,
+            target_subsets: 30,
+            seed: 21,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn phocus_ns_solves_and_certifies() {
+        let u = universe();
+        let solver = Phocus::default();
+        let report = solver.solve(&u, u.total_cost() / 4).unwrap();
+        assert!(!report.selected.is_empty());
+        assert!(report.cost <= u.total_cost() / 4);
+        assert!(report.score > 0.0);
+        assert!(report.online.ratio > 0.3, "ratio {}", report.online.ratio);
+        assert!(report.sparsification.is_none());
+    }
+
+    #[test]
+    fn phocus_with_lsh_certificate() {
+        let u = universe();
+        let solver = Phocus::new(PhocusConfig {
+            representation: RepresentationConfig::phocus(0.6),
+            certify_sparsification: true,
+        });
+        let report = solver.solve(&u, u.total_cost() / 4).unwrap();
+        let cert = report.sparsification.expect("certificate requested");
+        assert!(cert.alpha > 0.0 && cert.factor > 0.0);
+        assert_eq!(cert.tau, 0.6);
+    }
+
+    #[test]
+    fn sparsified_run_stores_fewer_pairs() {
+        let u = universe();
+        let dense = Phocus::default().solve(&u, u.total_cost() / 4).unwrap();
+        let sparse = Phocus::new(PhocusConfig {
+            representation: RepresentationConfig::phocus(0.7),
+            certify_sparsification: false,
+        })
+        .solve(&u, u.total_cost() / 4)
+        .unwrap();
+        assert!(sparse.stored_pairs < dense.stored_pairs);
+    }
+
+    #[test]
+    fn full_budget_retains_everything() {
+        let u = universe();
+        let report = Phocus::default().solve(&u, u.total_cost()).unwrap();
+        assert_eq!(report.selected.len(), u.num_photos());
+    }
+}

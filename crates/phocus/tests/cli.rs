@@ -1,0 +1,169 @@
+//! Smoke tests for the `phocus` CLI binary.
+
+use std::process::Command;
+
+fn phocus(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_phocus"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn demo_prints_figure1_report() {
+    let out = phocus(&["demo"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Figure 1"));
+    assert!(text.contains("PHOcus run report"));
+    assert!(text.contains("selection order"));
+}
+
+#[test]
+fn table2_lists_eight_datasets() {
+    let out = phocus(&["table2"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["P-1K", "P-100K", "EC-Fashion", "EC-Home & Garden"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn solve_tiny_dataset() {
+    let out = phocus(&[
+        "solve",
+        "--dataset",
+        "tiny",
+        "--budget-mb",
+        "3",
+        "--tau",
+        "0.6",
+        "--seed",
+        "7",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("retained"));
+    assert!(text.contains("online bound"));
+    assert!(text.contains("sparsification"));
+}
+
+#[test]
+fn suite_tiny_dataset() {
+    let out = phocus(&[
+        "suite",
+        "--dataset",
+        "tiny",
+        "--budget-mb",
+        "2",
+        "--seed",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("PHOcus"));
+    assert!(text.contains("RAND-A"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = phocus(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = phocus(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn missing_dataset_argument_errors() {
+    let out = phocus(&["solve", "--budget-mb", "5"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--dataset"));
+}
+
+#[test]
+fn compress_compares_remove_vs_compress() {
+    let out = phocus(&[
+        "compress",
+        "--dataset",
+        "tiny",
+        "--budget-mb",
+        "1.5",
+        "--seed",
+        "4",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("remove-only quality"));
+    assert!(text.contains("compressed renditions"));
+}
+
+#[test]
+fn solve_writes_retained_list() {
+    let out_path = std::env::temp_dir().join("phocus_cli_retained.tsv");
+    let out = phocus(&[
+        "solve",
+        "--dataset",
+        "tiny",
+        "--budget-mb",
+        "2",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let content = std::fs::read_to_string(&out_path).unwrap();
+    assert!(!content.is_empty());
+    // Each line: id \t cost \t name.
+    let first = content.lines().next().unwrap();
+    assert_eq!(first.split('\t').count(), 3);
+    std::fs::remove_file(&out_path).ok();
+}
+
+#[test]
+fn export_then_solve_from_file() {
+    let path = std::env::temp_dir().join("phocus_cli_export.universe");
+    let out = phocus(&[
+        "export",
+        "--dataset",
+        "tiny",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = phocus(&[
+        "solve",
+        "--dataset",
+        &format!("file:{}", path.display()),
+        "--budget-mb",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&path).ok();
+}

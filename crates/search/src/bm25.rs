@@ -1,0 +1,75 @@
+//! Okapi BM25 scoring.
+
+/// BM25 hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (`k₁`).
+    pub k1: f64,
+    /// Length normalization strength (`b`).
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// Robertson–Sparck-Jones IDF with the +1 smoothing that keeps it positive:
+/// `ln(1 + (N − df + 0.5) / (df + 0.5))`.
+pub fn idf(num_docs: usize, doc_freq: usize) -> f64 {
+    let n = num_docs as f64;
+    let df = doc_freq as f64;
+    (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+}
+
+/// BM25 contribution of one term occurrence set in one document.
+pub fn score_term(tf: u32, doc_len: u32, avg_doc_len: f64, idf: f64, p: &Bm25Params) -> f64 {
+    let tf = tf as f64;
+    let norm = if avg_doc_len > 0.0 {
+        1.0 - p.b + p.b * doc_len as f64 / avg_doc_len
+    } else {
+        1.0
+    };
+    idf * tf * (p.k1 + 1.0) / (tf + p.k1 * norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idf_decreases_with_document_frequency() {
+        assert!(idf(100, 1) > idf(100, 10));
+        assert!(idf(100, 10) > idf(100, 90));
+        assert!(idf(100, 100) > 0.0, "smoothed IDF stays positive");
+    }
+
+    #[test]
+    fn tf_saturates() {
+        let p = Bm25Params::default();
+        let s1 = score_term(1, 10, 10.0, 1.0, &p);
+        let s2 = score_term(2, 10, 10.0, 1.0, &p);
+        let s10 = score_term(10, 10, 10.0, 1.0, &p);
+        assert!(s2 > s1);
+        // Diminishing returns: going 2→10 gains less per occurrence.
+        assert!((s10 - s2) / 8.0 < s2 - s1);
+        // Bounded by (k1 + 1) · idf.
+        assert!(s10 < (p.k1 + 1.0) * 1.0);
+    }
+
+    #[test]
+    fn longer_docs_are_penalized() {
+        let p = Bm25Params::default();
+        let short = score_term(1, 5, 10.0, 1.0, &p);
+        let long = score_term(1, 50, 10.0, 1.0, &p);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn zero_avg_len_is_safe() {
+        let p = Bm25Params::default();
+        let s = score_term(1, 0, 0.0, 1.0, &p);
+        assert!(s.is_finite() && s > 0.0);
+    }
+}

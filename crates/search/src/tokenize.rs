@@ -1,0 +1,63 @@
+//! Lowercasing alphanumeric tokenizer with a minimal English stopword list.
+
+/// Stopwords dropped during tokenization (query and document side alike).
+pub const STOPWORDS: [&str; 12] = [
+    "a", "an", "and", "for", "in", "of", "on", "or", "the", "to", "with", "s",
+];
+
+/// Splits text into lowercase alphanumeric tokens, dropping stopwords.
+///
+/// Runs of letters/digits form tokens; everything else separates. `"Wi-Fi
+/// Router's"` → `["wi", "fi", "router"]`.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            push_token(&mut tokens, std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        push_token(&mut tokens, current);
+    }
+    tokens
+}
+
+fn push_token(tokens: &mut Vec<String>, tok: String) {
+    if !STOPWORDS.contains(&tok.as_str()) {
+        tokens.push(tok);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_non_alphanumeric() {
+        assert_eq!(tokenize("Wi-Fi Router's"), vec!["wi", "fi", "router"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("BLACK Shoes"), vec!["black", "shoes"]);
+    }
+
+    #[test]
+    fn drops_stopwords() {
+        assert_eq!(tokenize("shoes for the men"), vec!["shoes", "men"]);
+    }
+
+    #[test]
+    fn keeps_digits() {
+        assert_eq!(tokenize("iphone 13 pro"), vec!["iphone", "13", "pro"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("—!?…").is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! # par-sparse — sparsification machinery (Section 4.3 of the paper)
+//!
+//! τ-sparsification rounds every similarity below a threshold `τ` down to 0,
+//! shrinking the neighbor lists that dominate marginal-gain evaluation. The
+//! price is bounded by Theorem 4.8, whose certificate this crate computes:
+//!
+//! 1. [`gfl`] — the Generalized Facility Location (GFL) reformulation of a
+//!    PAR instance as a weighted bipartite graph (`T_L` = photos, `T_R` =
+//!    (subset, member) pairs), with `F(S) ≡ G(S)`;
+//! 2. [`bmc`] — the Budgeted Maximum Coverage greedy of Khuller et al., run
+//!    over the τ-sparsified GFL graph to find a set `S` covering an
+//!    `α`-fraction of the total right-node weight within the budget;
+//! 3. [`bound`] — Theorem 4.8: `F(O_τ) ≥ OPT / (1 + 1/α)`, i.e. solving the
+//!    sparsified instance forfeits at most a `1/(1+α)` fraction of the
+//!    optimum.
+
+#![warn(missing_docs)]
+
+pub mod bmc;
+pub mod bound;
+pub mod gfl;
+
+pub use bmc::{budgeted_max_coverage, CoverageInstance, CoverageOutcome};
+pub use bound::{sparsification_bound, SparsificationBound};
+pub use gfl::{GflInstance, RightNode};

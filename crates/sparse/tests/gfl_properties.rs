@@ -1,0 +1,64 @@
+//! Property tests for the GFL formulation: the bipartite objective equals
+//! the PAR objective on arbitrary instances and arbitrary selections, and
+//! sparsification commutes with the conversion.
+
+use par_core::fixtures::{random_instance, RandomInstanceConfig, SplitMix64};
+use par_core::{exact_score, PhotoId};
+use par_sparse::GflInstance;
+use proptest::prelude::*;
+
+fn instance_strategy() -> impl Strategy<Value = (par_core::Instance, u64)> {
+    (any::<u64>(), 8usize..40, 3usize..10).prop_map(|(seed, photos, subsets)| {
+        let cfg = RandomInstanceConfig {
+            photos,
+            subsets,
+            subset_size: (1, photos.min(7)),
+            cost_range: (10, 300),
+            budget_fraction: 0.5,
+            required_prob: 0.0,
+        };
+        (random_instance(seed, &cfg), seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gfl_objective_equals_par_objective((inst, seed) in instance_strategy()) {
+        let gfl = GflInstance::from_instance(&inst);
+        let mut rng = SplitMix64::new(seed ^ 0x6F1);
+        let set: Vec<PhotoId> = (0..inst.num_photos() as u32)
+            .map(PhotoId)
+            .filter(|_| rng.next_f64() < 0.4)
+            .collect();
+        let g = exact_score(&inst, &set);
+        let f = gfl.score(&set);
+        prop_assert!((g - f).abs() < 1e-6, "G={g} F={f}");
+    }
+
+    #[test]
+    fn sparsify_commutes_with_gfl((inst, seed) in instance_strategy()) {
+        // GFL(sparsify(inst)) and sparsify(GFL(inst)) score identically.
+        let tau = 0.5;
+        let via_instance = GflInstance::from_instance(&inst.sparsify(tau));
+        let via_graph = GflInstance::from_instance(&inst).sparsify(tau);
+        let mut rng = SplitMix64::new(seed ^ 0x6F2);
+        let set: Vec<PhotoId> = (0..inst.num_photos() as u32)
+            .map(PhotoId)
+            .filter(|_| rng.next_f64() < 0.4)
+            .collect();
+        let a = via_instance.score(&set);
+        let b = via_graph.score(&set);
+        prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn total_right_weight_is_weight_sum((inst, _seed) in instance_strategy()) {
+        let gfl = GflInstance::from_instance(&inst);
+        prop_assert!((gfl.total_right_weight() - inst.max_score()).abs() < 1e-9);
+        // Full selection attains the total weight.
+        let all: Vec<PhotoId> = (0..inst.num_photos() as u32).map(PhotoId).collect();
+        prop_assert!((gfl.score(&all) - gfl.total_right_weight()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,144 @@
+//! The user-study command-line runner.
+//!
+//! ```text
+//! study domains   [--seed N]                      # Figures 5g/5h rows
+//! study preference [--rounds N] [--seed N]        # the 50-round test
+//! study insights  --domain <fashion|electronics|home> [--budget-mb MB]
+//! ```
+
+use par_datasets::{generate_ecommerce, EcConfig, EcDomain};
+use par_study::{domain_study, insights, preference_study, ManualAnalyst, PreferenceConfig};
+use phocus::{represent, RepresentationConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+study — the PHOcus user-study simulation
+
+USAGE:
+  study domains   [--seed N]
+  study preference [--rounds N] [--seed N]
+  study insights  --domain <fashion|electronics|home> [--budget-mb MB] [--seed N]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "domains" => cmd_domains(rest),
+        "preference" => cmd_preference(rest),
+        "insights" => cmd_insights(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn opt(rest: &[String], name: &str) -> Option<String> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1).cloned())
+}
+
+fn parse<T: std::str::FromStr>(rest: &[String], name: &str, default: T) -> Result<T, String> {
+    match opt(rest, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {name}: {v}")),
+    }
+}
+
+fn domain_of(name: &str) -> Result<EcDomain, String> {
+    match name {
+        "fashion" => Ok(EcDomain::Fashion),
+        "electronics" => Ok(EcDomain::Electronics),
+        "home" => Ok(EcDomain::HomeGarden),
+        other => Err(format!("unknown domain `{other}`")),
+    }
+}
+
+fn cmd_domains(rest: &[String]) -> Result<(), String> {
+    let seed: u64 = parse(rest, "--seed", 42)?;
+    println!(
+        "{:<18} {:>12} {:>12} {:>14} {:>14}",
+        "domain", "PHOcus qual", "manual qual", "PHOcus (min)", "manual (min)"
+    );
+    for domain in [
+        EcDomain::Electronics,
+        EcDomain::Fashion,
+        EcDomain::HomeGarden,
+    ] {
+        let u = generate_ecommerce(&EcConfig::small(domain, seed));
+        let budget = u.total_cost() / 10;
+        let row = domain_study(&u, budget, &ManualAnalyst::default()).map_err(|e| e.to_string())?;
+        println!(
+            "{:<18} {:>12.1} {:>12.1} {:>14.1} {:>14.1}",
+            row.domain,
+            row.phocus_quality,
+            row.manual_quality,
+            row.phocus_time.as_secs_f64() / 60.0,
+            row.manual_time.as_secs_f64() / 60.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_preference(rest: &[String]) -> Result<(), String> {
+    let seed: u64 = parse(rest, "--seed", 42)?;
+    let rounds: usize = parse(rest, "--rounds", 50)?;
+    println!(
+        "{:<18} {:>8} {:>12} {:>14}",
+        "domain", "PHOcus", "Greedy-NCS", "cannot decide"
+    );
+    for domain in [
+        EcDomain::Fashion,
+        EcDomain::Electronics,
+        EcDomain::HomeGarden,
+    ] {
+        let u = generate_ecommerce(&EcConfig::small(domain, seed));
+        let counts = preference_study(
+            &u,
+            &PreferenceConfig {
+                rounds,
+                seed,
+                ..Default::default()
+            },
+        );
+        println!(
+            "{:<18} {:>8} {:>12} {:>14}",
+            domain.name(),
+            counts.phocus,
+            counts.baseline,
+            counts.undecided
+        );
+    }
+    Ok(())
+}
+
+fn cmd_insights(rest: &[String]) -> Result<(), String> {
+    let domain = domain_of(&opt(rest, "--domain").ok_or("missing --domain")?)?;
+    let seed: u64 = parse(rest, "--seed", 42)?;
+    let budget_mb: f64 = parse(rest, "--budget-mb", 5.0)?;
+    let u = generate_ecommerce(&EcConfig::small(domain, seed));
+    let budget = (budget_mb * 1e6) as u64;
+    let inst =
+        represent(&u, budget, &RepresentationConfig::default()).map_err(|e| e.to_string())?;
+    println!("{}\n", par_core::InstanceStats::compute(&inst).render());
+    let solver_sel = par_algo::main_algorithm(&inst).best.selected;
+    let manual_sel = ManualAnalyst::default().select(&inst).selected;
+    let report = insights::analyze(&inst, &solver_sel, &manual_sel);
+    print!("{}", insights::render(&inst, &report, 8));
+    Ok(())
+}

@@ -1,0 +1,225 @@
+//! The "unexpected insights" analysis.
+//!
+//! The paper reports twice that the analysts "gained unexpected insights in
+//! terms of which photos to retain". This module makes that concrete: it
+//! diffs the PHOcus solution against the manual one and categorizes what the
+//! solver saw that the analyst missed — photos kept for *cross-page reuse*
+//! (one photo serving many landing pages), photos kept for *coverage by
+//! proxy* (highly similar to many non-retained co-members), and cost
+//! trades (several small photos where the analyst kept one large one).
+
+use par_core::{Instance, PhotoId};
+use std::collections::HashSet;
+
+/// One photo the solver kept that the analyst did not, with why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insight {
+    /// The photo.
+    pub photo: PhotoId,
+    /// Number of pre-defined subsets it serves.
+    pub pages_served: usize,
+    /// Total similarity mass it contributes to *other* members across its
+    /// contexts (how much it covers by proxy).
+    pub proxy_coverage: f64,
+    /// Byte cost.
+    pub cost: u64,
+}
+
+/// The diff between the PHOcus and manual selections.
+#[derive(Debug, Clone)]
+pub struct InsightReport {
+    /// Photos PHOcus kept that the analyst missed, strongest first.
+    pub solver_only: Vec<Insight>,
+    /// Photos the analyst kept that PHOcus dropped.
+    pub manual_only: Vec<Insight>,
+    /// Photos both kept.
+    pub agreed: usize,
+    /// Mean pages-served of solver-only vs manual-only picks: > 1 means the
+    /// solver's extra picks serve more landing pages (descriptive; can dip
+    /// below 1 when the analyst also spreads widely).
+    pub reuse_ratio: f64,
+    /// Mean marginal objective value (w.r.t. the agreed intersection) of
+    /// solver-only vs manual-only picks. This is the decisive metric: > 1
+    /// means the photos the solver added are genuinely worth more than the
+    /// analyst's alternatives — the "unexpected insight".
+    pub value_ratio: f64,
+}
+
+fn describe(inst: &Instance, p: PhotoId) -> Insight {
+    let mut proxy_coverage = 0.0;
+    for m in inst.memberships(p) {
+        let sim = inst.sim(m.subset);
+        sim.for_neighbors(m.local as usize, |_, s| proxy_coverage += s);
+    }
+    Insight {
+        photo: p,
+        pages_served: inst.memberships(p).len(),
+        proxy_coverage,
+        cost: inst.cost(p),
+    }
+}
+
+/// Produces the insight report for a (solver, manual) selection pair.
+pub fn analyze(inst: &Instance, solver: &[PhotoId], manual: &[PhotoId]) -> InsightReport {
+    let solver_set: HashSet<PhotoId> = solver.iter().copied().collect();
+    let manual_set: HashSet<PhotoId> = manual.iter().copied().collect();
+
+    let mut solver_only: Vec<Insight> = solver_set
+        .difference(&manual_set)
+        .map(|&p| describe(inst, p))
+        .collect();
+    let mut manual_only: Vec<Insight> = manual_set
+        .difference(&solver_set)
+        .map(|&p| describe(inst, p))
+        .collect();
+    let order = |a: &Insight, b: &Insight| {
+        (b.pages_served, b.proxy_coverage)
+            .partial_cmp(&(a.pages_served, a.proxy_coverage))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    };
+    solver_only.sort_by(order);
+    manual_only.sort_by(order);
+
+    let mean = |v: &[Insight]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().map(|i| i.pages_served as f64).sum::<f64>() / v.len() as f64
+        }
+    };
+    let mean_manual = mean(&manual_only);
+    let reuse_ratio = if mean_manual > 0.0 {
+        mean(&solver_only) / mean_manual
+    } else if solver_only.is_empty() {
+        1.0
+    } else {
+        f64::INFINITY
+    };
+
+    // Marginal value of each side's unique picks on top of the agreed core.
+    let mut base = par_core::Evaluator::new(inst);
+    for &p in solver_set.intersection(&manual_set) {
+        base.add(p);
+    }
+    let mean_gain = |picks: &[Insight]| {
+        if picks.is_empty() {
+            return 0.0;
+        }
+        picks.iter().map(|i| base.gain(i.photo)).sum::<f64>() / picks.len() as f64
+    };
+    let g_solver = mean_gain(&solver_only);
+    let g_manual = mean_gain(&manual_only);
+    let value_ratio = if g_manual > 0.0 {
+        g_solver / g_manual
+    } else if solver_only.is_empty() {
+        1.0
+    } else {
+        f64::INFINITY
+    };
+
+    InsightReport {
+        agreed: solver_set.intersection(&manual_set).count(),
+        solver_only,
+        manual_only,
+        reuse_ratio,
+        value_ratio,
+    }
+}
+
+/// Renders the top insights as human-readable lines.
+pub fn render(inst: &Instance, report: &InsightReport, top: usize) -> String {
+    let mut out = format!(
+        "agreement: {} photos; solver-only {}, manual-only {}; reuse ratio {:.2}; value ratio {:.2}\n",
+        report.agreed,
+        report.solver_only.len(),
+        report.manual_only.len(),
+        report.reuse_ratio,
+        report.value_ratio
+    );
+    out.push_str("photos the solver kept that the analyst missed:\n");
+    for i in report.solver_only.iter().take(top) {
+        out.push_str(&format!(
+            "  {} — serves {} pages, proxy coverage {:.2}, {} bytes\n",
+            inst.photo(i.photo).name,
+            i.pages_served,
+            i.proxy_coverage,
+            i.cost
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyst::ManualAnalyst;
+    use par_datasets::{generate_ecommerce, EcConfig, EcDomain};
+    use phocus::{represent, RepresentationConfig};
+
+    fn setting() -> (Instance, Vec<PhotoId>, Vec<PhotoId>) {
+        let u = generate_ecommerce(&EcConfig::small(EcDomain::Fashion, 33));
+        let budget = u.total_cost() / 10;
+        let inst = represent(&u, budget, &RepresentationConfig::default()).unwrap();
+        let solver = par_algo::main_algorithm(&inst).best.selected;
+        let manual = ManualAnalyst::default().select(&inst).selected;
+        (inst, solver, manual)
+    }
+
+    #[test]
+    fn report_partitions_the_selections() {
+        let (inst, solver, manual) = setting();
+        let report = analyze(&inst, &solver, &manual);
+        assert_eq!(
+            report.agreed + report.solver_only.len(),
+            solver.len(),
+            "solver partition"
+        );
+        assert_eq!(
+            report.agreed + report.manual_only.len(),
+            manual.len(),
+            "manual partition"
+        );
+    }
+
+    #[test]
+    fn solver_picks_are_worth_more() {
+        // The paper's insight: the photos PHOcus adds beyond the analyst's
+        // picks carry more objective value than the analyst's alternatives.
+        let (inst, solver, manual) = setting();
+        let report = analyze(&inst, &solver, &manual);
+        assert!(
+            report.value_ratio > 1.0,
+            "value ratio {} should exceed 1",
+            report.value_ratio
+        );
+        assert!(report.reuse_ratio.is_finite());
+    }
+
+    #[test]
+    fn insights_are_sorted_by_reuse() {
+        let (inst, solver, manual) = setting();
+        let report = analyze(&inst, &solver, &manual);
+        for w in report.solver_only.windows(2) {
+            assert!(w[0].pages_served >= w[1].pages_served);
+        }
+    }
+
+    #[test]
+    fn render_mentions_photo_names() {
+        let (inst, solver, manual) = setting();
+        let report = analyze(&inst, &solver, &manual);
+        let text = render(&inst, &report, 3);
+        assert!(text.contains("reuse ratio"));
+        assert!(text.contains("serves"));
+    }
+
+    #[test]
+    fn identical_selections_have_no_diff() {
+        let (inst, solver, _) = setting();
+        let report = analyze(&inst, &solver, &solver);
+        assert!(report.solver_only.is_empty());
+        assert!(report.manual_only.is_empty());
+        assert_eq!(report.reuse_ratio, 1.0);
+        assert_eq!(report.value_ratio, 1.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! The smartphone-cleanup scenario from the paper's introduction: free local
+//! storage by archiving photos to the cloud, while albums/tags stay well
+//! represented and documents (passport, vaccination record) never leave the
+//! device.
+//!
+//! This example exercises the *rendered* pipeline end to end — procedural
+//! pixels → color/gradient features → embeddings — plus EXIF-aware
+//! similarity (photos from the same trip count as near-duplicates) and a
+//! policy-required set.
+//!
+//! ```text
+//! cargo run -p par-examples --release --bin personal_photos
+//! ```
+
+use par_core::{PhotoId, Solution};
+use par_datasets::{SubsetDef, Universe};
+use par_embed::{features, ExifData, FeatureEmbedder, Image, ImageSpec};
+use phocus::{represent, RepresentationConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // --- Build a personal photo library: trips, pets, documents. -----------
+    // Each "event" is a trip or theme; photos of an event share a rendering
+    // category and an EXIF event anchor.
+    let events = [
+        ("paris-2016", 14usize),
+        ("beach-2019", 12),
+        ("cat", 10),
+        ("hiking-2022", 12),
+        ("family-dinner", 8),
+    ];
+    let embedder = FeatureEmbedder::new(
+        features::COLOR_BINS + features::GRID * features::GRID * features::ORIENT_BINS,
+        48,
+        7,
+    );
+
+    let mut names = Vec::new();
+    let mut costs = Vec::new();
+    let mut embeddings = Vec::new();
+    let mut exif = Vec::new();
+    let mut albums: Vec<SubsetDef> = Vec::new();
+    for (e_idx, (event, count)) in events.iter().enumerate() {
+        let mut members = Vec::new();
+        for k in 0..*count {
+            let id = names.len() as u32;
+            let spec = ImageSpec::new(
+                e_idx as u32,
+                [rng.gen(), rng.gen(), rng.gen(), rng.gen()],
+                (e_idx * 1000 + k) as u64,
+            );
+            let img = Image::render(&spec, 32, 32);
+            names.push(format!("{event}/IMG_{k:04}.jpg"));
+            costs.push(img.simulated_jpeg_bytes() * 40); // phone photos are bigger
+            embeddings.push(embedder.embed(&features::full_features(&img)));
+            exif.push(ExifData::synthesize(e_idx as u64, id as u64));
+            members.push(id);
+        }
+        let n = members.len();
+        albums.push(SubsetDef {
+            label: event.to_string(),
+            weight: 1.0 + (events.len() - e_idx) as f64, // older trips matter less
+            members,
+            relevance: vec![1.0; n],
+        });
+    }
+
+    // Documents: must stay on the device (S₀), grouped in their own album.
+    let mut doc_members = Vec::new();
+    for doc in ["passport", "vaccination-record", "insurance-card"] {
+        let id = names.len() as u32;
+        let spec = ImageSpec::new(99, [0.5, 0.2, 0.5, 0.9], id as u64);
+        let img = Image::render(&spec, 32, 32);
+        names.push(format!("documents/{doc}.jpg"));
+        costs.push(img.simulated_jpeg_bytes() * 40);
+        embeddings.push(embedder.embed(&features::full_features(&img)));
+        exif.push(ExifData::synthesize(999, id as u64));
+        doc_members.push(id);
+    }
+    let required = doc_members.clone();
+    let n_docs = doc_members.len();
+    albums.push(SubsetDef {
+        label: "documents".into(),
+        weight: 10.0,
+        members: doc_members,
+        relevance: vec![1.0; n_docs],
+    });
+
+    let universe = Universe {
+        name: "phone".into(),
+        names,
+        costs,
+        embeddings,
+        exif: Some(exif),
+        subsets: albums,
+        required,
+    };
+    universe.validate().unwrap();
+
+    let total = universe.total_cost();
+    println!(
+        "library: {} photos, {:.1} MB across {} albums ({} required documents)",
+        universe.num_photos(),
+        total as f64 / 1e6,
+        universe.num_subsets(),
+        universe.required.len()
+    );
+
+    // --- Keep 30% of the storage; EXIF joins the similarity. ---------------
+    let budget = total * 3 / 10;
+    let repr = RepresentationConfig {
+        exif_weight: 0.3, // same-trip photos are interchangeable-ish
+        normalize_per_context: true,
+        ..Default::default()
+    };
+    let inst = represent(&universe, budget, &repr).unwrap();
+    let outcome = par_algo::main_algorithm(&inst);
+    let sol = Solution::new(&inst, outcome.best.selected).unwrap();
+
+    println!(
+        "\nretained {} photos, {:.1} MB of {:.1} MB budget — quality {:.2} of {:.2}",
+        sol.len(),
+        sol.cost() as f64 / 1e6,
+        budget as f64 / 1e6,
+        sol.score(),
+        inst.max_score()
+    );
+    let cov = sol.coverage(&inst);
+    println!(
+        "albums covered: {}/{} (fully retained: {})",
+        cov.covered, cov.subsets, cov.fully_retained
+    );
+    for q in inst.subsets() {
+        let kept = q.members.iter().filter(|&&m| sol.contains(m)).count();
+        println!(
+            "  {:<18} {:>2}/{:<2} photos kept",
+            q.label,
+            kept,
+            q.members.len()
+        );
+    }
+    for &r in inst.required() {
+        assert!(sol.contains(r), "document must stay on device");
+    }
+    println!("\nall {} documents kept on device ✓", inst.required().len());
+    let _ = PhotoId(0);
+}

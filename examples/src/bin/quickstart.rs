@@ -1,0 +1,82 @@
+//! Quickstart: the paper's Figure 1 example, built by hand with the core
+//! API, solved with Algorithm 1, and certified with the online bound.
+//!
+//! ```text
+//! cargo run -p par-examples --bin quickstart
+//! ```
+
+use par_algo::{brute_force, main_algorithm, online_bound, BruteForceConfig};
+use par_core::{FnSimilarity, InstanceBuilder, PhotoId, Solution, SubsetId};
+
+fn main() {
+    // --- 1. Declare the archive: photos with their byte costs. -------------
+    const MB: u64 = 1_000_000;
+    let mut builder = InstanceBuilder::new(4 * MB); // 4 MB budget
+    let sizes_mb = [1.2, 0.7, 2.1, 0.9, 0.8, 1.1, 1.3];
+    let photos: Vec<PhotoId> = sizes_mb
+        .iter()
+        .enumerate()
+        .map(|(i, &mb)| builder.add_photo(format!("p{}", i + 1), (mb * MB as f64) as u64))
+        .collect();
+
+    // --- 2. Declare the pre-defined subsets with weights and relevance. ----
+    builder.add_subset(
+        "Bikes",
+        9.0,
+        vec![photos[0], photos[1], photos[2]],
+        vec![0.5, 0.3, 0.2],
+    );
+    builder.add_subset(
+        "Cats",
+        1.0,
+        vec![photos[3], photos[4], photos[5]],
+        vec![0.3, 0.4, 0.3],
+    );
+    builder.add_subset("Bookshelf", 3.0, vec![photos[5]], vec![1.0]);
+    builder.add_subset("Books", 1.0, vec![photos[5], photos[6]], vec![0.7, 0.3]);
+
+    // --- 3. Provide the contextualized similarity function. ----------------
+    let sim = FnSimilarity(|q: SubsetId, a: PhotoId, b: PhotoId| {
+        let (lo, hi) = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        match (q.0, lo, hi) {
+            (0, 0, 1) => 0.7,
+            (0, 0, 2) => 0.8,
+            (0, 1, 2) => 0.5,
+            (1, 3, 4) => 0.7,
+            (1, 3, 5) => 0.4,
+            (1, 4, 5) => 0.7,
+            (3, 5, 6) => 0.7,
+            _ => 0.0,
+        }
+    });
+    let instance = builder.build_with_provider(&sim).expect("valid instance");
+
+    // --- 4. Solve with Algorithm 1 (lazy greedy, UC + CB rules). -----------
+    let outcome = main_algorithm(&instance);
+    let solution = Solution::new(&instance, outcome.best.selected.clone()).unwrap();
+    println!("PHOcus retains {} photos:", solution.len());
+    for &p in solution.photos() {
+        let photo = instance.photo(p);
+        println!("  {} ({:.1} MB)", photo.name, photo.cost as f64 / MB as f64);
+    }
+    println!(
+        "quality G(S) = {:.3} of max {:.1}   cost = {:.1} MB of 4 MB",
+        solution.score(),
+        instance.max_score(),
+        solution.cost() as f64 / MB as f64,
+    );
+
+    // --- 5. Certify: online bound + exact optimum (instance is tiny). ------
+    let bound = online_bound(&instance, solution.photos());
+    println!(
+        "online bound: OPT ≤ {:.3} ⇒ achieved ratio ≥ {:.1}%",
+        bound.upper_bound,
+        100.0 * bound.ratio
+    );
+    let opt = brute_force(&instance, &BruteForceConfig::default()).unwrap();
+    println!(
+        "exact optimum (branch & bound): {:.3} — greedy achieved {:.1}% of it",
+        opt.score,
+        100.0 * solution.score() / opt.score
+    );
+}

@@ -1,0 +1,75 @@
+//! Streamed archival: photos arrive one at a time (an ingestion pipeline, a
+//! camera roll sync) and the keep/archive decision must be made online with
+//! bounded memory — the setting of the paper's reference \[5\] (Badanidiyuru
+//! et al.). Compares the one-pass sieves against the offline CELF greedy and
+//! certifies each with the online bound.
+//!
+//! ```text
+//! cargo run -p par-examples --release --bin streaming_archive
+//! ```
+
+use par_algo::{density_sieve, main_algorithm, online_bound, sieve_streaming};
+use par_core::Solution;
+use par_datasets::{generate_openimages, OpenImagesConfig};
+use phocus::{represent, RepresentationConfig};
+
+fn main() {
+    let universe = generate_openimages(&OpenImagesConfig {
+        name: "stream".into(),
+        photos: 600,
+        target_subsets: 120,
+        seed: 11,
+        ..Default::default()
+    });
+    let budget = universe.total_cost() / 5;
+    let inst = represent(&universe, budget, &RepresentationConfig::default()).unwrap();
+    println!(
+        "{} photos streaming in, budget {:.1} MB ({}%)\n",
+        inst.num_photos(),
+        budget as f64 / 1e6,
+        100 * budget / universe.total_cost()
+    );
+
+    // Offline reference: the two-rule CELF greedy sees everything.
+    let offline = main_algorithm(&inst).best;
+    let report = |name: &str, selected: &[par_core::PhotoId], evals: u64| {
+        let sol = Solution::new_unchecked(&inst, selected.to_vec());
+        let cert = online_bound(&inst, sol.photos());
+        println!(
+            "{name:<28} quality {:>8.2} ({:>5.1}% of offline)  cost {:>5.2} MB  certified ≥ {:>4.1}% of OPT  ({} gain evals)",
+            sol.score(),
+            100.0 * sol.score() / offline.score,
+            sol.cost() as f64 / 1e6,
+            100.0 * cert.ratio,
+            evals,
+        );
+    };
+
+    report("offline CELF (Algorithm 1)", &offline.selected, 0);
+
+    // One-pass density sieve under the byte budget.
+    for levels in [2, 4, 8] {
+        let sieve = density_sieve(&inst, levels);
+        report(
+            &format!("density sieve ({levels} levels)"),
+            &sieve.selected,
+            sieve.stats.gain_evals,
+        );
+    }
+
+    // Cardinality-constrained SieveStreaming (the summarization setting):
+    // keep at most as many photos as the offline solution used.
+    let k = offline.selected.len();
+    let sieve = sieve_streaming(&inst, k, 0.1);
+    report(
+        &format!("SieveStreaming (k = {k})"),
+        &sieve.selected,
+        sieve.stats.gain_evals,
+    );
+
+    println!(
+        "\nThe sieves never see a photo twice, yet land within a few percent
+of the offline greedy — and every solution carries its own a-posteriori
+certificate from the online bound."
+    );
+}

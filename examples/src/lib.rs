@@ -1,0 +1,13 @@
+//! Runnable examples for the PHOcus workspace. Each binary in `src/bin/`
+//! exercises the public API on a realistic scenario:
+//!
+//! * `quickstart` — the paper's Figure 1 worked example, built by hand with
+//!   the core API;
+//! * `ecommerce_landing_pages` — the XYZ landing-page use case, including
+//!   the paper's "2 MB out of 50 MB" small-budget scenario;
+//! * `personal_photos` — the smartphone-cleanup scenario from the paper's
+//!   introduction (albums, required documents, EXIF-aware similarity);
+//! * `sparsification_tuning` — sweeping τ to trade quality for speed, with
+//!   Theorem 4.8 certificates.
+//!
+//! Run with `cargo run -p par-examples --release --bin <name>`.

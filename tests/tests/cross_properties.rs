@@ -1,0 +1,102 @@
+//! Cross-crate property tests: representation equivalences and solver
+//! invariants on randomized universes.
+
+use par_core::{exact_score, PhotoId, Solution};
+use par_datasets::{generate_openimages, OpenImagesConfig};
+use phocus::{represent, RepresentationConfig, Sparsification};
+use proptest::prelude::*;
+
+fn universe_strategy() -> impl Strategy<Value = par_datasets::Universe> {
+    (any::<u64>(), 40usize..150, 8usize..30).prop_map(|(seed, photos, subsets)| {
+        generate_openimages(&OpenImagesConfig {
+            name: "prop".into(),
+            photos,
+            target_subsets: subsets,
+            seed,
+            ..Default::default()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn threshold_and_lsh_never_invent_similarity(u in universe_strategy()) {
+        // Every pair stored by the LSH representation must also exist (with
+        // the same value) in the threshold representation at the same τ —
+        // LSH may only miss pairs, never add or inflate them.
+        let budget = u.total_cost() / 3;
+        let tau = 0.6;
+        let thresh = represent(&u, budget, &RepresentationConfig {
+            sparsification: Sparsification::Threshold { tau },
+            ..Default::default()
+        }).unwrap();
+        let lsh = represent(&u, budget, &RepresentationConfig {
+            sparsification: Sparsification::Lsh { tau, target_recall: 0.95, seed: 5 },
+            ..Default::default()
+        }).unwrap();
+        let mut violations: Vec<String> = Vec::new();
+        for q in thresh.subsets() {
+            let t = thresh.sim(q.id);
+            let l = lsh.sim(q.id);
+            for i in 0..q.members.len() {
+                l.for_neighbors(i, |j, s| {
+                    let ts = t.sim(i, j);
+                    if (ts - s).abs() >= 1e-5 {
+                        violations.push(format!(
+                            "LSH stored ({i},{j})={s} but threshold has {ts} in {}",
+                            q.id
+                        ));
+                    }
+                });
+            }
+        }
+        prop_assert!(violations.is_empty(), "{}", violations.join("; "));
+        prop_assert!(lsh.stored_pairs() <= thresh.stored_pairs());
+    }
+
+    #[test]
+    fn greedy_solution_dominates_random_on_true_objective(u in universe_strategy()) {
+        let budget = u.total_cost() / 4;
+        let inst = represent(&u, budget, &RepresentationConfig::default()).unwrap();
+        let greedy = par_algo::main_algorithm(&inst).best;
+        // Compare against the random baseline (same budget).
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rand_total = 0.0;
+        for _ in 0..3 {
+            let ids = par_algo::rand_a(&inst, &mut rng);
+            rand_total += exact_score(&inst, &ids);
+        }
+        prop_assert!(greedy.score + 1e-9 >= rand_total / 3.0,
+            "greedy {} below mean random {}", greedy.score, rand_total / 3.0);
+    }
+
+    #[test]
+    fn solution_scores_are_representation_consistent(u in universe_strategy()) {
+        // A fixed set's score on the τ-sparsified instance never exceeds its
+        // score on the dense instance, and both are ≤ max_score.
+        let budget = u.total_cost() / 3;
+        let dense = represent(&u, budget, &RepresentationConfig::default()).unwrap();
+        let sparse = represent(&u, budget, &RepresentationConfig {
+            sparsification: Sparsification::Threshold { tau: 0.5 },
+            ..Default::default()
+        }).unwrap();
+        let set: Vec<PhotoId> = (0..u.num_photos() as u32).step_by(3).map(PhotoId).collect();
+        let d = exact_score(&dense, &set);
+        let s = exact_score(&sparse, &set);
+        prop_assert!(s <= d + 1e-9, "sparse {s} > dense {d}");
+        prop_assert!(d <= dense.max_score() + 1e-9);
+    }
+
+    #[test]
+    fn suite_solutions_are_feasible(u in universe_strategy()) {
+        let budget = u.total_cost() / 5;
+        let inst = represent(&u, budget, &RepresentationConfig::default()).unwrap();
+        let out = par_algo::main_algorithm(&inst);
+        let sol = Solution::new(&inst, out.best.selected).unwrap();
+        prop_assert!(sol.cost() <= budget);
+        prop_assert!((sol.score() - out.best.score).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,145 @@
+//! Cross-crate guarantee checks: every theorem of the paper verified against
+//! exact solutions on instances small enough to solve optimally.
+
+use par_algo::{
+    brute_force, main_algorithm, online_bound, sviridenko, BruteForceConfig, SviridenkoConfig,
+};
+use par_core::fixtures::{random_instance, RandomInstanceConfig};
+use par_sparse::sparsification_bound;
+
+const E: f64 = std::f64::consts::E;
+
+fn small(seed: u64) -> par_core::Instance {
+    random_instance(
+        seed,
+        &RandomInstanceConfig {
+            photos: 12,
+            subsets: 5,
+            subset_size: (2, 6),
+            cost_range: (50, 400),
+            budget_fraction: 0.35,
+            required_prob: 0.0,
+        },
+    )
+}
+
+#[test]
+fn algorithm1_meets_its_guarantee() {
+    // Theorem (Leskovec et al.): max(UC, CB) ≥ (1 − 1/e)/2 · OPT.
+    let guarantee = (1.0 - 1.0 / E) / 2.0;
+    for seed in 0..12 {
+        let inst = small(seed);
+        let greedy = main_algorithm(&inst).best.score;
+        let opt = brute_force(&inst, &BruteForceConfig::default())
+            .unwrap()
+            .score;
+        assert!(
+            greedy + 1e-9 >= guarantee * opt,
+            "seed {seed}: {greedy} < {guarantee}·{opt}"
+        );
+        // In practice the greedy does far better than the guarantee.
+        assert!(greedy >= 0.8 * opt, "seed {seed}: only {greedy}/{opt}");
+    }
+}
+
+#[test]
+fn sviridenko_meets_the_optimal_guarantee() {
+    // Theorem 4.6: partial enumeration achieves (1 − 1/e) · OPT.
+    let guarantee = 1.0 - 1.0 / E;
+    for seed in 0..8 {
+        let inst = small(seed + 100);
+        let sv = sviridenko(&inst, &SviridenkoConfig::default())
+            .unwrap()
+            .score;
+        let opt = brute_force(&inst, &BruteForceConfig::default())
+            .unwrap()
+            .score;
+        assert!(
+            sv + 1e-9 >= guarantee * opt,
+            "seed {seed}: {sv} < {guarantee}·{opt}"
+        );
+    }
+}
+
+#[test]
+fn online_bound_never_undercuts_opt() {
+    for seed in 0..12 {
+        let inst = small(seed + 200);
+        let greedy = main_algorithm(&inst).best;
+        let bound = online_bound(&inst, &greedy.selected);
+        let opt = brute_force(&inst, &BruteForceConfig::default())
+            .unwrap()
+            .score;
+        assert!(
+            bound.upper_bound + 1e-9 >= opt,
+            "seed {seed}: UB {} < OPT {opt}",
+            bound.upper_bound
+        );
+        // And the certified ratio is a valid lower bound on the true ratio.
+        let true_ratio = greedy.score / opt.max(f64::MIN_POSITIVE);
+        assert!(bound.ratio <= true_ratio + 1e-9);
+    }
+}
+
+#[test]
+fn theorem_4_8_sparsification_bound_holds() {
+    for seed in 0..8 {
+        let inst = small(seed + 300);
+        for tau in [0.25, 0.5, 0.75] {
+            let cert = sparsification_bound(&inst, tau);
+            let opt = brute_force(&inst, &BruteForceConfig::default())
+                .unwrap()
+                .score;
+            let opt_tau = brute_force(&inst.sparsify(tau), &BruteForceConfig::default())
+                .unwrap()
+                .score;
+            assert!(
+                opt_tau + 1e-9 >= cert.factor * opt,
+                "seed {seed} τ={tau}: OPT_τ {opt_tau} < {} · OPT {opt}",
+                cert.factor
+            );
+        }
+    }
+}
+
+#[test]
+fn sviridenko_never_loses_to_algorithm1() {
+    // Partial enumeration explores a superset of the greedy's trajectory
+    // seeds; on small instances it should match or beat Algorithm 1.
+    for seed in 0..8 {
+        let inst = small(seed + 400);
+        let sv = sviridenko(&inst, &SviridenkoConfig::default())
+            .unwrap()
+            .score;
+        let g = main_algorithm(&inst).best.score;
+        assert!(sv + 1e-9 >= g, "seed {seed}: Sviridenko {sv} < greedy {g}");
+    }
+}
+
+#[test]
+fn required_photos_survive_every_solver() {
+    let inst = random_instance(
+        7,
+        &RandomInstanceConfig {
+            photos: 10,
+            subsets: 4,
+            required_prob: 0.3,
+            budget_fraction: 0.6,
+            ..Default::default()
+        },
+    );
+    let solvers: Vec<Vec<par_core::PhotoId>> = vec![
+        main_algorithm(&inst).best.selected,
+        sviridenko(&inst, &SviridenkoConfig::default())
+            .unwrap()
+            .selected,
+        brute_force(&inst, &BruteForceConfig::default())
+            .unwrap()
+            .selected,
+    ];
+    for sel in solvers {
+        for &r in inst.required() {
+            assert!(sel.contains(&r), "required {r} missing");
+        }
+    }
+}

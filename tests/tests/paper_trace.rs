@@ -1,0 +1,115 @@
+//! Cross-crate checks against the paper's published worked example
+//! (Figures 1–3) and the formal claims tied to it.
+
+use par_algo::{lazy_greedy, main_algorithm, online_bound, GreedyRule};
+use par_core::fixtures::{figure1_instance, MB};
+use par_core::{exact_score, Evaluator, PhotoId, SubsetId};
+use par_sparse::GflInstance;
+
+#[test]
+fn figure3_full_uc_trace() {
+    // The paper traces steps 1–3: p1, p6, p2 under the unit-cost rule.
+    let inst = figure1_instance(u64::MAX);
+    let out = lazy_greedy(&inst, GreedyRule::UnitCost);
+    assert_eq!(
+        &out.selected[..3],
+        &[PhotoId(0), PhotoId(5), PhotoId(1)],
+        "selection order"
+    );
+    // With unlimited budget all 7 photos end up selected and the score
+    // saturates at Σ W(q) = 14.
+    assert_eq!(out.selected.len(), 7);
+    assert!((out.score - 14.0).abs() < 1e-9);
+}
+
+#[test]
+fn figure3_marginal_gain_updates() {
+    // Step 2 of Figure 3: after selecting p1, the recomputed gains are
+    // δ(p3) = 0.36 and δ(p2) = 0.81.
+    let inst = figure1_instance(u64::MAX);
+    let mut ev = Evaluator::new(&inst);
+    ev.add(PhotoId(0));
+    assert!((ev.gain(PhotoId(2)) - 0.36).abs() < 0.01, "δ(p3) after p1");
+    assert!((ev.gain(PhotoId(1)) - 0.81).abs() < 0.01, "δ(p2) after p1");
+    // Step 3: after p6 too, Figure 3 prints δ(p5) = 0.12 — but that cell
+    // only counts p5's own coverage term R(p5)·(1−SIM(p5,p6)) = 0.4·0.3.
+    // The formal objective also credits p4's nearest neighbor improving
+    // from p6 (0.4) to p5 (0.7): 0.3·(0.7−0.4) = 0.09, giving 0.21. The
+    // figure's own δ(p2) = 0.81 cell *does* include such cross terms, so we
+    // follow the formal definition and flag the 0.12 as a figure slip
+    // (documented in EXPERIMENTS.md).
+    ev.add(PhotoId(5));
+    assert!(
+        (ev.gain(PhotoId(4)) - 0.21).abs() < 0.01,
+        "δ(p5) after p1,p6"
+    );
+}
+
+#[test]
+fn figure2_gfl_equivalence() {
+    // The GFL formulation of Figure 2 must score exactly like PAR on every
+    // subset of the Figure 1 photos (2^7 = 128 subsets — check them all).
+    let inst = figure1_instance(u64::MAX);
+    let gfl = GflInstance::from_instance(&inst);
+    for mask in 0u32..128 {
+        let set: Vec<PhotoId> = (0..7).filter(|i| mask >> i & 1 == 1).map(PhotoId).collect();
+        let g = exact_score(&inst, &set);
+        let f = gfl.score(&set);
+        assert!((g - f).abs() < 1e-9, "mask {mask}: G={g} F={f}");
+    }
+}
+
+#[test]
+fn hardness_gadget_reduces_max_coverage() {
+    // Theorem 3.4's reduction: a Max-Coverage instance becomes a PAR
+    // instance with unit costs/weights and SIM ≡ 1 within subsets. The
+    // greedy on the PAR side must solve the MC instance optimally here.
+    // MC: universe {a,b,c,d}, sets S1={a,b}, S2={b,c}, S3={c,d}, k=2.
+    // Optimal: S1+S3 cover everything.
+    use par_core::{InstanceBuilder, UnitSimilarity};
+    let mut b = InstanceBuilder::new(2);
+    let s1 = b.add_photo("S1", 1);
+    let s2 = b.add_photo("S2", 1);
+    let s3 = b.add_photo("S3", 1);
+    // One pre-defined subset per element, containing the sets covering it.
+    b.add_subset("a", 1.0, vec![s1], vec![]);
+    b.add_subset("b", 1.0, vec![s1, s2], vec![]);
+    b.add_subset("c", 1.0, vec![s2, s3], vec![]);
+    b.add_subset("d", 1.0, vec![s3], vec![]);
+    let inst = b.build_with_provider(&UnitSimilarity).unwrap();
+    let out = main_algorithm(&inst);
+    let mut sel = out.best.selected.clone();
+    sel.sort_unstable();
+    assert_eq!(sel, vec![s1, s3], "must pick the covering pair");
+    assert!(
+        (out.best.score - 4.0).abs() < 1e-9,
+        "all 4 elements covered"
+    );
+}
+
+#[test]
+fn online_bound_certifies_figure1_run() {
+    let inst = figure1_instance(3 * MB);
+    let out = main_algorithm(&inst);
+    let bound = online_bound(&inst, &out.best.selected);
+    // The guarantee of Algorithm 1 is (1−1/e)/2; the certificate must
+    // beat it by a wide margin on this instance.
+    assert!(bound.ratio > 0.9, "certified ratio {}", bound.ratio);
+    assert!(bound.upper_bound <= inst.max_score() + 1e-9);
+}
+
+#[test]
+fn contextual_similarity_is_per_subset_in_figure1() {
+    // p6 and p7 are similar in "Books" (q4) but q2/q3 know nothing of p7 —
+    // the contextualization the model insists on.
+    let inst = figure1_instance(u64::MAX);
+    let books = SubsetId(3);
+    assert!((inst.sim(books).sim(0, 1) - 0.7).abs() < 1e-6);
+    // In q2 = {p4, p5, p6}, p6's only neighbors are p4 and p5.
+    let cats = SubsetId(1);
+    let mut neighbors = Vec::new();
+    inst.sim(cats)
+        .for_neighbors(2, |j, s| neighbors.push((j, s)));
+    let nonzero: Vec<_> = neighbors.iter().filter(|&&(_, s)| s > 0.0).collect();
+    assert_eq!(nonzero.len(), 2);
+}
