@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full local CI: build, test both feature configurations, lint.
+#
+#   ./ci.sh            # everything
+#
+# The `parallel` feature is default-on; the --no-default-features pass
+# proves the serial fallback builds and produces identical results (the
+# determinism suite pins golden transcript hashes shared by both builds).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (default features: parallel)"
+cargo test -q
+
+echo "==> cargo test (--no-default-features: serial fallback)"
+cargo test -q --no-default-features
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "CI OK"

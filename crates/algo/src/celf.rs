@@ -97,15 +97,24 @@ pub fn lazy_greedy_from(inst: &Instance, initial: &[PhotoId], rule: GreedyRule) 
     let mut pq_pops = 0u64;
     let mut lazy_accepts = 0u64;
 
-    // Step 0 of Figure 3: all gains start at ∞ (epoch u32::MAX marks "never
-    // computed"); the first pass computes them on demand.
-    let mut heap: BinaryHeap<Entry> = (0..inst.num_photos() as u32)
+    // Step 0 of Figure 3: every candidate's gain against the initial
+    // solution. Seeding the heap with computed epoch-0 keys is equivalent to
+    // the classic ∞-key seeding (every ∞ entry pops and is recomputed at
+    // epoch 0 before any finite entry can surface), but the whole scan is
+    // one embarrassingly-parallel batch. Unaffordable photos are dropped
+    // without a gain query, matching the ∞-drain's `fits` short-circuit.
+    let candidates: Vec<PhotoId> = (0..inst.num_photos() as u32)
         .map(PhotoId)
-        .filter(|&p| !ev.is_selected(p))
-        .map(|p| Entry {
-            key: f64::INFINITY,
+        .filter(|&p| !ev.is_selected(p) && ev.fits(p, budget))
+        .collect();
+    let seed_gains = ev.batch_gains(&candidates);
+    let mut heap: BinaryHeap<Entry> = candidates
+        .iter()
+        .zip(&seed_gains)
+        .map(|(&p, &delta)| Entry {
+            key: rule.key(delta, inst.cost(p)),
             photo: p,
-            epoch: u32::MAX,
+            epoch: 0,
         })
         .collect();
 
@@ -168,8 +177,11 @@ pub fn eager_greedy(inst: &Instance, rule: GreedyRule) -> GreedyOutcome {
     loop {
         let mut best: Option<(f64, PhotoId)> = None;
         alive.retain(|&p| ev.fits(p, budget));
-        for &p in &alive {
-            let key = rule.key(ev.gain(p), inst.cost(p));
+        // Whole-frontier rescan as one parallel batch; the argmax then walks
+        // the results in candidate order so ties break exactly as before.
+        let gains = ev.batch_gains(&alive);
+        for (&p, &delta) in alive.iter().zip(&gains) {
+            let key = rule.key(delta, inst.cost(p));
             // Tie-break toward the smaller photo id, matching the heap order.
             let better = match best {
                 None => true,

@@ -63,14 +63,17 @@ pub fn swap_local_search(
             ev.remove(out);
             let freed = ev.cost();
             let mut best: Option<(f64, PhotoId)> = None;
-            for p in (0..inst.num_photos() as u32).map(PhotoId) {
-                if ev.is_selected(p) || p == out {
-                    continue;
-                }
-                if freed + inst.cost(p) > budget {
-                    continue;
-                }
-                let cand = ev.score() + ev.gain(p);
+            let candidates_in: Vec<PhotoId> = (0..inst.num_photos() as u32)
+                .map(PhotoId)
+                .filter(|&p| {
+                    !ev.is_selected(p) && p != out && freed + inst.cost(p) <= budget
+                })
+                .collect();
+            // One parallel batch per removed photo; evaluated against the
+            // fixed post-removal state, scanned in candidate order.
+            let gains = ev.batch_gains(&candidates_in);
+            for (&p, &g) in candidates_in.iter().zip(&gains) {
+                let cand = ev.score() + g;
                 if cand > score_with_out * (1.0 + cfg.min_relative_gain)
                     && best.map(|(b, _)| cand > b).unwrap_or(true)
                 {

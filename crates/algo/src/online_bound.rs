@@ -37,11 +37,17 @@ pub fn online_bound(inst: &Instance, solution: &[PhotoId]) -> OnlineBound {
     }
     let score = ev.score();
 
-    // Marginal gains and costs of all unselected photos.
-    let mut density: Vec<(f64, u64)> = (0..inst.num_photos() as u32)
+    // Marginal gains and costs of all unselected photos, as one parallel
+    // batch against the fixed solution state.
+    let unselected: Vec<PhotoId> = (0..inst.num_photos() as u32)
         .map(PhotoId)
         .filter(|&p| !ev.is_selected(p))
-        .map(|p| (ev.gain(p), inst.cost(p)))
+        .collect();
+    let gains = ev.batch_gains(&unselected);
+    let mut density: Vec<(f64, u64)> = unselected
+        .iter()
+        .zip(&gains)
+        .map(|(&p, &g)| (g, inst.cost(p)))
         .filter(|&(g, _)| g > 0.0)
         .collect();
     // Fractional knapsack: sort by gain density, fill budget B.

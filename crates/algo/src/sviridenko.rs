@@ -61,11 +61,15 @@ fn complete_greedy(inst: &Instance, ev: &mut Evaluator<'_>) {
     let budget = inst.budget();
     loop {
         let mut best: Option<(f64, PhotoId)> = None;
-        for p in (0..inst.num_photos() as u32).map(PhotoId) {
-            if ev.is_selected(p) || !ev.fits(p, budget) {
-                continue;
-            }
-            let density = ev.gain(p) / inst.cost(p) as f64;
+        let candidates: Vec<PhotoId> = (0..inst.num_photos() as u32)
+            .map(PhotoId)
+            .filter(|&p| !ev.is_selected(p) && ev.fits(p, budget))
+            .collect();
+        // Parallel batch scan; the argmax walks results in candidate order
+        // so ties break exactly as the serial loop did.
+        let gains = ev.batch_gains(&candidates);
+        for (&p, &g) in candidates.iter().zip(&gains) {
+            let density = g / inst.cost(p) as f64;
             if density <= 0.0 {
                 continue;
             }

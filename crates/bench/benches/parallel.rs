@@ -1,0 +1,95 @@
+//! Serial vs parallel microbenchmarks for the hot kernels: batch gain
+//! evaluation, exact scoring, and SimHash signing, at two input scales.
+//!
+//! Each kernel is timed twice — once under an installed serial
+//! [`Parallelism`] and once under an explicit worker count — so the pair of
+//! rows quantifies the speedup (or, on a single-core runner, the scoping
+//! overhead). The results are identical either way; only time differs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use par_bench::{dataset, DatasetId, Scale};
+use par_core::{exact_score, Evaluator, PhotoId};
+use par_exec::Parallelism;
+use par_lsh::SimHasher;
+use phocus::{represent, RepresentationConfig};
+
+const PAR_THREADS: usize = 4;
+
+/// Times `f` under the serial and the `PAR_THREADS`-worker configuration.
+fn serial_vs_parallel<T>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    param: impl std::fmt::Display,
+    mut f: impl FnMut() -> T,
+) {
+    for (mode, threads) in [("serial", Parallelism::serial()), (
+        "parallel",
+        Parallelism::with_threads(PAR_THREADS),
+    )] {
+        let prev = threads.install_global();
+        group.bench_function(BenchmarkId::new(format!("{name}/{mode}"), &param), |b| {
+            b.iter(|| std::hint::black_box(f()))
+        });
+        prev.install_global();
+    }
+}
+
+fn instance_for(id: DatasetId) -> (par_core::Instance, Vec<PhotoId>) {
+    let u = dataset(id, Scale::Scaled);
+    let budget = u.total_cost() / 5;
+    let inst = represent(&u, budget, &RepresentationConfig::default()).unwrap();
+    let all: Vec<PhotoId> = (0..inst.num_photos() as u32).map(PhotoId).collect();
+    (inst, all)
+}
+
+fn bench_batch_gains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_batch_gains");
+    for (param, id) in [("1k", DatasetId::P1K), ("10k", DatasetId::P10K)] {
+        let (inst, all) = instance_for(id);
+        let mut ev = Evaluator::new(&inst);
+        for &p in all.iter().step_by(2) {
+            ev.add(p);
+        }
+        serial_vs_parallel(&mut group, "batch_gains", param, || ev.batch_gains(&all));
+    }
+    group.finish();
+}
+
+fn bench_exact_score(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_exact_score");
+    for (param, id) in [("1k", DatasetId::P1K), ("10k", DatasetId::P10K)] {
+        let (inst, all) = instance_for(id);
+        let half: Vec<PhotoId> = all.iter().copied().step_by(2).collect();
+        serial_vs_parallel(&mut group, "exact_score", param, || {
+            exact_score(&inst, &half)
+        });
+    }
+    group.finish();
+}
+
+fn bench_simhash_sign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_simhash");
+    for (param, n) in [("1k", 1_000usize), ("10k", 10_000)] {
+        let dim = 64;
+        let vectors: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                (0..dim)
+                    .map(|d| ((i * 31 + d * 7) % 1_000) as f32 / 500.0 - 1.0)
+                    .collect()
+            })
+            .collect();
+        let hasher = SimHasher::new(dim, 128, 0xBEEF);
+        serial_vs_parallel(&mut group, "sign_batch", param, || {
+            hasher.sign_batch(&vectors)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    parallel_benches,
+    bench_batch_gains,
+    bench_exact_score,
+    bench_simhash_sign
+);
+criterion_main!(parallel_benches);

@@ -7,19 +7,18 @@
 //!
 //! [`Instance`]: crate::Instance
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a photo within an [`Instance`](crate::Instance).
 ///
 /// Photo ids are dense: an instance with `n` photos uses ids `0..n`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PhotoId(pub u32);
 
 /// Identifier of a pre-defined subset within an [`Instance`](crate::Instance).
 ///
 /// Subset ids are dense: an instance with `m` subsets uses ids `0..m`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SubsetId(pub u32);
 
 impl PhotoId {

@@ -22,7 +22,7 @@
 //! selections under the *true* objective.
 
 use crate::{Instance, PhotoId, SubsetId};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Instrumentation counters exposed by [`Evaluator`], used by the experiment
 /// harness to report evaluation counts (the paper's ~700× lazy-evaluation
@@ -40,7 +40,13 @@ pub struct EvalStats {
 /// The evaluator is tied to one [`Instance`] (and hence one similarity view);
 /// baselines that *select* under a simplified objective but are *scored*
 /// under the true one simply run two evaluators over two instance views.
-#[derive(Debug, Clone)]
+///
+/// Queries ([`gain`](Self::gain), [`batch_gains`](Self::batch_gains)) take
+/// `&self` and only mutate the relaxed atomic instrumentation counters, so a
+/// single evaluator can answer marginal-gain queries from many threads at
+/// once; state mutation ([`add`](Self::add), [`remove`](Self::remove)) takes
+/// `&mut self` and therefore has exclusive access.
+#[derive(Debug)]
 pub struct Evaluator<'a> {
     inst: &'a Instance,
     selected: Vec<bool>,
@@ -53,8 +59,24 @@ pub struct Evaluator<'a> {
     provider: Vec<Vec<u32>>,
     score: f64,
     cost: u64,
-    gain_evals: Cell<u64>,
-    sim_ops: Cell<u64>,
+    gain_evals: AtomicU64,
+    sim_ops: AtomicU64,
+}
+
+impl Clone for Evaluator<'_> {
+    fn clone(&self) -> Self {
+        Evaluator {
+            inst: self.inst,
+            selected: self.selected.clone(),
+            selected_ids: self.selected_ids.clone(),
+            best: self.best.clone(),
+            provider: self.provider.clone(),
+            score: self.score,
+            cost: self.cost,
+            gain_evals: AtomicU64::new(self.gain_evals.load(Ordering::Relaxed)),
+            sim_ops: AtomicU64::new(self.sim_ops.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// Sentinel for "no selected member covers this one yet".
@@ -81,8 +103,8 @@ impl<'a> Evaluator<'a> {
             provider,
             score: 0.0,
             cost: 0,
-            gain_evals: Cell::new(0),
-            sim_ops: Cell::new(0),
+            gain_evals: AtomicU64::new(0),
+            sim_ops: AtomicU64::new(0),
         }
     }
 
@@ -140,22 +162,22 @@ impl<'a> Evaluator<'a> {
     /// Instrumentation counters accumulated so far.
     pub fn stats(&self) -> EvalStats {
         EvalStats {
-            gain_evals: self.gain_evals.get(),
-            sim_ops: self.sim_ops.get(),
+            gain_evals: self.gain_evals.load(Ordering::Relaxed),
+            sim_ops: self.sim_ops.load(Ordering::Relaxed),
         }
     }
 
     /// Resets instrumentation counters.
     pub fn reset_stats(&mut self) {
-        self.gain_evals.set(0);
-        self.sim_ops.set(0);
+        self.gain_evals.store(0, Ordering::Relaxed);
+        self.sim_ops.store(0, Ordering::Relaxed);
     }
 
     /// Marginal gain `G(S ∪ {p}) − G(S)`. Zero if `p` is already selected.
     ///
     /// Complexity: `O(Σ_{q ∋ p} deg_q(p))` similarity lookups.
     pub fn gain(&self, p: PhotoId) -> f64 {
-        self.gain_evals.set(self.gain_evals.get() + 1);
+        self.gain_evals.fetch_add(1, Ordering::Relaxed);
         if self.selected[p.index()] {
             return 0.0;
         }
@@ -180,8 +202,21 @@ impl<'a> Evaluator<'a> {
                 }
             });
         }
-        self.sim_ops.set(self.sim_ops.get() + ops);
+        self.sim_ops.fetch_add(ops, Ordering::Relaxed);
         delta
+    }
+
+    /// Marginal gains of many candidates against the *same* solution state,
+    /// computed in parallel (serial without the `parallel` feature).
+    ///
+    /// `out[i] == self.gain(candidates[i])` exactly — each per-candidate
+    /// computation is independent and lands at its own index, so the result
+    /// is bit-identical to the serial loop regardless of thread count. The
+    /// instrumentation counters advance by the same totals as `len` serial
+    /// `gain` calls (relaxed atomics; the *order* of increments is the only
+    /// thing that varies).
+    pub fn batch_gains(&self, candidates: &[PhotoId]) -> Vec<f64> {
+        par_exec::par_map_slice(candidates, |&p| self.gain(p))
     }
 
     /// Adds `p` to the solution, updating the score, cost, and per-member
@@ -220,7 +255,7 @@ impl<'a> Evaluator<'a> {
                 }
             });
         }
-        self.sim_ops.set(self.sim_ops.get() + ops);
+        self.sim_ops.fetch_add(ops, Ordering::Relaxed);
         self.score += delta;
         delta
     }
@@ -272,7 +307,7 @@ impl<'a> Evaluator<'a> {
                 self.provider[qid.index()][j] = new_provider;
             }
         }
-        self.sim_ops.set(self.sim_ops.get() + ops);
+        self.sim_ops.fetch_add(ops, Ordering::Relaxed);
         self.score -= delta;
         delta
     }
@@ -293,16 +328,19 @@ impl<'a> Evaluator<'a> {
 /// Recomputes `G(S)` from scratch for an arbitrary photo set.
 ///
 /// `O(Σ_q |q| · deg)`; used for verification and for scoring baseline
-/// selections under the true objective.
+/// selections under the true objective. Per-subset terms are computed in
+/// parallel and reduced sequentially in subset order, so the result is
+/// bit-identical to the serial sum.
 pub fn exact_score(inst: &Instance, set: &[PhotoId]) -> f64 {
     let mut selected = vec![false; inst.num_photos()];
     for &p in set {
         selected[p.index()] = true;
     }
-    inst.subsets()
-        .iter()
-        .map(|q| q.weight * exact_subset_score_flags(inst, q.id, &selected))
-        .sum()
+    let subsets = inst.subsets();
+    par_exec::par_sum_f64(subsets.len(), |i| {
+        let q = &subsets[i];
+        q.weight * exact_subset_score_flags(inst, q.id, &selected)
+    })
 }
 
 /// Recomputes the per-subset score `G(q, S)` from scratch.
@@ -449,6 +487,35 @@ mod tests {
         assert!(stats.sim_ops > 0);
         ev.reset_stats();
         assert_eq!(ev.stats(), EvalStats::default());
+    }
+
+    #[test]
+    fn batch_gains_match_serial_gains_and_counters() {
+        let inst = figure1_instance(u64::MAX);
+        let mut base = Evaluator::new(&inst);
+        base.add(PhotoId(5));
+        let candidates: Vec<PhotoId> = (0..inst.num_photos() as u32).map(PhotoId).collect();
+
+        let mut serial = base.clone();
+        serial.reset_stats();
+        let serial_gains: Vec<f64> = candidates.iter().map(|&p| serial.gain(p)).collect();
+
+        let mut batch = base.clone();
+        batch.reset_stats();
+        // Force multiple workers even on a single-core runner so the batch
+        // path genuinely exercises concurrent gain queries.
+        let prev = par_exec::Parallelism::with_threads(4).install_global();
+        let batched = batch.batch_gains(&candidates);
+        par_exec::set_global_threads(prev.threads);
+
+        assert_eq!(serial_gains.len(), batched.len());
+        for (i, (s, b)) in serial_gains.iter().zip(&batched).enumerate() {
+            assert_eq!(s.to_bits(), b.to_bits(), "gain mismatch at candidate {i}");
+        }
+        // Relaxed atomics may interleave, but the totals must be exactly
+        // what the serial loop counted.
+        assert_eq!(serial.stats(), batch.stats());
+        assert_eq!(batch.stats().gain_evals, candidates.len() as u64);
     }
 
     #[test]

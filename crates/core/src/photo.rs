@@ -1,7 +1,6 @@
 //! The [`Photo`] record: identity, human-readable name, and byte cost.
 
 use crate::PhotoId;
-use serde::{Deserialize, Serialize};
 
 /// A photo in the archive.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// required to store it — plus an identifier. The `name` field carries a
 /// human-readable label (file name, product title, …) that flows into reports
 /// and the user-study tooling but plays no role in optimization.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Photo {
     /// Dense identifier of this photo within its instance.
     pub id: PhotoId,

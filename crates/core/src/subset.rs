@@ -2,7 +2,6 @@
 //! weight `W(q)` and normalized relevance scores `R(q, ·)`.
 
 use crate::{PhotoId, SubsetId};
-use serde::{Deserialize, Serialize};
 
 /// A pre-defined subset of photos (a landing page, album, label group, or
 /// query result set), together with its importance weight and the relevance
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// * `relevance` is parallel to `members`, strictly positive, and normalized
 ///   so that `Σ relevance = 1` (the paper's `Σ_{p∈q} R(q,p) = 1`);
 /// * `weight` is strictly positive and finite.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Subset {
     /// Dense identifier of this subset within its instance.
     pub id: SubsetId,

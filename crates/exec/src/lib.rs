@@ -1,0 +1,254 @@
+//! # par-exec — deterministic data-parallel kernels for the PHOcus workspace
+//!
+//! The paper's hot loops — CELF gain seeding, eager per-round argmaxes,
+//! SimHash signing, banded bucketing, and ≥τ candidate-pair verification —
+//! are all *embarrassingly parallel over an indexed collection*. This crate
+//! provides the one primitive they need: an order-preserving parallel map
+//! ([`par_map`] / [`par_map_slice`]) built on `std::thread::scope`, plus a
+//! process-wide [`Parallelism`] knob.
+//!
+//! The build environment has no access to crates.io, so `rayon` is not
+//! available; scoped threads give the same fork/join semantics for the
+//! chunked, uniform workloads here without a work-stealing pool.
+//!
+//! ## Determinism contract
+//!
+//! Every kernel in this crate is **bit-deterministic**: outputs are written
+//! into a pre-sized buffer at each item's own index, so the result is
+//! byte-identical to a serial `map` regardless of thread count, scheduling,
+//! or whether the `parallel` feature is enabled at all. Floating-point
+//! reductions ([`par_sum_f64`]) first materialize per-item terms in input
+//! order, then reduce sequentially — fixed order, identical rounding.
+//! Downstream, this is what makes `--features parallel` and
+//! `--no-default-features` builds select identical photo sets.
+//!
+//! ## Thread-count resolution
+//!
+//! Effective worker count = explicit argument (when using the `*_with`
+//! variants) → process-wide override ([`set_global_threads`]) → available
+//! hardware parallelism. A count of 1 short-circuits to the serial path;
+//! without the `parallel` feature everything is serial regardless.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-thread configuration for a solver or experiment run.
+///
+/// `threads: None` means "use the process default" (the global override if
+/// set, else all available cores); `Some(1)` forces strictly serial
+/// execution; `Some(n)` uses `n` workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads to use, `None` = process default.
+    pub threads: Option<usize>,
+}
+
+impl Parallelism {
+    /// Strictly serial execution.
+    pub fn serial() -> Self {
+        Parallelism { threads: Some(1) }
+    }
+
+    /// Explicit worker count (0 is treated as "all cores").
+    pub fn with_threads(threads: usize) -> Self {
+        Parallelism {
+            threads: if threads == 0 { None } else { Some(threads) },
+        }
+    }
+
+    /// Resolves to a concrete worker count.
+    pub fn resolve(self) -> usize {
+        resolve_threads(self.threads)
+    }
+
+    /// Installs this configuration as the process-wide default and returns
+    /// the previous configuration.
+    pub fn install_global(self) -> Parallelism {
+        let prev = GLOBAL_THREADS.swap(encode(self.threads), Ordering::Relaxed);
+        Parallelism {
+            threads: decode(prev),
+        }
+    }
+}
+
+/// `0` = unset, `n+1` = override of `n` threads.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn encode(threads: Option<usize>) -> usize {
+    threads.map_or(0, |t| t.max(1) + 1)
+}
+
+fn decode(raw: usize) -> Option<usize> {
+    raw.checked_sub(1)
+}
+
+/// Sets the process-wide default worker count (`None` clears the override).
+pub fn set_global_threads(threads: Option<usize>) {
+    GLOBAL_THREADS.store(encode(threads), Ordering::Relaxed);
+}
+
+/// The process-wide default worker count override, if any.
+pub fn global_threads() -> Option<usize> {
+    decode(GLOBAL_THREADS.load(Ordering::Relaxed))
+}
+
+/// Resolves an optional explicit thread count to a concrete worker count:
+/// explicit value → global override → available parallelism.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    match explicit.or_else(global_threads) {
+        Some(n) => n.max(1),
+        None => available_threads(),
+    }
+}
+
+/// Hardware parallelism (1 when it cannot be determined).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Whether this build includes the parallel backend.
+pub const fn parallel_enabled() -> bool {
+    cfg!(feature = "parallel")
+}
+
+/// Order-preserving parallel map over `0..len`, using the process-default
+/// worker count: `out[i] = f(i)`.
+pub fn par_map_indexed<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_indexed_with(None, len, f)
+}
+
+/// [`par_map_indexed`] with an explicit worker count (`None` = default).
+pub fn par_map_indexed_with<T, F>(threads: Option<usize>, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = resolve_threads(threads).min(len.max(1));
+    if !parallel_enabled() || workers <= 1 || len < 2 {
+        return (0..len).map(f).collect();
+    }
+    parallel_fill(workers, len, &f)
+}
+
+/// Order-preserving parallel map over a slice, using the process-default
+/// worker count: `out[i] = f(&items[i])`.
+pub fn par_map_slice<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_slice_with(None, items, f)
+}
+
+/// [`par_map_slice`] with an explicit worker count (`None` = default).
+pub fn par_map_slice_with<T, U, F>(threads: Option<usize>, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed_with(threads, items.len(), |i| f(&items[i]))
+}
+
+/// Deterministic parallel sum: computes `f(i)` for `i in 0..len` in
+/// parallel, then reduces the terms **sequentially in index order**, so the
+/// floating-point rounding matches the serial loop bit for bit.
+pub fn par_sum_f64<F>(len: usize, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    par_map_indexed(len, f).into_iter().sum()
+}
+
+/// Chunked fork/join over scoped threads writing into a pre-sized buffer.
+fn parallel_fill<T, F>(workers: usize, len: usize, f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, slot_chunk) in out.chunks_mut(chunk).enumerate() {
+            let start = w * chunk;
+            scope.spawn(move || {
+                for (k, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(start + k));
+                }
+            });
+        }
+    });
+    out.into_iter()
+       .map(|s| s.expect("parallel_fill: worker failed to fill its slot"))
+       .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..997).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [None, Some(1), Some(2), Some(4), Some(16)] {
+            let parallel = par_map_slice_with(threads, &items, |&x| x * x + 1);
+            assert_eq!(parallel, serial, "threads={threads:?}");
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_preserves_order() {
+        let out = par_map_indexed_with(Some(8), 100, |i| i as u64 * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert!(par_map_indexed_with(Some(4), 0, |i| i).is_empty());
+        assert_eq!(par_map_indexed_with(Some(4), 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_sum_is_bit_identical_to_serial_sum() {
+        // Terms with wildly different magnitudes make the summation order
+        // observable; the kernel must reduce in index order.
+        let terms: Vec<f64> = (0..2048)
+            .map(|i| (i as f64 * 0.7311).sin() * 10f64.powi((i % 17) - 8))
+            .collect();
+        let serial: f64 = terms.iter().sum();
+        let parallel = par_sum_f64(terms.len(), |i| terms[i]);
+        assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+
+    #[test]
+    fn global_override_round_trips() {
+        assert_eq!(global_threads(), None);
+        set_global_threads(Some(3));
+        assert_eq!(global_threads(), Some(3));
+        assert_eq!(resolve_threads(None), 3);
+        assert_eq!(resolve_threads(Some(2)), 2);
+        let prev = Parallelism::serial().install_global();
+        assert_eq!(prev.threads, Some(3));
+        assert_eq!(resolve_threads(None), 1);
+        set_global_threads(None);
+        assert_eq!(global_threads(), None);
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        assert_eq!(Parallelism::serial().resolve(), 1);
+        assert_eq!(Parallelism::with_threads(5).resolve(), 5);
+        assert_eq!(Parallelism::with_threads(0).threads, None);
+        assert!(Parallelism::default().resolve() >= 1);
+    }
+}

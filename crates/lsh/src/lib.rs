@@ -37,7 +37,7 @@ pub use tables::LshIndex;
 /// when the similarity graph is sparse, versus `Θ(n²)` for exhaustive
 /// comparison.
 pub fn similar_pairs(
-    vectors: &[impl AsRef<[f32]>],
+    vectors: &[impl AsRef<[f32]> + Sync],
     tau: f64,
     target_recall: f64,
     seed: u64,
@@ -52,7 +52,7 @@ pub fn similar_pairs(
 /// verified exactly either way, so a cheaper plan only *misses* marginal
 /// pairs, it never admits false ones.
 pub fn similar_pairs_with_plan(
-    vectors: &[impl AsRef<[f32]>],
+    vectors: &[impl AsRef<[f32]> + Sync],
     tau: f64,
     plan: LshPlan,
     seed: u64,
@@ -62,16 +62,23 @@ pub fn similar_pairs_with_plan(
     }
     let dim = vectors[0].as_ref().len();
     let hasher = SimHasher::new(dim, plan.total_bits(), seed);
-    let signatures: Vec<Signature> = vectors.iter().map(|v| hasher.sign(v.as_ref())).collect();
+    let signatures = hasher.sign_batch(vectors);
     let index = LshIndex::build(&signatures, plan.rows, plan.bands);
-    let mut out = Vec::new();
-    index.for_candidate_pairs(|i, j| {
-        let c = cosine(vectors[i as usize].as_ref(), vectors[j as usize].as_ref());
-        if c >= tau {
-            out.push((i, j, c));
-        }
-    });
-    out
+    // Candidate pairs arrive sorted and deduplicated; verify them with exact
+    // cosine in parallel, then filter in pair order — the output is
+    // identical to the serial verify loop.
+    let mut candidates: Vec<(u32, u32)> = Vec::new();
+    index.for_candidate_pairs(|i, j| candidates.push((i, j)));
+    par_exec::par_map_slice(&candidates, |&(i, j)| {
+        (
+            i,
+            j,
+            cosine(vectors[i as usize].as_ref(), vectors[j as usize].as_ref()),
+        )
+    })
+    .into_iter()
+    .filter(|&(_, _, c)| c >= tau)
+    .collect()
 }
 
 #[cfg(test)]

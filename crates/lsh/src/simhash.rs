@@ -105,6 +105,16 @@ impl SimHasher {
         }
     }
 
+    /// Signs a batch of vectors, fanning the independent per-vector work
+    /// across worker threads (serial without the `parallel` feature).
+    ///
+    /// `out[i] == self.sign(vectors[i].as_ref())` exactly: signing reads
+    /// only the shared hyperplanes, so the result is bit-identical to the
+    /// serial loop regardless of thread count.
+    pub fn sign_batch<V: AsRef<[f32]> + Sync>(&self, vectors: &[V]) -> Vec<Signature> {
+        par_exec::par_map_slice(vectors, |v| self.sign(v.as_ref()))
+    }
+
     /// Estimates cosine similarity from the Hamming distance of two
     /// signatures: `cos(π · h / bits)`.
     pub fn estimate_cosine(&self, a: &Signature, b: &Signature) -> f64 {

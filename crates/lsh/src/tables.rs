@@ -28,13 +28,17 @@ impl LshIndex {
                 rows * bands
             );
         }
-        let mut tables: Vec<HashMap<u64, Vec<u32>>> = vec![HashMap::new(); bands];
-        for (i, sig) in signatures.iter().enumerate() {
-            for (k, table) in tables.iter_mut().enumerate() {
+        // Bands are independent: build each band's table on its own worker.
+        // Within a band the items are inserted in index order, so every
+        // bucket's contents are identical to a serial build.
+        let tables: Vec<HashMap<u64, Vec<u32>>> = par_exec::par_map_indexed(bands, |k| {
+            let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
+            for (i, sig) in signatures.iter().enumerate() {
                 let key = sig.band_key(k * rows, rows);
                 table.entry(key).or_default().push(i as u32);
             }
-        }
+            table
+        });
         LshIndex {
             tables,
             num_items: signatures.len(),

@@ -14,7 +14,7 @@ use par_datasets::{
 };
 use phocus::{
     render_report, representation::RepresentationConfig, representation::Sparsification, run_suite,
-    Phocus, PhocusConfig, SuiteConfig,
+    Parallelism, Phocus, PhocusConfig, SuiteConfig,
 };
 use std::process::ExitCode;
 
@@ -54,7 +54,7 @@ PHOcus — efficiently archiving photos under storage constraints
 USAGE:
   phocus demo
   phocus table2 [--full] [--seed N]
-  phocus solve --dataset <NAME> --budget-mb <MB> [--tau T] [--ns] [--seed N] [--out FILE]
+  phocus solve --dataset <NAME> --budget-mb <MB> [--tau T] [--ns] [--seed N] [--threads N] [--out FILE]
   phocus suite --dataset <NAME> --budget-mb <MB> [--tau T] [--seed N]
   phocus compress --dataset <NAME> --budget-mb <MB> [--seed N]
   phocus export --dataset <NAME> --out <FILE> [--seed N]
@@ -176,6 +176,7 @@ fn cmd_solve(rest: &[String]) -> Result<(), String> {
     let solver = Phocus::new(PhocusConfig {
         representation: representation.clone(),
         certify_sparsification: !flag(rest, "--ns"),
+        parallelism: Parallelism::with_threads(parse(rest, "--threads", 0usize)?),
     });
     println!(
         "dataset {} — {} photos, {} subsets, archive {:.1} MB",

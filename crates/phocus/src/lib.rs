@@ -32,7 +32,8 @@ pub use compression::{
     compare_remove_vs_compress, expand_with_variants, prune_and_refill, represent_with_variants,
     CompressionComparison, CompressionLevel, VariantMap, DEFAULT_LADDER,
 };
-pub use planner::{minimal_budget, BudgetPlan};
+pub use par_exec::Parallelism;
+pub use planner::{minimal_budget, minimal_budget_with, BudgetPlan};
 pub use report::render_report;
 pub use representation::{non_contextual_view, represent, RepresentationConfig, Sparsification};
 pub use solver::{Phocus, PhocusConfig, PhocusReport};

@@ -10,6 +10,7 @@
 use crate::representation::{represent, RepresentationConfig};
 use par_core::Result;
 use par_datasets::Universe;
+use par_exec::Parallelism;
 
 /// The outcome of a budget search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,6 +32,31 @@ pub struct BudgetPlan {
 /// `target_fraction` must be in `(0, 1]`. A target of exactly 1.0 returns
 /// the full archive cost (only full retention scores Σ W(q)).
 pub fn minimal_budget(
+    universe: &Universe,
+    target_fraction: f64,
+    cfg: &RepresentationConfig,
+    tolerance: u64,
+) -> Result<BudgetPlan> {
+    minimal_budget_with(universe, target_fraction, cfg, tolerance, Parallelism::default())
+}
+
+/// [`minimal_budget`] with an explicit worker-thread configuration for the
+/// parallel kernels used by every probe. The plan is identical at every
+/// thread count; only wall-clock changes.
+pub fn minimal_budget_with(
+    universe: &Universe,
+    target_fraction: f64,
+    cfg: &RepresentationConfig,
+    tolerance: u64,
+    parallelism: Parallelism,
+) -> Result<BudgetPlan> {
+    let prev = parallelism.install_global();
+    let result = minimal_budget_inner(universe, target_fraction, cfg, tolerance);
+    prev.install_global();
+    result
+}
+
+fn minimal_budget_inner(
     universe: &Universe,
     target_fraction: f64,
     cfg: &RepresentationConfig,

@@ -178,39 +178,17 @@ fn dense_store<P: SimilarityProvider>(
 }
 
 /// Materializes one store per subset, fanning the independent per-subset
-/// work across `threads` workers (0 = all cores). Results are ordered and
-/// bit-identical to a serial run.
+/// work across `threads` workers (0 = all cores, honoring the process-wide
+/// [`par_exec`] override). Results are ordered and bit-identical to a serial
+/// run; errors surface in subset order.
 fn map_sims_parallel<F>(subsets: &[Subset], threads: usize, f: F) -> Result<Vec<ContextSim>>
 where
     F: Fn(&Subset) -> Result<ContextSim> + Sync,
 {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    };
-    if threads <= 1 || subsets.len() < 2 {
-        return subsets.iter().map(&f).collect();
-    }
-    let chunk = subsets.len().div_ceil(threads);
-    let results: Vec<Result<Vec<ContextSim>>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = subsets
-            .chunks(chunk)
-            .map(|part| scope.spawn(|_| part.iter().map(&f).collect::<Result<Vec<_>>>()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("representation worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope");
-    let mut sims = Vec::with_capacity(subsets.len());
-    for r in results {
-        sims.extend(r?);
-    }
-    Ok(sims)
+    let threads = if threads == 0 { None } else { Some(threads) };
+    par_exec::par_map_slice_with(threads, subsets, &f)
+        .into_iter()
+        .collect()
 }
 
 /// Runs the Data Representation Module: turns a universe plus budget and
@@ -296,18 +274,26 @@ pub fn represent(universe: &Universe, budget: u64, cfg: &RepresentationConfig) -
                             ctx.contextual_embedding(&universe.embeddings[p.index()], cfg.blend)
                         })
                         .collect();
+                    // Sign and verify in parallel batches. Candidate pairs
+                    // arrive sorted from the index, and the verified cosines
+                    // are filtered in that same order, so the sparse store
+                    // is bit-identical to a serial build.
                     let signatures: Vec<par_lsh::Signature> =
-                        vectors.iter().map(|v| hasher.sign(v.as_slice())).collect();
+                        par_exec::par_map_slice(&vectors, |v| hasher.sign(v.as_slice()));
                     let index = par_lsh::LshIndex::build(&signatures, plan.rows, plan.bands);
-                    index.for_candidate_pairs(|i, j| {
-                        let c = par_lsh::cosine(
+                    let mut candidates: Vec<(u32, u32)> = Vec::new();
+                    index.for_candidate_pairs(|i, j| candidates.push((i, j)));
+                    let verified = par_exec::par_map_slice(&candidates, |&(i, j)| {
+                        par_lsh::cosine(
                             vectors[i as usize].as_slice(),
                             vectors[j as usize].as_slice(),
-                        );
+                        )
+                    });
+                    for (&(i, j), &c) in candidates.iter().zip(&verified) {
                         if c >= tau {
                             pairs.push((i, j, c));
                         }
-                    });
+                    }
                 }
                 Ok(ContextSim::Sparse(SparseSim::from_pairs(q.id, n, pairs)?))
             })?;

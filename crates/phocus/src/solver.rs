@@ -4,6 +4,7 @@ use crate::representation::{represent, RepresentationConfig, Sparsification};
 use par_algo::{main_algorithm, online_bound, GreedyRule, OnlineBound, RunStats};
 use par_core::{Instance, PhotoId, Result};
 use par_datasets::Universe;
+use par_exec::Parallelism;
 use par_sparse::{sparsification_bound, SparsificationBound};
 use std::time::{Duration, Instant};
 
@@ -15,6 +16,11 @@ pub struct PhocusConfig {
     /// Compute the Theorem 4.8 certificate when sparsifying (adds a
     /// Budgeted-Max-Coverage run over the GFL graph).
     pub certify_sparsification: bool,
+    /// Worker threads for the parallel kernels (gain batches, SimHash
+    /// signing, sparsification, exact scoring). Installed as the
+    /// process-wide default for the duration of each run; the selection and
+    /// scores are identical at every thread count.
+    pub parallelism: Parallelism,
 }
 
 /// The outcome of a PHOcus run.
@@ -40,6 +46,8 @@ pub struct PhocusReport {
     pub represent_time: Duration,
     /// Wall-clock time of solving.
     pub solve_time: Duration,
+    /// Worker threads the run resolved to (1 = serial).
+    pub threads: usize,
 }
 
 /// The PHOcus system: holds a configuration, solves universes.
@@ -57,14 +65,26 @@ impl Phocus {
 
     /// Represents the universe under `budget` and solves it.
     pub fn solve(&self, universe: &Universe, budget: u64) -> Result<PhocusReport> {
-        let t0 = Instant::now();
-        let inst = represent(universe, budget, &self.config.representation)?;
-        let represent_time = t0.elapsed();
-        Ok(self.solve_instance(&inst, represent_time))
+        let prev = self.config.parallelism.install_global();
+        let result = (|| {
+            let t0 = Instant::now();
+            let inst = represent(universe, budget, &self.config.representation)?;
+            let represent_time = t0.elapsed();
+            Ok(self.solve_instance_inner(&inst, represent_time))
+        })();
+        prev.install_global();
+        result
     }
 
     /// Solves an already-represented instance.
     pub fn solve_instance(&self, inst: &Instance, represent_time: Duration) -> PhocusReport {
+        let prev = self.config.parallelism.install_global();
+        let report = self.solve_instance_inner(inst, represent_time);
+        prev.install_global();
+        report
+    }
+
+    fn solve_instance_inner(&self, inst: &Instance, represent_time: Duration) -> PhocusReport {
         let t1 = Instant::now();
         let outcome = main_algorithm(inst);
         let solve_time = t1.elapsed();
@@ -89,6 +109,7 @@ impl Phocus {
             stored_pairs: inst.stored_pairs(),
             represent_time,
             solve_time,
+            threads: self.config.parallelism.resolve(),
         }
     }
 }
@@ -126,6 +147,7 @@ mod tests {
         let solver = Phocus::new(PhocusConfig {
             representation: RepresentationConfig::phocus(0.6),
             certify_sparsification: true,
+            ..Default::default()
         });
         let report = solver.solve(&u, u.total_cost() / 4).unwrap();
         let cert = report.sparsification.expect("certificate requested");
@@ -139,7 +161,7 @@ mod tests {
         let dense = Phocus::default().solve(&u, u.total_cost() / 4).unwrap();
         let sparse = Phocus::new(PhocusConfig {
             representation: RepresentationConfig::phocus(0.7),
-            certify_sparsification: false,
+            ..Default::default()
         })
         .solve(&u, u.total_cost() / 4)
         .unwrap();

@@ -115,16 +115,14 @@ impl GflInstance {
     /// Drops every non-self edge with weight `< tau` — the τ-sparsified GFL
     /// graph used by Theorem 4.8's coverage certificate.
     pub fn sparsify(&self, tau: f64) -> GflInstance {
-        let edges = self
-            .edges
-            .iter()
-            .map(|l| {
-                l.iter()
-                    .copied()
-                    .filter(|&(_, w)| w as f64 >= tau)
-                    .collect()
-            })
-            .collect();
+        // Per-left-node edge filtering is independent; each filtered list
+        // lands at its own index, identical to the serial pass.
+        let edges = par_exec::par_map_slice(&self.edges, |l| {
+            l.iter()
+                .copied()
+                .filter(|&(_, w)| w as f64 >= tau)
+                .collect()
+        });
         GflInstance {
             left_weights: self.left_weights.clone(),
             right: self.right.clone(),

@@ -1,0 +1,147 @@
+//! Bit-level determinism of the parallel execution layer.
+//!
+//! The workspace promises that the `parallel` cargo feature changes only
+//! wall-clock, never results: every kernel (batch gain evaluation, exact
+//! scoring, SimHash signing, LSH candidate verification) produces the same
+//! bytes in serial and parallel builds, at every thread count.
+//!
+//! This test proves the promise two ways:
+//!
+//! 1. **runtime**: each fixture is solved under an installed serial
+//!    `Parallelism` and again under four worker threads, and the two result
+//!    transcripts must hash identically;
+//! 2. **cross-build**: the transcript hashes are pinned as golden constants,
+//!    so running the suite with `--features parallel` and again with
+//!    `--no-default-features` checks both builds against the *same* bytes.
+//!    (The constants contain no `cfg` branches — a drift in either build
+//!    fails here.)
+
+use par_algo::{eager_greedy, lazy_greedy, GreedyRule};
+use par_core::fixtures::{random_instance, RandomInstanceConfig, SplitMix64};
+use par_core::exact_score;
+use par_exec::Parallelism;
+use par_lsh::similar_pairs;
+
+/// FNV-1a, 64-bit: tiny, stable, dependency-free transcript hashing.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+    fn u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+/// Three seeded fixtures of different shapes (size, budget tightness,
+/// required photos) so the transcript exercises short and long greedy runs.
+fn fixture_configs() -> [(u64, RandomInstanceConfig); 3] {
+    [
+        (0xD1CE_0001, RandomInstanceConfig::default()),
+        (
+            0xD1CE_0002,
+            RandomInstanceConfig {
+                photos: 120,
+                subsets: 25,
+                subset_size: (3, 10),
+                budget_fraction: 0.25,
+                ..Default::default()
+            },
+        ),
+        (
+            0xD1CE_0003,
+            RandomInstanceConfig {
+                photos: 80,
+                subsets: 15,
+                required_prob: 0.05,
+                budget_fraction: 0.6,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+/// Solves one fixture with both greedy variants plus an exact-score pass and
+/// an LSH pair sweep, folding every result bit into one hash. Independent of
+/// any `cfg`: the same bytes must come out of serial and parallel builds.
+fn transcript_hash(seed: u64, cfg: &RandomInstanceConfig) -> u64 {
+    let mut h = Fnv::new();
+    let inst = random_instance(seed, cfg);
+
+    for rule in [GreedyRule::CostBenefit, GreedyRule::UnitCost] {
+        let lazy = lazy_greedy(&inst, rule);
+        let eager = eager_greedy(&inst, rule);
+        assert_eq!(lazy.selected, eager.selected, "lazy vs eager diverged");
+        for &p in &lazy.selected {
+            h.u32(p.0);
+        }
+        h.f64(lazy.score);
+        h.f64(eager.score);
+        h.u64(lazy.stats.gain_evals);
+        h.u64(eager.stats.gain_evals);
+        h.f64(exact_score(&inst, &lazy.selected));
+    }
+
+    // A deterministic embedding per photo drives the SimHash/LSH pipeline.
+    let vectors: Vec<Vec<f32>> = (0..inst.num_photos())
+        .map(|i| {
+            let mut rng = SplitMix64::new(seed ^ (0x5EED << 8) ^ i as u64);
+            (0..24).map(|_| (rng.next_f64() * 2.0 - 1.0) as f32).collect()
+        })
+        .collect();
+    for (i, j, cos) in similar_pairs(&vectors, 0.5, 0.9, seed) {
+        h.u64(i as u64);
+        h.u64(j as u64);
+        h.f64(cos);
+    }
+    h.0
+}
+
+/// The pinned transcript hashes. Regenerate by running this test with
+/// `PRINT_TRANSCRIPTS=1 cargo test -p integration-tests determinism -- --nocapture`.
+const GOLDEN: [u64; 3] = [
+    0x66a37933c61d6597,
+    0x1eb12feada2cb7c6,
+    0xaa22c92fe950299f,
+];
+
+#[test]
+fn results_are_bit_identical_serial_and_parallel() {
+    let mut hashes = Vec::new();
+    for (k, (seed, cfg)) in fixture_configs().iter().enumerate() {
+        let prev = Parallelism::serial().install_global();
+        let serial = transcript_hash(*seed, cfg);
+        Parallelism::with_threads(4).install_global();
+        let parallel = transcript_hash(*seed, cfg);
+        prev.install_global();
+
+        if std::env::var("PRINT_TRANSCRIPTS").is_ok() {
+            println!("fixture {k}: 0x{serial:016x}");
+        }
+        assert_eq!(
+            serial, parallel,
+            "fixture {k}: serial and 4-thread transcripts differ"
+        );
+        hashes.push(serial);
+    }
+    assert_eq!(
+        hashes,
+        GOLDEN,
+        "transcripts drifted from the pinned golden hashes \
+         (build features: parallel={})",
+        par_exec::parallel_enabled()
+    );
+}
