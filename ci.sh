@@ -21,4 +21,10 @@ cargo test -q --no-default-features
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo clippy --all-targets --no-default-features -- -D warnings"
+cargo clippy --all-targets --no-default-features -- -D warnings
+
+echo "==> gain-kernel layout bench (quick mode, smoke)"
+CRITERION_QUICK=1 cargo bench -p par-bench --bench layout
+
 echo "CI OK"

@@ -1,0 +1,114 @@
+//! Gain-kernel layout microbenchmarks: the straight-line memory-efficiency
+//! numbers behind `BENCH_layout.json`.
+//!
+//! Every kernel is timed under an installed *serial* [`Parallelism`] so the
+//! rows isolate data-layout effects (CSR/SoA similarity stores, flattened
+//! evaluator arenas, fused `W(q)·R(q,j)` weights) from thread-count effects —
+//! layout wins must hold on a single-core runner.
+//!
+//! Groups:
+//!
+//! * `layout_batch_gains` — all-candidate marginal-gain sweep on the 10k
+//!   public slice, dense and τ-sparsified stores (the CELF seeding pattern);
+//! * `layout_exact_score` — from-scratch scoring of a half-full solution
+//!   (the verification / baseline-scoring pattern);
+//! * `layout_add_remove` — incremental solution mutation round-trips (the
+//!   local-search pattern).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use par_bench::{dataset, DatasetId, Scale};
+use par_core::{exact_score, Evaluator, Instance, PhotoId};
+use par_exec::Parallelism;
+use phocus::{represent, RepresentationConfig, Sparsification};
+
+/// Dense and τ-sparsified instances over the P-10K public slice.
+fn instances() -> Vec<(&'static str, Instance)> {
+    let u = dataset(DatasetId::P10K, Scale::Scaled);
+    let budget = u.total_cost() / 5;
+    let dense = represent(&u, budget, &RepresentationConfig::default()).unwrap();
+    let sparse = represent(
+        &u,
+        budget,
+        &RepresentationConfig {
+            sparsification: Sparsification::Threshold { tau: 0.7 },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    vec![("dense", dense), ("sparse", sparse)]
+}
+
+/// Evaluator with a half-full solution: realistic mid-run state.
+fn half_full(inst: &Instance) -> Evaluator<'_> {
+    let mut ev = Evaluator::new(inst);
+    for p in (0..inst.num_photos() as u32).step_by(2) {
+        ev.add(PhotoId(p));
+    }
+    ev
+}
+
+fn bench_batch_gains(c: &mut Criterion) {
+    let prev = Parallelism::serial().install_global();
+    let mut group = c.benchmark_group("layout_batch_gains");
+    for (name, inst) in instances() {
+        let ev = half_full(&inst);
+        let all: Vec<PhotoId> = (0..inst.num_photos() as u32).map(PhotoId).collect();
+        group.bench_with_input(BenchmarkId::new("batch_gains/10k", name), &ev, |b, ev| {
+            b.iter(|| std::hint::black_box(ev.batch_gains(&all)))
+        });
+    }
+    group.finish();
+    prev.install_global();
+}
+
+fn bench_exact_score(c: &mut Criterion) {
+    let prev = Parallelism::serial().install_global();
+    let mut group = c.benchmark_group("layout_exact_score");
+    for (name, inst) in instances() {
+        let half: Vec<PhotoId> = (0..inst.num_photos() as u32)
+            .step_by(2)
+            .map(PhotoId)
+            .collect();
+        group.bench_function(BenchmarkId::new("exact_score/10k", name), |b| {
+            b.iter(|| std::hint::black_box(exact_score(&inst, &half)))
+        });
+    }
+    group.finish();
+    prev.install_global();
+}
+
+fn bench_add_remove(c: &mut Criterion) {
+    let prev = Parallelism::serial().install_global();
+    let mut group = c.benchmark_group("layout_add_remove");
+    for (name, inst) in instances() {
+        let ev = half_full(&inst);
+        // Round-trip the odd photos through the solution: every iteration
+        // starts and ends at the same state, so the measured work is stable.
+        let odds: Vec<PhotoId> = (1..inst.num_photos() as u32)
+            .step_by(20)
+            .map(PhotoId)
+            .collect();
+        group.bench_function(BenchmarkId::new("add_remove/10k", name), |b| {
+            let mut ev = ev.clone();
+            b.iter(|| {
+                for &p in &odds {
+                    ev.add(p);
+                }
+                for &p in &odds {
+                    ev.remove(p);
+                }
+                std::hint::black_box(ev.score())
+            })
+        });
+    }
+    group.finish();
+    prev.install_global();
+}
+
+criterion_group!(
+    layout_benches,
+    bench_batch_gains,
+    bench_exact_score,
+    bench_add_remove
+);
+criterion_main!(layout_benches);

@@ -52,6 +52,15 @@ pub enum ModelError {
         /// The offending value.
         value: f64,
     },
+    /// A similarity pair referenced a local member index outside the subset.
+    PairIndexOutOfRange {
+        /// The offending subset (context).
+        subset: SubsetId,
+        /// The out-of-range local member index.
+        index: u32,
+        /// Number of members in the subset.
+        members: usize,
+    },
     /// A photo was declared with zero cost, which breaks cost-benefit rules.
     ZeroCostPhoto(PhotoId),
     /// The mandatory-retention set `S₀` alone exceeds the budget.
@@ -103,6 +112,15 @@ impl fmt::Display for ModelError {
                     "similarity {value} in context {subset} is outside [0, 1]"
                 )
             }
+            ModelError::PairIndexOutOfRange {
+                subset,
+                index,
+                members,
+            } => write!(
+                f,
+                "similarity pair in context {subset} references local index {index}, \
+                 but the subset has only {members} members"
+            ),
             ModelError::ZeroCostPhoto(p) => write!(f, "photo {p} has zero cost"),
             ModelError::RequiredSetOverBudget {
                 required_cost,

@@ -13,16 +13,31 @@
 //! contexts containing `c` and, within each, only `c`'s stored neighbors:
 //!
 //! ```text
-//! Δ(c) = Σ_{(q,ℓ) ∋ c} W(q) · Σ_{j ~ ℓ} R(q,j) · max(0, SIM(q,ℓ,j) − best(q,j))
+//! Δ(c) = Σ_{(q,ℓ) ∋ c} Σ_{j ~ ℓ} wr(q,j) · max(0, SIM(q,ℓ,j) − best(q,j))
 //! ```
 //!
-//! which is `O(Σ deg(c))` — the quantity that τ-sparsification (Section 4.3)
+//! where `wr(q,j) = W(q)·R(q,j)` is precomputed once per evaluator. The query
+//! is `O(Σ deg(c))` — the quantity that τ-sparsification (Section 4.3)
 //! shrinks. [`exact_score`] recomputes `G` from scratch and is used to
 //! cross-check the incremental state in tests and to evaluate baseline
 //! selections under the *true* objective.
+//!
+//! # Memory layout
+//!
+//! All per-member state lives in flat arenas indexed by a per-subset offset
+//! table (`off[s] + j` addresses member `j` of subset `s`): `best` and
+//! `provider` are single contiguous arrays rather than one heap allocation
+//! per subset, and the fused weight array `wr` removes a relevance load and a
+//! multiply from every neighbor visit. Because the original code computed
+//! `(W(q) · R(q,j)) · (s − b)` — left-associated — precomputing the product
+//! `W(q) · R(q,j)` preserves f64 bit-identity. The neighbor loops themselves
+//! are specialized per [`ContextSim`] variant over the CSR / packed-triangle
+//! slice accessors, so the hot path runs over flat `u32`/`f32`/`f64` arrays
+//! with no closure dispatch.
 
-use crate::{Instance, PhotoId, SubsetId};
+use crate::{ContextSim, Instance, PhotoId, SubsetId};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Instrumentation counters exposed by [`Evaluator`], used by the experiment
 /// harness to report evaluation counts (the paper's ~700× lazy-evaluation
@@ -33,6 +48,139 @@ pub struct EvalStats {
     pub gain_evals: u64,
     /// Number of similarity lookups performed across all queries and updates.
     pub sim_ops: u64,
+}
+
+/// Immutable per-member layout shared by an evaluator and all its clones:
+/// the subset → arena offset table and the fused `W(q)·R(q,j)` weights.
+///
+/// Solvers like Sviridenko's partial enumeration and branch-and-bound clone
+/// evaluators on every stack frame; sharing the constant arrays behind one
+/// `Arc` keeps a clone to the two mutable arenas plus bookkeeping.
+#[derive(Debug)]
+struct MemberLayout {
+    /// `off[s]..off[s+1]` spans subset `s`'s members in the arenas.
+    off: Vec<u32>,
+    /// `wr[off[s] + j] = W(q_s) · R(q_s, j)`.
+    wr: Vec<f64>,
+}
+
+/// Visits every stored neighbor `(j, s)` of member `local` in context `sim`,
+/// running `body` with `j: usize` and `s: f64` bound, and charging `ops` one
+/// similarity op per visit — the layout-specialized replacement for
+/// `ContextSim::for_neighbors` on the evaluator hot path.
+///
+/// The dense arm iterates the contiguous lower-triangle row for `j < local`
+/// and walks column entries with an incrementally maintained row base for
+/// `j > local`; the sparse arm zips the CSR index/similarity slices; the
+/// unit arm is a plain counted loop. Visit order (ascending `j`, skipping
+/// `local`) and f64 values are identical across arms to the closure-based
+/// iteration, keeping accumulation bit-identical.
+macro_rules! for_each_neighbor {
+    ($sim:expr, $local:expr, $ops:expr, |$j:ident, $s:ident| $body:block) => {
+        match $sim {
+            ContextSim::Dense(d) => {
+                let n = d.len();
+                $ops += (n - 1) as u64;
+                for ($j, &sv) in d.row($local).iter().enumerate() {
+                    let $s = sv as f64;
+                    $body
+                }
+                let tri = d.raw_tri();
+                let mut base = $local * ($local + 1) / 2;
+                for $j in $local + 1..n {
+                    let $s = tri[base + $local] as f64;
+                    $body
+                    base += $j;
+                }
+            }
+            ContextSim::Sparse(sp) => {
+                let (ids, sims) = sp.neighbors($local);
+                $ops += ids.len() as u64;
+                for (&jj, &sv) in ids.iter().zip(sims) {
+                    let $j = jj as usize;
+                    let $s = sv as f64;
+                    $body
+                }
+            }
+            ContextSim::Unit(n) => {
+                $ops += (*n - 1) as u64;
+                for $j in 0..*n {
+                    if $j != $local {
+                        let $s = 1.0f64;
+                        $body
+                    }
+                }
+            }
+        }
+    };
+}
+
+/// Like [`for_each_neighbor!`], but runs `body` only for neighbors that
+/// *improve* on the tracked best, binding `j`, `b = best[j]`, and `s > b`.
+///
+/// The dense column walk adds a `b < 1.0` pre-check: similarities are
+/// validated into `[0, 1]`, so a member already covered at 1.0 (itself
+/// selected) can never be improved, and its similarity load — a strided
+/// cache miss through the packed triangle — is skipped without reading it.
+/// The check is semantically redundant (`s > 1.0` is impossible), which is
+/// why the streaming arms skip it: there the similarity is already in cache
+/// and a second data-dependent branch costs more than the load. `s > b` is
+/// established before `body` runs in all arms, so gain/add bodies see
+/// exactly the entries the unguarded `if s > b` would have accepted, and op
+/// accounting matches the plain macro (every stored neighbor is charged,
+/// visited or not).
+macro_rules! for_each_improving_neighbor {
+    ($sim:expr, $local:expr, $ops:expr, $best:ident, |$j:ident, $b:ident, $s:ident| $body:block) => {
+        match $sim {
+            ContextSim::Dense(d) => {
+                let n = d.len();
+                $ops += (n - 1) as u64;
+                for ($j, &sv) in d.row($local).iter().enumerate() {
+                    let $s = sv as f64;
+                    let $b = $best[$j];
+                    if $s > $b {
+                        $body
+                    }
+                }
+                let tri = d.raw_tri();
+                let mut base = $local * ($local + 1) / 2;
+                for $j in $local + 1..n {
+                    let $b = $best[$j];
+                    if $b < 1.0 {
+                        let $s = tri[base + $local] as f64;
+                        if $s > $b {
+                            $body
+                        }
+                    }
+                    base += $j;
+                }
+            }
+            ContextSim::Sparse(sp) => {
+                let (ids, sims) = sp.neighbors($local);
+                $ops += ids.len() as u64;
+                for (&jj, &sv) in ids.iter().zip(sims) {
+                    let $j = jj as usize;
+                    let $s = sv as f64;
+                    let $b = $best[$j];
+                    if $s > $b {
+                        $body
+                    }
+                }
+            }
+            ContextSim::Unit(n) => {
+                $ops += (*n - 1) as u64;
+                for $j in 0..*n {
+                    if $j != $local {
+                        let $b = $best[$j];
+                        if $b < 1.0 {
+                            let $s = 1.0f64;
+                            $body
+                        }
+                    }
+                }
+            }
+        }
+    };
 }
 
 /// Incremental evaluator of the PAR objective over a growing solution set.
@@ -51,12 +199,14 @@ pub struct Evaluator<'a> {
     inst: &'a Instance,
     selected: Vec<bool>,
     selected_ids: Vec<PhotoId>,
-    /// `best[s][j]` = best similarity of subset `s`'s member `j` to the
+    /// Offset table and fused weights, shared across clones.
+    layout: Arc<MemberLayout>,
+    /// `best[off[s] + j]` = best similarity of subset `s`'s member `j` to the
     /// current solution (0 when no member of `s` is selected).
-    best: Vec<Vec<f64>>,
-    /// `provider[s][j]` = local index of the selected member achieving
-    /// `best[s][j]` (`NO_PROVIDER` when no member of `s` is selected).
-    provider: Vec<Vec<u32>>,
+    best: Vec<f64>,
+    /// `provider[off[s] + j]` = local index of the selected member achieving
+    /// that best (`NO_PROVIDER` when no member of `s` is selected).
+    provider: Vec<u32>,
     score: f64,
     cost: u64,
     gain_evals: AtomicU64,
@@ -69,6 +219,7 @@ impl Clone for Evaluator<'_> {
             inst: self.inst,
             selected: self.selected.clone(),
             selected_ids: self.selected_ids.clone(),
+            layout: Arc::clone(&self.layout),
             best: self.best.clone(),
             provider: self.provider.clone(),
             score: self.score,
@@ -85,22 +236,24 @@ const NO_PROVIDER: u32 = u32::MAX;
 impl<'a> Evaluator<'a> {
     /// Creates an evaluator with an empty solution.
     pub fn new(inst: &'a Instance) -> Self {
-        let best = inst
-            .subsets()
-            .iter()
-            .map(|q| vec![0.0; q.members.len()])
-            .collect();
-        let provider = inst
-            .subsets()
-            .iter()
-            .map(|q| vec![NO_PROVIDER; q.members.len()])
-            .collect();
+        let total: usize = inst.subsets().iter().map(|q| q.members.len()).sum();
+        let mut off = Vec::with_capacity(inst.num_subsets() + 1);
+        off.push(0u32);
+        let mut wr = Vec::with_capacity(total);
+        for q in inst.subsets() {
+            let w = q.weight;
+            for &r in &q.relevance {
+                wr.push(w * r);
+            }
+            off.push(wr.len() as u32);
+        }
         Evaluator {
             inst,
             selected: vec![false; inst.num_photos()],
             selected_ids: Vec::new(),
-            best,
-            provider,
+            layout: Arc::new(MemberLayout { off, wr }),
+            best: vec![0.0; total],
+            provider: vec![NO_PROVIDER; total],
             score: 0.0,
             cost: 0,
             gain_evals: AtomicU64::new(0),
@@ -115,6 +268,15 @@ impl<'a> Evaluator<'a> {
             ev.add(p);
         }
         ev
+    }
+
+    /// Arena range of subset `s`'s members.
+    #[inline]
+    fn span(&self, s: usize) -> (usize, usize) {
+        (
+            self.layout.off[s] as usize,
+            self.layout.off[s + 1] as usize,
+        )
     }
 
     /// The instance this evaluator scores against.
@@ -184,22 +346,18 @@ impl<'a> Evaluator<'a> {
         let mut delta = 0.0;
         let mut ops = 0u64;
         for m in self.inst.memberships(p) {
-            let q = self.inst.subset(m.subset);
             let sim = self.inst.sim(m.subset);
-            let best = &self.best[m.subset.index()];
+            let (lo, hi) = self.span(m.subset.index());
+            let best = &self.best[lo..hi];
+            let wr = &self.layout.wr[lo..hi];
             let local = m.local as usize;
-            let w = q.weight;
             // p itself: SIM(q, p, p) = 1.
             if 1.0 > best[local] {
-                delta += w * q.relevance[local] * (1.0 - best[local]);
+                delta += wr[local] * (1.0 - best[local]);
             }
             ops += 1;
-            sim.for_neighbors(local, |j, s| {
-                ops += 1;
-                let b = best[j];
-                if s > b {
-                    delta += w * q.relevance[j] * (s - b);
-                }
+            for_each_improving_neighbor!(sim, local, ops, best, |j, b, s| {
+                delta += wr[j] * (s - b);
             });
         }
         self.sim_ops.fetch_add(ops, Ordering::Relaxed);
@@ -233,26 +391,23 @@ impl<'a> Evaluator<'a> {
         let mut delta = 0.0;
         let mut ops = 0u64;
         for m in self.inst.memberships(p) {
-            let q = self.inst.subset(m.subset);
             let sim = self.inst.sim(m.subset);
-            let best = &mut self.best[m.subset.index()];
-            let provider = &mut self.provider[m.subset.index()];
+            let (lo, hi) = self.span(m.subset.index());
+            let wr = &self.layout.wr[lo..hi];
+            let best = &mut self.best[lo..hi];
+            let provider = &mut self.provider[lo..hi];
             let local = m.local as usize;
-            let w = q.weight;
             if 1.0 > best[local] {
-                delta += w * q.relevance[local] * (1.0 - best[local]);
+                delta += wr[local] * (1.0 - best[local]);
                 best[local] = 1.0;
             }
             // A member always prefers itself once selected.
             provider[local] = local as u32;
             ops += 1;
-            sim.for_neighbors(local, |j, s| {
-                ops += 1;
-                if s > best[j] {
-                    delta += w * q.relevance[j] * (s - best[j]);
-                    best[j] = s;
-                    provider[j] = local as u32;
-                }
+            for_each_improving_neighbor!(sim, local, ops, best, |j, b, s| {
+                delta += wr[j] * (s - b);
+                best[j] = s;
+                provider[j] = local as u32;
             });
         }
         self.sim_ops.fetch_add(ops, Ordering::Relaxed);
@@ -279,11 +434,11 @@ impl<'a> Evaluator<'a> {
             let qid = m.subset;
             let q = self.inst.subset(qid);
             let sim = self.inst.sim(qid);
+            let (lo, _) = self.span(qid.index());
             let local = m.local as usize;
-            let w = q.weight;
             let n = q.members.len();
             for j in 0..n {
-                if self.provider[qid.index()][j] != local as u32 {
+                if self.provider[lo + j] != local as u32 {
                     continue;
                 }
                 // Member j lost its nearest neighbor: rescan.
@@ -293,18 +448,17 @@ impl<'a> Evaluator<'a> {
                     new_best = 1.0;
                     new_provider = j as u32;
                 } else {
-                    sim.for_neighbors(j, |k, s| {
-                        ops += 1;
+                    for_each_neighbor!(sim, j, ops, |k, s| {
                         if s > new_best && self.selected[q.members[k].index()] {
                             new_best = s;
                             new_provider = k as u32;
                         }
                     });
                 }
-                let old = self.best[qid.index()][j];
-                delta += w * q.relevance[j] * (old - new_best);
-                self.best[qid.index()][j] = new_best;
-                self.provider[qid.index()][j] = new_provider;
+                let old = self.best[lo + j];
+                delta += self.layout.wr[lo + j] * (old - new_best);
+                self.best[lo + j] = new_best;
+                self.provider[lo + j] = new_provider;
             }
         }
         self.sim_ops.fetch_add(ops, Ordering::Relaxed);
@@ -316,10 +470,11 @@ impl<'a> Evaluator<'a> {
     /// multiply by `W(q)` for the contribution to `G(S)`).
     pub fn subset_score(&self, q: SubsetId) -> f64 {
         let subset = self.inst.subset(q);
+        let (lo, hi) = self.span(q.index());
         subset
             .relevance
             .iter()
-            .zip(&self.best[q.index()])
+            .zip(&self.best[lo..hi])
             .map(|(r, b)| r * b)
             .sum()
     }
@@ -356,13 +511,14 @@ fn exact_subset_score_flags(inst: &Instance, qid: SubsetId, selected: &[bool]) -
     let q = inst.subset(qid);
     let sim = inst.sim(qid);
     let mut total = 0.0;
+    let mut ops = 0u64;
     for (i, (&p, &r)) in q.members.iter().zip(&q.relevance).enumerate() {
         let mut best = 0.0;
         if selected[p.index()] {
             best = 1.0;
         } else {
             // NN over selected co-members via stored similarities.
-            sim.for_neighbors(i, |j, s| {
+            for_each_neighbor!(sim, i, ops, |j, s| {
                 if selected[q.members[j].index()] && s > best {
                     best = s;
                 }
@@ -370,6 +526,7 @@ fn exact_subset_score_flags(inst: &Instance, qid: SubsetId, selected: &[bool]) -
         }
         total += r * best;
     }
+    let _ = ops; // uninstrumented path: counted only to share the kernel
     total
 }
 
@@ -593,5 +750,13 @@ mod tests {
         assert_eq!(ev.subset_score(SubsetId(2)), 0.0);
         ev.add(PhotoId(5)); // p6 covers q3 entirely.
         assert!((ev.subset_score(SubsetId(2)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clones_share_the_layout_arena() {
+        let inst = figure1_instance(u64::MAX);
+        let ev = Evaluator::new(&inst);
+        let clone = ev.clone();
+        assert!(Arc::ptr_eq(&ev.layout, &clone.layout));
     }
 }

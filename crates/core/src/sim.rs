@@ -9,11 +9,18 @@
 //!
 //! * [`DenseSim`] — a packed lower-triangular matrix, used when all pairwise
 //!   similarities are materialized (the paper's PHOcus-NS configuration);
-//! * [`SparseSim`] — per-member adjacency lists, used after τ-sparsification
-//!   (Section 4.3) or when the pairs come from an LSH index.
+//! * [`SparseSim`] — a CSR (compressed sparse row) adjacency store with split
+//!   index/similarity arrays, used after τ-sparsification (Section 4.3) or
+//!   when the pairs come from an LSH index.
 //!
 //! Both layouts implicitly define `SIM(q, p, p) = 1` and treat missing pairs
 //! as similarity 0, exactly as the sparsified model does.
+//!
+//! Both expose *slice-returning* accessors ([`SparseSim::neighbors`],
+//! [`DenseSim::row`], [`DenseSim::raw_tri`]) so that hot kernels — the
+//! [`Evaluator`](crate::Evaluator)'s marginal-gain, add, remove and
+//! exact-score loops — iterate flat arrays with no per-element pointer
+//! chasing, enum dispatch, or triangular index arithmetic.
 //!
 //! [`SimilarityProvider`] abstracts over *sources* of similarity (embedding
 //! cosine, test oracles, closures) from which the stores are materialized.
@@ -83,7 +90,7 @@ impl DenseSim {
         provider: &P,
     ) -> Result<Self> {
         let n = subset.members.len();
-        let mut tri = Vec::with_capacity(n * (n - 1) / 2);
+        let mut tri = Vec::with_capacity(n * n.saturating_sub(1) / 2);
         for i in 1..n {
             for j in 0..i {
                 let s = provider.similarity(subset, subset.members[i], subset.members[j]);
@@ -103,7 +110,7 @@ impl DenseSim {
     /// (row-major). Only the lower triangle is read.
     pub fn from_matrix(subset_id: SubsetId, n: usize, matrix: &[f64]) -> Result<Self> {
         assert_eq!(matrix.len(), n * n, "matrix must be n*n row-major");
-        let mut tri = Vec::with_capacity(n * (n - 1) / 2);
+        let mut tri = Vec::with_capacity(n * n.saturating_sub(1) / 2);
         for i in 1..n {
             for j in 0..i {
                 let s = matrix[i * n + j];
@@ -141,20 +148,74 @@ impl DenseSim {
         self.tri[hi * (hi - 1) / 2 + lo] as f64
     }
 
-    /// Converts to a sparse store, dropping all similarities `< tau`
-    /// (the τ-sparsification of Section 4.3).
+    /// The contiguous lower-triangle row of member `i`: similarities to
+    /// members `0..i`, in member order. Empty for `i == 0`.
+    ///
+    /// Together with [`raw_tri`](Self::raw_tri) this lets kernels visit all
+    /// neighbors of `i` without per-element triangular index arithmetic: the
+    /// entries `(j, i)` for `j > i` live at `raw_tri()[base + i]` where
+    /// `base` starts at `i·(i+1)/2` (row `i+1`) and advances by `j` per row.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        let base = i * i.saturating_sub(1) / 2;
+        &self.tri[base..base + i]
+    }
+
+    /// The packed lower triangle: entry `(i, j)` with `i > j` at
+    /// `i·(i−1)/2 + j`. See [`row`](Self::row) for the hoisted iteration
+    /// pattern over a member's column entries.
+    #[inline]
+    pub fn raw_tri(&self) -> &[f32] {
+        &self.tri
+    }
+
+    /// Converts to a sparse store, dropping all zero similarities and all
+    /// similarities `< tau` (the τ-sparsification of Section 4.3).
     pub fn sparsify(&self, tau: f64) -> SparseSim {
-        let mut adj: Vec<Vec<(u32, f32)>> = vec![Vec::new(); self.n];
-        for i in 1..self.n {
+        let n = self.n;
+        let keep = |s: f32| (s as f64) >= tau && s > 0.0;
+        // Pass 1: per-row degree counts.
+        let mut offsets = vec![0u32; n + 1];
+        for i in 1..n {
+            let base = i * (i - 1) / 2;
             for j in 0..i {
-                let s = self.tri[i * (i - 1) / 2 + j];
-                if (s as f64) >= tau && s > 0.0 {
-                    adj[i].push((j as u32, s));
-                    adj[j].push((i as u32, s));
+                if keep(self.tri[base + j]) {
+                    offsets[i + 1] += 1;
+                    offsets[j + 1] += 1;
                 }
             }
         }
-        SparseSim { adj }
+        for k in 1..=n {
+            offsets[k] += offsets[k - 1];
+        }
+        // Pass 2: fill. Iterating pairs (i, j<i) in row-major order hands
+        // each CSR row first its smaller neighbors (ascending j) and then its
+        // larger ones (ascending i), so every row comes out sorted.
+        let total = offsets[n] as usize;
+        let mut neighbor_idx = vec![0u32; total];
+        let mut sim = vec![0.0f32; total];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for i in 1..n {
+            let base = i * (i - 1) / 2;
+            for j in 0..i {
+                let s = self.tri[base + j];
+                if keep(s) {
+                    let ci = cursor[i] as usize;
+                    neighbor_idx[ci] = j as u32;
+                    sim[ci] = s;
+                    cursor[i] += 1;
+                    let cj = cursor[j] as usize;
+                    neighbor_idx[cj] = i as u32;
+                    sim[cj] = s;
+                    cursor[j] += 1;
+                }
+            }
+        }
+        SparseSim {
+            offsets,
+            neighbor_idx,
+            sim,
+        }
     }
 
     /// Number of stored (unordered) pairs with nonzero similarity.
@@ -163,26 +224,57 @@ impl DenseSim {
     }
 }
 
-/// Per-member adjacency lists of similarities over one subset's members.
+/// CSR (compressed sparse row) adjacency store of similarities over one
+/// subset's members.
 ///
-/// `adj[i]` holds `(j, SIM(q, mᵢ, mⱼ))` for every *other* member `j` whose
-/// stored similarity is nonzero. The diagonal is implicit (1.0); absent pairs
-/// have similarity 0 — exactly the semantics of a τ-sparsified instance.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// Row `i` spans `offsets[i]..offsets[i+1]` in the split `neighbor_idx` /
+/// `sim` arrays and holds `(j, SIM(q, mᵢ, mⱼ))` for every *other* member `j`
+/// whose stored similarity is nonzero, sorted by `j`. The diagonal is
+/// implicit (1.0); absent pairs have similarity 0 — exactly the semantics of
+/// a τ-sparsified instance.
+///
+/// The structure-of-arrays split keeps the index stream and the value stream
+/// each contiguous, so a marginal-gain kernel walking a row touches two flat
+/// `u32`/`f32` runs instead of chasing one heap allocation per member.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SparseSim {
-    adj: Vec<Vec<(u32, f32)>>,
+    /// Row boundaries: row `i` is `offsets[i]..offsets[i+1]`; `len = n + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbor local indices, sorted within each row.
+    neighbor_idx: Vec<u32>,
+    /// Similarities parallel to `neighbor_idx`.
+    sim: Vec<f32>,
+}
+
+impl Default for SparseSim {
+    fn default() -> Self {
+        SparseSim::empty(0)
+    }
 }
 
 impl SparseSim {
+    /// The store over `n` members with no pairs at all.
+    pub fn empty(n: usize) -> Self {
+        SparseSim {
+            offsets: vec![0; n + 1],
+            neighbor_idx: Vec::new(),
+            sim: Vec::new(),
+        }
+    }
+
     /// Builds a sparse store over `n` members from unordered pairs
     /// `(i, j, sim)`. Pairs are inserted symmetrically; duplicate pairs keep
     /// the maximum similarity; self-pairs and zero similarities are ignored.
+    /// Indices `≥ n` are rejected with
+    /// [`ModelError::PairIndexOutOfRange`].
     pub fn from_pairs(
         subset_id: SubsetId,
         n: usize,
         pairs: impl IntoIterator<Item = (u32, u32, f64)>,
     ) -> Result<Self> {
-        let mut adj: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n];
+        // Collect both directions, then sort-and-merge: O(E log E) total,
+        // instead of the O(deg²) linear-scan upsert a per-row build costs.
+        let mut entries: Vec<(u32, u32, f32)> = Vec::new();
         for (i, j, s) in pairs {
             if !(0.0..=1.0).contains(&s) || s.is_nan() {
                 return Err(ModelError::InvalidSimilarity {
@@ -193,27 +285,57 @@ impl SparseSim {
             if i == j || s == 0.0 {
                 continue;
             }
-            let (i, j) = (i as usize, j as usize);
-            assert!(i < n && j < n, "pair index out of range");
-            upsert_max(&mut adj[i], j as u32, s as f32);
-            upsert_max(&mut adj[j], i as u32, s as f32);
+            if let Some(&index) = [i, j].iter().find(|&&k| k as usize >= n) {
+                return Err(ModelError::PairIndexOutOfRange {
+                    subset: subset_id,
+                    index,
+                    members: n,
+                });
+            }
+            entries.push((i, j, s as f32));
+            entries.push((j, i, s as f32));
         }
-        for list in &mut adj {
-            list.sort_unstable_by_key(|&(j, _)| j);
+        // Sort by (row, col); ties keep the highest similarity up front so
+        // the dedup below retains the maximum of duplicate pairs.
+        entries.sort_unstable_by(|a, b| {
+            (a.0, a.1)
+                .cmp(&(b.0, b.1))
+                .then_with(|| b.2.total_cmp(&a.2))
+        });
+        entries.dedup_by_key(|e| (e.0, e.1));
+
+        let mut offsets = vec![0u32; n + 1];
+        for &(i, _, _) in &entries {
+            offsets[i as usize + 1] += 1;
         }
-        Ok(SparseSim { adj })
+        for k in 1..=n {
+            offsets[k] += offsets[k - 1];
+        }
+        // Entries are sorted by row, so a straight push fills each CSR row
+        // in place and already sorted by neighbor index.
+        let mut neighbor_idx = Vec::with_capacity(entries.len());
+        let mut sim = Vec::with_capacity(entries.len());
+        for &(_, j, s) in &entries {
+            neighbor_idx.push(j);
+            sim.push(s);
+        }
+        Ok(SparseSim {
+            offsets,
+            neighbor_idx,
+            sim,
+        })
     }
 
     /// Number of members covered by the store.
     #[inline]
     pub fn len(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Whether the store covers zero members.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.len() == 0
     }
 
     /// Similarity between local member indices `i` and `j` (0 if not stored).
@@ -221,31 +343,53 @@ impl SparseSim {
         if i == j {
             return 1.0;
         }
-        self.adj[i]
-            .binary_search_by_key(&(j as u32), |&(k, _)| k)
-            .map(|pos| self.adj[i][pos].1 as f64)
+        let (ids, sims) = self.neighbors(i);
+        ids.binary_search(&(j as u32))
+            .map(|pos| sims[pos] as f64)
             .unwrap_or(0.0)
     }
 
-    /// Neighbors of member `i`: other members with nonzero stored similarity.
+    /// Neighbors of member `i` as parallel slices `(indices, similarities)`:
+    /// other members with nonzero stored similarity, sorted by local index.
     #[inline]
-    pub fn neighbors(&self, i: usize) -> &[(u32, f32)] {
-        &self.adj[i]
+    pub fn neighbors(&self, i: usize) -> (&[u32], &[f32]) {
+        let start = self.offsets[i] as usize;
+        let end = self.offsets[i + 1] as usize;
+        (&self.neighbor_idx[start..end], &self.sim[start..end])
+    }
+
+    /// Number of stored neighbors of member `i`.
+    #[inline]
+    pub fn degree(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
     /// Number of stored (unordered) nonzero pairs.
     pub fn nonzero_pairs(&self) -> usize {
-        self.adj.iter().map(|l| l.len()).sum::<usize>() / 2
+        self.neighbor_idx.len() / 2
     }
-}
 
-fn upsert_max(list: &mut Vec<(u32, f32)>, j: u32, s: f32) {
-    if let Some(entry) = list.iter_mut().find(|(k, _)| *k == j) {
-        if s > entry.1 {
-            entry.1 = s;
+    /// A copy with all similarities `< tau` (and any zeros) dropped.
+    pub fn sparsify(&self, tau: f64) -> SparseSim {
+        let n = self.len();
+        let mut offsets = vec![0u32; n + 1];
+        let mut neighbor_idx = Vec::new();
+        let mut sim = Vec::new();
+        for i in 0..n {
+            let (ids, sims) = self.neighbors(i);
+            for (&j, &s) in ids.iter().zip(sims) {
+                if (s as f64) >= tau && s > 0.0 {
+                    neighbor_idx.push(j);
+                    sim.push(s);
+                }
+            }
+            offsets[i + 1] = neighbor_idx.len() as u32;
         }
-    } else {
-        list.push((j, s));
+        SparseSim {
+            offsets,
+            neighbor_idx,
+            sim,
+        }
     }
 }
 
@@ -277,6 +421,25 @@ impl ContextSim {
         self.len() == 0
     }
 
+    /// The sparse store, if this is the CSR variant. Hot consumers branch on
+    /// this once and then iterate the raw [`SparseSim::neighbors`] slices.
+    #[inline]
+    pub fn as_sparse(&self) -> Option<&SparseSim> {
+        match self {
+            ContextSim::Sparse(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The dense store, if this is the packed-triangle variant.
+    #[inline]
+    pub fn as_dense(&self) -> Option<&DenseSim> {
+        match self {
+            ContextSim::Dense(d) => Some(d),
+            _ => None,
+        }
+    }
+
     /// Similarity between local member indices `i` and `j`.
     #[inline]
     pub fn sim(&self, i: usize, j: usize) -> f64 {
@@ -291,18 +454,27 @@ impl ContextSim {
     /// similarity to `i`. For dense stores this visits all other members
     /// (zero entries included — the evaluator relies on nonnegativity, not
     /// on skipping zeros); for sparse stores only stored neighbors.
+    ///
+    /// The dense arm iterates the contiguous [`DenseSim::row`] slice for
+    /// `j < i` and walks the column entries with an incrementally maintained
+    /// row base for `j > i`, so no per-element triangular multiply occurs.
     #[inline]
     pub fn for_neighbors(&self, i: usize, mut f: impl FnMut(usize, f64)) {
         match self {
             ContextSim::Dense(d) => {
-                for j in 0..d.n {
-                    if j != i {
-                        f(j, d.sim(i, j));
-                    }
+                for (j, &s) in d.row(i).iter().enumerate() {
+                    f(j, s as f64);
+                }
+                let tri = d.raw_tri();
+                let mut base = i * (i + 1) / 2;
+                for j in i + 1..d.len() {
+                    f(j, tri[base + i] as f64);
+                    base += j;
                 }
             }
             ContextSim::Sparse(s) => {
-                for &(j, sim) in &s.adj[i] {
+                let (ids, sims) = s.neighbors(i);
+                for (&j, &sim) in ids.iter().zip(sims) {
                     f(j as usize, sim as f64);
                 }
             }
@@ -327,32 +499,19 @@ impl ContextSim {
     }
 
     /// Applies τ-sparsification, producing a store with all similarities
-    /// `< tau` dropped.
+    /// `< tau` dropped. Zero-similarity entries are dropped on every arm
+    /// (stored zeros and absent pairs are semantically identical).
     pub fn sparsify(&self, tau: f64) -> ContextSim {
         match self {
             ContextSim::Unit(n) => {
                 if tau <= 1.0 {
                     ContextSim::Unit(*n)
                 } else {
-                    ContextSim::Sparse(SparseSim {
-                        adj: vec![Vec::new(); *n],
-                    })
+                    ContextSim::Sparse(SparseSim::empty(*n))
                 }
             }
             ContextSim::Dense(d) => ContextSim::Sparse(d.sparsify(tau)),
-            ContextSim::Sparse(s) => {
-                let adj = s
-                    .adj
-                    .iter()
-                    .map(|l| {
-                        l.iter()
-                            .copied()
-                            .filter(|&(_, sim)| sim as f64 >= tau)
-                            .collect()
-                    })
-                    .collect();
-                ContextSim::Sparse(SparseSim { adj })
-            }
+            ContextSim::Sparse(s) => ContextSim::Sparse(s.sparsify(tau)),
         }
     }
 }
@@ -368,6 +527,16 @@ mod tests {
             weight: 1.0,
             members: vec![PhotoId(0), PhotoId(1), PhotoId(2)],
             relevance: vec![0.4, 0.3, 0.3],
+        }
+    }
+
+    fn empty_subset() -> Subset {
+        Subset {
+            id: SubsetId(0),
+            label: "e".into(),
+            weight: 1.0,
+            members: vec![],
+            relevance: vec![],
         }
     }
 
@@ -391,6 +560,48 @@ mod tests {
             DenseSim::from_provider(&q, &bad),
             Err(ModelError::InvalidSimilarity { .. })
         ));
+    }
+
+    #[test]
+    fn empty_subset_stores_work() {
+        // Regression: `n*(n-1)/2` capacity math underflowed in debug builds
+        // when n == 0.
+        let q = empty_subset();
+        let d = DenseSim::from_provider(&q, &UnitSimilarity).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.nonzero_pairs(), 0);
+        let s = d.sparsify(0.5);
+        assert!(s.is_empty());
+        assert_eq!(s.nonzero_pairs(), 0);
+        let m = DenseSim::from_matrix(SubsetId(0), 0, &[]).unwrap();
+        assert!(m.is_empty());
+        let sp = SparseSim::from_pairs(SubsetId(0), 0, vec![]).unwrap();
+        assert!(sp.is_empty());
+        assert_eq!(SparseSim::default().len(), 0);
+    }
+
+    #[test]
+    fn dense_row_and_raw_tri_match_sim() {
+        let q = subset3();
+        let prov =
+            FnSimilarity(|_, a: PhotoId, b: PhotoId| 1.0 / (1.0 + (a.0 as f64 - b.0 as f64).abs()));
+        let d = DenseSim::from_provider(&q, &prov).unwrap();
+        assert!(d.row(0).is_empty());
+        for i in 0..3 {
+            let row = d.row(i);
+            assert_eq!(row.len(), i);
+            for (j, &s) in row.iter().enumerate() {
+                assert_eq!(s as f64, d.sim(i, j));
+            }
+        }
+        // Column walk with the documented incremental base.
+        let i = 0usize;
+        let tri = d.raw_tri();
+        let mut base = i * (i + 1) / 2;
+        for j in i + 1..d.len() {
+            assert_eq!(tri[base + i] as f64, d.sim(i, j));
+            base += j;
+        }
     }
 
     #[test]
@@ -420,6 +631,25 @@ mod tests {
         assert!((s.sim(0, 1) - 0.7).abs() < 1e-6);
         assert_eq!(s.sim(0, 2), 0.0);
         assert_eq!(s.nonzero_pairs(), 1);
+        assert_eq!(s.degree(0), 1);
+        assert_eq!(s.degree(2), 0);
+    }
+
+    #[test]
+    fn sparse_from_pairs_rejects_out_of_range_index() {
+        let err = SparseSim::from_pairs(SubsetId(3), 2, vec![(0, 5, 0.5)]).unwrap_err();
+        match err {
+            ModelError::PairIndexOutOfRange {
+                subset,
+                index,
+                members,
+            } => {
+                assert_eq!(subset, SubsetId(3));
+                assert_eq!(index, 5);
+                assert_eq!(members, 2);
+            }
+            other => panic!("expected PairIndexOutOfRange, got {other:?}"),
+        }
     }
 
     #[test]
@@ -434,6 +664,22 @@ mod tests {
         let mut seen = Vec::new();
         cs.for_neighbors(0, |j, sim| seen.push((j, sim)));
         assert_eq!(seen, vec![(1, 0.5), (2, 0.25)]);
+    }
+
+    #[test]
+    fn csr_rows_are_sorted_slices() {
+        let s = SparseSim::from_pairs(
+            SubsetId(0),
+            4,
+            vec![(3, 0, 0.4), (0, 1, 0.5), (2, 0, 0.25)],
+        )
+        .unwrap();
+        let (ids, sims) = s.neighbors(0);
+        assert_eq!(ids, &[1, 2, 3]);
+        assert_eq!(sims, &[0.5, 0.25, 0.4]);
+        let (ids, sims) = s.neighbors(1);
+        assert_eq!(ids, &[0]);
+        assert_eq!(sims, &[0.5]);
     }
 
     #[test]
@@ -461,5 +707,52 @@ mod tests {
         let cs = ContextSim::Sparse(s).sparsify(0.5);
         assert_eq!(cs.sim(1, 2), 0.0);
         assert!((cs.sim(0, 1) - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dense_and_sparse_sparsify_arms_agree() {
+        // The Dense and Sparse sparsify arms must produce identical stores
+        // from the same underlying similarities, including dropping zeros
+        // even at tau = 0.
+        let n = 5;
+        let value = |i: usize, j: usize| -> f64 {
+            match (i + j) % 4 {
+                0 => 0.0,
+                1 => 0.2,
+                2 => 0.55,
+                _ => 0.9,
+            }
+        };
+        let mut matrix = vec![1.0f64; n * n];
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in 0..i {
+                let s = value(i, j);
+                matrix[i * n + j] = s;
+                matrix[j * n + i] = s;
+                pairs.push((j as u32, i as u32, s));
+            }
+        }
+        let dense = ContextSim::Dense(DenseSim::from_matrix(SubsetId(0), n, &matrix).unwrap());
+        let sparse =
+            ContextSim::Sparse(SparseSim::from_pairs(SubsetId(0), n, pairs.clone()).unwrap());
+        for tau in [0.0, 0.3, 0.6, 1.1] {
+            let from_dense = dense.sparsify(tau);
+            let from_sparse = sparse.sparsify(tau);
+            assert_eq!(
+                from_dense.nonzero_pairs(),
+                from_sparse.nonzero_pairs(),
+                "pair counts differ at tau={tau}"
+            );
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(
+                        from_dense.sim(i, j),
+                        from_sparse.sim(i, j),
+                        "sim({i},{j}) differs at tau={tau}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -185,18 +185,32 @@ pub fn represent_with_variants(
         let store = inst.sim(q.id);
         let n = q.members.len();
         let mut pairs = Vec::new();
-        for i in 0..n {
-            store.for_neighbors(i, |j, s| {
-                if j < i {
-                    return; // each unordered pair once
+        let push_pair = |pairs: &mut Vec<(u32, u32, f64)>, i: usize, j: usize, s: f64| {
+            let a = q.members[i].index();
+            let b = q.members[j].index();
+            let scaled = s * quality(a) * quality(b);
+            if scaled > 0.0 {
+                pairs.push((i as u32, j as u32, scaled));
+            }
+        };
+        if let par_core::ContextSim::Sparse(sp) = store {
+            // CSR rows are sorted, so the upper-triangle suffix of row `i`
+            // enumerates each unordered pair exactly once.
+            for i in 0..n {
+                let (ids, sims) = sp.neighbors(i);
+                let upper = ids.partition_point(|&j| (j as usize) <= i);
+                for (&j, &s) in ids[upper..].iter().zip(&sims[upper..]) {
+                    push_pair(&mut pairs, i, j as usize, s as f64);
                 }
-                let a = q.members[i].index();
-                let b = q.members[j].index();
-                let scaled = s * quality(a) * quality(b);
-                if scaled > 0.0 {
-                    pairs.push((i as u32, j as u32, scaled));
-                }
-            });
+            }
+        } else {
+            for i in 0..n {
+                store.for_neighbors(i, |j, s| {
+                    if j > i {
+                        push_pair(&mut pairs, i, j, s); // each unordered pair once
+                    }
+                });
+            }
         }
         sims.push(par_core::ContextSim::Sparse(
             par_core::SparseSim::from_pairs(q.id, n, pairs)?,

@@ -15,7 +15,7 @@
 //! all weights 1 the formulation collapses to classical Facility Location —
 //! the special case whose sparsification bounds the paper generalizes.
 
-use par_core::{Instance, PhotoId, SubsetId};
+use par_core::{ContextSim, Instance, PhotoId, SubsetId};
 
 /// A right node of the GFL bipartite graph: the pair `(q, p)` with weight
 /// `W(q) · R(q, p)`.
@@ -62,12 +62,21 @@ impl GflInstance {
                 });
                 // Self edge of weight 1.
                 edges[p.index()].push((right_idx, 1.0));
-                // Edges from each co-member with nonzero similarity.
-                sim.for_neighbors(local, |j, s| {
-                    if s > 0.0 {
-                        edges[q.members[j].index()].push((right_idx, s as f32));
+                // Edges from each co-member with nonzero similarity. The
+                // CSR store holds only nonzero entries, so its rows map to
+                // edges directly without the zero filter.
+                if let ContextSim::Sparse(sp) = sim {
+                    let (ids, sims) = sp.neighbors(local);
+                    for (&j, &s) in ids.iter().zip(sims) {
+                        edges[q.members[j as usize].index()].push((right_idx, s));
                     }
-                });
+                } else {
+                    sim.for_neighbors(local, |j, s| {
+                        if s > 0.0 {
+                            edges[q.members[j].index()].push((right_idx, s as f32));
+                        }
+                    });
+                }
             }
         }
         GflInstance {

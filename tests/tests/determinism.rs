@@ -18,7 +18,7 @@
 
 use par_algo::{eager_greedy, lazy_greedy, GreedyRule};
 use par_core::fixtures::{random_instance, RandomInstanceConfig, SplitMix64};
-use par_core::exact_score;
+use par_core::{exact_score, Evaluator, PhotoId, SubsetId};
 use par_exec::Parallelism;
 use par_lsh::similar_pairs;
 
@@ -110,12 +110,57 @@ fn transcript_hash(seed: u64, cfg: &RandomInstanceConfig) -> u64 {
     h.0
 }
 
+/// Exercises the evaluator's raw gain/add/remove kernels directly (below the
+/// solver layer): a full batch-gain sweep, a deterministic add schedule with
+/// interleaved removals, and per-subset score probes, folding every returned
+/// f64 and both instrumentation counters into the hash. This pins the arena
+/// layout and fused-weight arithmetic independently of solver behavior.
+fn evaluator_transcript_hash(seed: u64, cfg: &RandomInstanceConfig) -> u64 {
+    let mut h = Fnv::new();
+    let inst = random_instance(seed, cfg);
+    let mut ev = Evaluator::new(&inst);
+    let all: Vec<PhotoId> = (0..inst.num_photos() as u32).map(PhotoId).collect();
+
+    for g in ev.batch_gains(&all) {
+        h.f64(g);
+    }
+
+    // Deterministic mutation schedule: add a seeded sample, occasionally
+    // removing an earlier pick, so best/provider rescans are exercised.
+    let mut rng = SplitMix64::new(seed ^ 0xE7A1);
+    for step in 0..40u64 {
+        let p = PhotoId(rng.next_below(inst.num_photos()) as u32);
+        if step % 5 == 4 && ev.num_selected() > 0 {
+            let victim = ev.selected_ids()[rng.next_below(ev.num_selected())];
+            h.f64(ev.remove(victim));
+        } else {
+            h.f64(ev.add(p));
+        }
+        h.f64(ev.score());
+    }
+    for q in 0..inst.num_subsets() {
+        h.f64(ev.subset_score(SubsetId(q as u32)));
+    }
+    h.f64(exact_score(&inst, ev.selected_ids()));
+    let stats = ev.stats();
+    h.u64(stats.gain_evals);
+    h.u64(stats.sim_ops);
+    h.0
+}
+
 /// The pinned transcript hashes. Regenerate by running this test with
 /// `PRINT_TRANSCRIPTS=1 cargo test -p integration-tests determinism -- --nocapture`.
 const GOLDEN: [u64; 3] = [
     0x66a37933c61d6597,
     0x1eb12feada2cb7c6,
     0xaa22c92fe950299f,
+];
+
+/// Pinned evaluator-kernel transcript hashes; same regeneration recipe.
+const EVALUATOR_GOLDEN: [u64; 3] = [
+    0xda29f6b10a5b26e4,
+    0x7389f69f18e5885f,
+    0x4d4671b33be8cddc,
 ];
 
 #[test]
@@ -141,6 +186,34 @@ fn results_are_bit_identical_serial_and_parallel() {
         hashes,
         GOLDEN,
         "transcripts drifted from the pinned golden hashes \
+         (build features: parallel={})",
+        par_exec::parallel_enabled()
+    );
+}
+
+#[test]
+fn evaluator_kernels_are_bit_identical_serial_and_parallel() {
+    let mut hashes = Vec::new();
+    for (k, (seed, cfg)) in fixture_configs().iter().enumerate() {
+        let prev = Parallelism::serial().install_global();
+        let serial = evaluator_transcript_hash(*seed, cfg);
+        Parallelism::with_threads(4).install_global();
+        let parallel = evaluator_transcript_hash(*seed, cfg);
+        prev.install_global();
+
+        if std::env::var("PRINT_TRANSCRIPTS").is_ok() {
+            println!("evaluator fixture {k}: 0x{serial:016x}");
+        }
+        assert_eq!(
+            serial, parallel,
+            "fixture {k}: serial and 4-thread evaluator transcripts differ"
+        );
+        hashes.push(serial);
+    }
+    assert_eq!(
+        hashes,
+        EVALUATOR_GOLDEN,
+        "evaluator transcripts drifted from the pinned golden hashes \
          (build features: parallel={})",
         par_exec::parallel_enabled()
     );
