@@ -27,4 +27,10 @@ cargo clippy --all-targets --no-default-features -- -D warnings
 echo "==> gain-kernel layout bench (quick mode, smoke)"
 CRITERION_QUICK=1 cargo bench -p par-bench --bench layout
 
+echo "==> component-sharded solver bench (quick mode, smoke)"
+CRITERION_QUICK=1 cargo bench -p par-bench --bench shard
+
+echo "==> bench guard (recorded BENCH_*.json baselines)"
+cargo run --release -q -p par-bench --bin bench_guard
+
 echo "CI OK"

@@ -34,7 +34,7 @@ pub enum GreedyRule {
 impl GreedyRule {
     /// The priority key for a photo with gain `delta` and cost `cost`.
     #[inline]
-    fn key(self, delta: f64, cost: u64) -> f64 {
+    pub(crate) fn key(self, delta: f64, cost: u64) -> f64 {
         match self {
             GreedyRule::UnitCost => delta,
             GreedyRule::CostBenefit => delta / cost as f64,
@@ -44,10 +44,14 @@ impl GreedyRule {
 
 /// A priority-queue entry: cached key, photo, and the solution size at which
 /// the key was computed (entries from older solution states are stale).
-struct Entry {
-    key: f64,
-    photo: PhotoId,
-    epoch: u32,
+///
+/// Shared with the component-sharded driver in [`crate::sharded`], whose
+/// per-shard streams must order entries exactly as the global heap does.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Entry {
+    pub(crate) key: f64,
+    pub(crate) photo: PhotoId,
+    pub(crate) epoch: u32,
 }
 
 impl PartialEq for Entry {

@@ -28,35 +28,79 @@ pub struct CurvePoint {
 /// Computes the curve for the given budgets (any order; the result follows
 /// the input order). Budgets below the required-set cost are clamped up to
 /// it, so every point is policy-feasible.
+///
+/// Budgets are processed in ascending order against **one** incrementally
+/// maintained evaluator: each point diffs its kept set against the previous
+/// point's and applies only the changed adds/removes, instead of rebuilding
+/// a fresh evaluator and replaying the whole prefix per budget. The kept
+/// sets are *not* nested across budgets — a cheap photo late in the order
+/// can fit where an expensive earlier one did not and vice versa — so the
+/// per-budget membership comes from a pure cost walk (integer arithmetic,
+/// identical to the old `fits` walk) and only the evaluator updates are
+/// incremental. Kept sets, costs, and retained counts are exactly those of
+/// the replay-from-scratch implementation; scores agree up to f64
+/// re-association (~1e-12 relative).
 pub fn quality_curve(inst: &Instance, budgets: &[u64]) -> Vec<CurvePoint> {
     if budgets.is_empty() {
         return Vec::new();
     }
-    let max_budget = (*budgets.iter().max().expect("non-empty")).max(inst.required_cost());
+    let floor = inst.required_cost();
+    let max_budget = (*budgets.iter().max().expect("non-empty")).max(floor);
     let reference = inst
         .with_budget(max_budget)
         .expect("max budget covers S₀");
     let order: Vec<PhotoId> = lazy_greedy(&reference, GreedyRule::CostBenefit).selected;
 
-    budgets
-        .iter()
-        .map(|&b| {
-            let budget = b.max(inst.required_cost());
-            // Filtered prefix: walk the order, keep what fits.
-            let mut ev = Evaluator::new(inst);
-            for &p in &order {
-                if ev.fits(p, budget) {
-                    ev.add(p);
-                }
+    // Ascending budget sweep; ties and the input order are restored at the
+    // end via the index permutation.
+    let mut by_budget: Vec<usize> = (0..budgets.len()).collect();
+    by_budget.sort_by_key(|&i| budgets[i].max(floor));
+
+    let mut ev = Evaluator::new(inst);
+    let mut kept = vec![false; inst.num_photos()];
+    let mut out = vec![
+        CurvePoint {
+            budget: 0,
+            score: 0.0,
+            cost: 0,
+            retained: 0,
+        };
+        budgets.len()
+    ];
+    let mut keep_now = vec![false; inst.num_photos()];
+    for &i in &by_budget {
+        let budget = budgets[i].max(floor);
+        // Filtered prefix membership at this budget: walk the order, keep
+        // what fits — the same greedy cost walk as before, sans evaluator.
+        keep_now.iter_mut().for_each(|k| *k = false);
+        let mut cost = 0u64;
+        for &p in &order {
+            if cost + inst.cost(p) <= budget {
+                keep_now[p.index()] = true;
+                cost += inst.cost(p);
             }
-            CurvePoint {
-                budget,
-                score: ev.score(),
-                cost: ev.cost(),
-                retained: ev.num_selected(),
+        }
+        // Diff against the evaluator state, removals first (order walk keeps
+        // both passes deterministic).
+        for &p in &order {
+            if kept[p.index()] && !keep_now[p.index()] {
+                ev.remove(p);
             }
-        })
-        .collect()
+        }
+        for &p in &order {
+            if keep_now[p.index()] && !kept[p.index()] {
+                ev.add(p);
+            }
+        }
+        std::mem::swap(&mut kept, &mut keep_now);
+        out[i] = CurvePoint {
+            budget,
+            score: ev.score(),
+            cost: ev.cost(),
+            retained: ev.num_selected(),
+        };
+    }
+    out
 }
 
 #[cfg(test)]
@@ -126,6 +170,52 @@ mod tests {
     fn empty_budget_list() {
         let inst = instance(9);
         assert!(quality_curve(&inst, &[]).is_empty());
+    }
+
+    #[test]
+    fn matches_replay_from_scratch_path() {
+        // The incremental sweep must reproduce the old implementation — a
+        // fresh evaluator replaying the filtered prefix per budget — exactly
+        // in kept sets / costs / retained counts, and in score up to f64
+        // re-association. Budgets deliberately unsorted and duplicated.
+        for seed in [3u64, 13, 23] {
+            let inst = instance(seed);
+            let total = inst.total_cost();
+            let budgets = vec![
+                total / 2,
+                total / 10,
+                total,
+                total / 10,
+                total / 3,
+                1,
+                total * 2 / 3,
+            ];
+            let curve = quality_curve(&inst, &budgets);
+
+            // Old path, inlined.
+            let max_budget = total.max(inst.required_cost());
+            let reference = inst.with_budget(max_budget).unwrap();
+            let order = lazy_greedy(&reference, GreedyRule::CostBenefit).selected;
+            for (point, &b) in curve.iter().zip(&budgets) {
+                let budget = b.max(inst.required_cost());
+                let mut ev = Evaluator::new(&inst);
+                for &p in &order {
+                    if ev.fits(p, budget) {
+                        ev.add(p);
+                    }
+                }
+                assert_eq!(point.budget, budget);
+                assert_eq!(point.cost, ev.cost(), "seed {seed}, budget {b}");
+                assert_eq!(point.retained, ev.num_selected(), "seed {seed}, budget {b}");
+                let tol = 1e-9 * ev.score().abs().max(1.0);
+                assert!(
+                    (point.score - ev.score()).abs() <= tol,
+                    "seed {seed}, budget {b}: {} vs {}",
+                    point.score,
+                    ev.score()
+                );
+            }
+        }
     }
 
     #[test]

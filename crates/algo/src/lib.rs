@@ -8,6 +8,9 @@
 //!   quantify the lazy-evaluation speedup;
 //! * [`main_algorithm`] — Algorithm 1: run both rules, keep the better
 //!   solution, for a `(1 − 1/e)/2` worst-case guarantee;
+//! * [`sharded`] — a component-sharded CELF driver: one lazy stream per
+//!   connected component of the photo–query graph, merged by a budget-aware
+//!   coordinator, with a bit-identical transcript to [`lazy_greedy`];
 //! * [`sviridenko()`](sviridenko::sviridenko) — partial-enumeration greedy with the optimal
 //!   `(1 − 1/e)` guarantee (Theorem 4.6), exponential in the seed size and
 //!   practical only for small instances;
@@ -46,6 +49,7 @@ pub mod curve;
 pub mod local_search;
 pub mod main_alg;
 pub mod online_bound;
+pub mod sharded;
 pub mod streaming;
 pub mod sviridenko;
 pub mod types;
@@ -55,8 +59,9 @@ pub use brute_force::{brute_force, brute_force_anytime, BruteForceConfig};
 pub use celf::{eager_greedy, lazy_greedy, lazy_greedy_from, GreedyRule};
 pub use curve::{quality_curve, CurvePoint};
 pub use local_search::{swap_local_search, LocalSearchConfig};
-pub use main_alg::{main_algorithm, MainOutcome};
+pub use main_alg::{main_algorithm, main_algorithm_sharded, main_algorithm_with, MainOutcome};
 pub use online_bound::{online_bound, OnlineBound};
+pub use sharded::{sharded_lazy_greedy, sharded_lazy_greedy_from, ShardedSolver};
 pub use streaming::{density_sieve, sieve_streaming};
 pub use sviridenko::{sviridenko, SviridenkoConfig};
 pub use types::{GreedyOutcome, RunStats};

@@ -8,6 +8,7 @@
 //! provably optimal for uniform costs.
 
 use crate::celf::{lazy_greedy, GreedyRule};
+use crate::sharded::ShardedSolver;
 use crate::types::{GreedyOutcome, RunStats};
 use par_core::Instance;
 
@@ -33,12 +34,38 @@ impl MainOutcome {
     }
 }
 
-/// Runs Algorithm 1 (`MainAlgorithm`) on `inst` with its budget.
+/// Runs Algorithm 1 (`MainAlgorithm`) on `inst` with its budget, using the
+/// single global CELF heap for both sub-runs.
 pub fn main_algorithm(inst: &Instance) -> MainOutcome {
     let uc = lazy_greedy(inst, GreedyRule::UnitCost);
     let cb = lazy_greedy(inst, GreedyRule::CostBenefit);
-    // `argmax(res1, res2)` — ties go to CB, which is also the paper's
-    // empirically dominant sub-algorithm.
+    pick_winner(uc, cb)
+}
+
+/// Runs Algorithm 1 through the component-sharded solver of
+/// [`crate::sharded`]: the instance is decomposed once and both sub-runs
+/// reuse the decomposition. Transcripts (and score bits) are identical to
+/// [`main_algorithm`]; only the instrumentation counters differ.
+pub fn main_algorithm_sharded(inst: &Instance) -> MainOutcome {
+    let solver = ShardedSolver::new(inst);
+    let uc = solver.solve(GreedyRule::UnitCost);
+    let cb = solver.solve(GreedyRule::CostBenefit);
+    pick_winner(uc, cb)
+}
+
+/// Dispatches to [`main_algorithm_sharded`] or [`main_algorithm`] based on a
+/// configuration knob (see `phocus::PhocusConfig::sharding`).
+pub fn main_algorithm_with(inst: &Instance, sharding: bool) -> MainOutcome {
+    if sharding {
+        main_algorithm_sharded(inst)
+    } else {
+        main_algorithm(inst)
+    }
+}
+
+/// `argmax(res1, res2)` — ties go to CB, which is also the paper's
+/// empirically dominant sub-algorithm.
+fn pick_winner(uc: GreedyOutcome, cb: GreedyOutcome) -> MainOutcome {
     let (winner, best) = if uc.score > cb.score {
         (GreedyRule::UnitCost, uc.clone())
     } else {

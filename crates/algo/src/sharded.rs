@@ -1,0 +1,598 @@
+//! Component-sharded CELF (lazy greedy over a component decomposition).
+//!
+//! [`sharded_lazy_greedy`] produces a **bit-identical** transcript to the
+//! global [`lazy_greedy`](crate::lazy_greedy) — same photos, same order,
+//! same `f64` score bits — while doing strictly less gain recomputation.
+//! The instance is first split by [`par_core::components::decompose`] into
+//! shards that interact only through the shared budget. Each shard then runs
+//! its own lazy stream (a CELF heap plus per-photo staleness stamps), and a
+//! budget-aware coordinator repeatedly takes the stream whose *settled* top
+//! has the maximum key, with the global heap's exact tie-break (smaller
+//! photo id).
+//!
+//! All streams share **one** evaluator — the prepared solver's clone of the
+//! post-`S₀` arena — so every gain is computed by the very same code on the
+//! very same state as the global solver's, making bit-identity of scores a
+//! triviality rather than a theorem about sub-instance remapping. The
+//! decomposition buys speed through what is *not* recomputed, at two levels:
+//!
+//! 1. **Across shards**: the global heap's epoch counter advances on *every*
+//!    accept, so every cached entry goes stale even when the accepted photo
+//!    lives in a different component and cannot have changed its gain. A
+//!    shard stream is only re-settled after an accept in its own shard, so
+//!    cross-component accepts trigger no pops and no recomputes elsewhere.
+//! 2. **Within a shard**: an accept only changes the gains of photos whose
+//!    *read-set* it touched. A marginal gain reads exactly the photo's own
+//!    coverage (`best` similarity) and its stored neighbors' coverage in
+//!    each of its contexts; so when [`Evaluator::add_tracked`] reports the
+//!    members whose `best` changed, bumping a version counter on each
+//!    changed member *and its stored CSR neighbors* (all members, in dense
+//!    contexts) marks precisely the photos whose cached gains may have
+//!    moved. A popped entry whose photo's version is unchanged is guaranteed
+//!    to recompute to the same key bits, so the recomputation is skipped
+//!    entirely.
+//! 3. **The singleton pool**: photos forming singleton components share no
+//!    stored pair with anyone, so their seed keys are *frozen* — exact for
+//!    the whole run. The pool's stream is a cursor over entries pre-sorted
+//!    in pop order (cached per rule at prepare time) instead of a heap:
+//!    pops are sequential reads with no sift-downs, no staleness checks,
+//!    and pool accepts skip change-tracking and propagation outright.
+//!
+//! On top of removing redundant re-evaluations, the prepared
+//! [`ShardedSolver`] amortizes all rule-independent work across solves: the
+//! decomposition, the `S₀` replay, and the epoch-0 seed sweep (marginal
+//! gains at the post-`S₀` state do not depend on the greedy rule; each
+//! solve derives its keys as `rule.key(δ, cost)` exactly as the global
+//! seeding does). Algorithm 1 runs both rules, so its sharded form pays for
+//! one seed sweep instead of two.
+//!
+//! Why the transcript is identical: at every step, global CELF selects the
+//! photo with the maximum *current* key among unselected photos affordable
+//! under the remaining budget (lazy acceptance is exact by submodularity),
+//! breaking ties toward the smaller id; photos found unaffordable are
+//! dropped permanently (costs only grow). A settled shard stream parks its
+//! shard's true argmax under the same rule: cached keys are upper bounds
+//! (gains only shrink as the solution grows), current-stamp entries carry
+//! exact keys, and when the global loop recomputes a stale-but-unchanged
+//! top it re-pushes the identical `(key, photo)` and accepts it on the next
+//! pop — the very photo the stamp check parks without recomputing. A parked
+//! candidate can never go stale while parked: only accepts in its own shard
+//! touch its read-set, and its shard only accepts the parked candidate
+//! itself. The coordinator's max-heap over parked candidates therefore
+//! selects the same global argmax, re-checking affordability at pop time
+//! exactly where the global loop does.
+//!
+//! Per-component stream construction (keying the cached seed gains and
+//! heapifying) is dispatched through `par-exec`, so multi-core runs scale
+//! with component count; the coordinator itself is sequential by nature
+//! (each accept must observe the previous one), and the serial fallback is
+//! transcript-identical because heap *pop order* is fully determined by the
+//! entry ordering, not by construction order.
+
+use crate::celf::Entry;
+use crate::types::{GreedyOutcome, RunStats};
+use crate::GreedyRule;
+use par_core::components::{decompose, Decomposition};
+use par_core::{ContextSim, EvalStats, Evaluator, Instance, PhotoId, SubsetId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+
+/// One per-component lazy stream: a CELF heap over the shard's photos
+/// (global ids) and the parked settled top.
+///
+/// Instead of the global CELF's single epoch (every accept invalidates every
+/// cached entry), each *subset* carries a version counter — `ver` in
+/// [`ShardedSolver::solve_with`] — bumped when an accept changes any of its
+/// members' coverage. A cached entry stores its photo's stamp
+/// ([`photo_stamp`]) at compute time; the entry is exactly current while the
+/// stamp is unchanged, because a marginal gain reads only the coverage
+/// state of the photo's own contexts. Popping a current entry therefore
+/// skips the gain recomputation the global loop would have paid, with a
+/// bit-identical key.
+struct ShardStream {
+    state: StreamState,
+    /// The settled top: current (stamp-validated) and affordable at settle
+    /// time. `None` once the stream is drained.
+    candidate: Option<Entry>,
+    pq_pops: u64,
+}
+
+/// The backing store of a shard stream.
+enum StreamState {
+    /// A CELF max-heap: entries go stale and are re-keyed via the staleness
+    /// stamps.
+    Heap(BinaryHeap<Entry>),
+    /// The singleton pool's stream: a cursor over entries pre-sorted in pop
+    /// order (descending [`Entry`] order — max key, ties to the smaller id).
+    ///
+    /// A pool photo shares no stored similarity pair with any other photo
+    /// (it forms a singleton interaction component), so its marginal gain
+    /// reads only its own coverage, which no other photo's accept can raise
+    /// — every other photo's similarity to it is unstored, hence zero. Its
+    /// seed key is therefore **exact forever**: no staleness check, no
+    /// recomputation, and a sorted cursor pops in exactly the heap's order
+    /// with sequential memory access instead of `O(log n)` sift-downs
+    /// through a pool-sized heap.
+    Frozen { entries: Vec<Entry>, cursor: usize },
+}
+
+impl ShardStream {
+    /// Advances until the top entry is current (its cached stamp matches;
+    /// frozen entries are always current) and affordable, parking it as the
+    /// candidate. Photos popped while unaffordable are dropped permanently —
+    /// the remaining budget only shrinks, exactly the global loop's drop
+    /// rule.
+    fn settle(
+        &mut self,
+        inst: &Instance,
+        ev: &Evaluator<'_>,
+        ver: &[u32],
+        budget: u64,
+        rule: GreedyRule,
+    ) {
+        debug_assert!(self.candidate.is_none());
+        match &mut self.state {
+            StreamState::Heap(heap) => {
+                while let Some(top) = heap.pop() {
+                    self.pq_pops += 1;
+                    let p = top.photo;
+                    if ev.is_selected(p) {
+                        continue;
+                    }
+                    if !ev.fits(p, budget) {
+                        continue;
+                    }
+                    let stamp = ver[p.index()];
+                    if top.epoch == stamp {
+                        self.candidate = Some(top);
+                        return;
+                    }
+                    let delta = ev.gain(p);
+                    heap.push(Entry {
+                        key: rule.key(delta, inst.cost(p)),
+                        photo: p,
+                        epoch: stamp,
+                    });
+                }
+            }
+            StreamState::Frozen { entries, cursor } => {
+                while let Some(&top) = entries.get(*cursor) {
+                    *cursor += 1;
+                    self.pq_pops += 1;
+                    if ev.is_selected(top.photo) {
+                        continue;
+                    }
+                    if !ev.fits(top.photo, budget) {
+                        continue;
+                    }
+                    self.candidate = Some(top);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A coordinator heap entry: a shard's settled top, keyed for the merged
+/// argmax with the same ordering as the global CELF heap (max key, ties to
+/// the smaller photo id).
+struct MergeEntry {
+    key: f64,
+    photo: PhotoId,
+    shard: u32,
+}
+
+impl PartialEq for MergeEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.photo == other.photo
+    }
+}
+impl Eq for MergeEntry {}
+impl PartialOrd for MergeEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MergeEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key
+            .partial_cmp(&other.key)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.photo.cmp(&self.photo))
+    }
+}
+
+/// A reusable component-sharded solver: decomposes the instance, replays
+/// `S₀`, and runs the rule-independent seed sweep **once**, then solves any
+/// number of times (e.g. under both greedy rules, as
+/// [`main_algorithm_sharded`](crate::main_algorithm_sharded) does).
+#[derive(Debug)]
+pub struct ShardedSolver<'a> {
+    inst: &'a Instance,
+    dec: Decomposition,
+    /// The shared arena with `S₀` replayed; cloned per solve (the clone
+    /// shares the offset/weight layout and copies only the mutable state).
+    base: Evaluator<'a>,
+    /// Instrumentation already spent building `base` (subtracted from each
+    /// solve's reported stats so they count per-solve work only).
+    base_stats: EvalStats,
+    /// Epoch-0 marginal gains of every unselected affordable photo at the
+    /// post-`S₀` state, pre-partitioned by shard with ascending photo id
+    /// within each shard. Rule-independent: each solve derives its heap keys
+    /// as `rule.key(δ, cost)`, bit-identical to the global seeding.
+    seed_by_shard: Vec<Vec<(PhotoId, f64)>>,
+    /// The singleton pool's seed entries pre-sorted in pop order, one vector
+    /// per greedy rule (indexed by [`rule_index`]). Pool keys are frozen —
+    /// see [`StreamState::Frozen`] — so a cold solve memcpys the right
+    /// vector instead of re-keying and heapifying the (often largest) shard.
+    pool_sorted: Option<[Vec<Entry>; 2]>,
+}
+
+/// Index of `rule` into per-rule caches ([`ShardedSolver::pool_sorted`]).
+#[inline]
+fn rule_index(rule: GreedyRule) -> usize {
+    match rule {
+        GreedyRule::UnitCost => 0,
+        GreedyRule::CostBenefit => 1,
+    }
+}
+
+impl<'a> ShardedSolver<'a> {
+    /// Decomposes `inst` into photo–query components and prepares the shared
+    /// post-`S₀` state: the evaluator arena and the seed-gain sweep (one
+    /// parallel batch through `par-exec`).
+    pub fn new(inst: &'a Instance) -> Self {
+        let dec = decompose(inst);
+        let mut base = Evaluator::new(inst);
+        for &p in inst.required() {
+            base.add(p);
+        }
+        let budget = inst.budget();
+        let candidates: Vec<PhotoId> = (0..inst.num_photos() as u32)
+            .map(PhotoId)
+            .filter(|&p| !base.is_selected(p) && base.fits(p, budget))
+            .collect();
+        let gains = base.batch_gains(&candidates);
+        let mut seed_by_shard: Vec<Vec<(PhotoId, f64)>> = vec![Vec::new(); dec.num_shards()];
+        for (&p, &delta) in candidates.iter().zip(&gains) {
+            seed_by_shard[dec.shard_of(p)].push((p, delta));
+        }
+        let base_stats = base.stats();
+        let pool_sorted = dec.singleton_pool().map(|pool| {
+            [GreedyRule::UnitCost, GreedyRule::CostBenefit].map(|rule| {
+                let mut entries: Vec<Entry> = seed_by_shard[pool]
+                    .iter()
+                    .map(|&(p, delta)| Entry {
+                        key: rule.key(delta, inst.cost(p)),
+                        photo: p,
+                        epoch: 0,
+                    })
+                    .collect();
+                entries.sort_unstable_by(|a, b| b.cmp(a));
+                entries
+            })
+        });
+        ShardedSolver {
+            inst,
+            dec,
+            base,
+            base_stats,
+            seed_by_shard,
+            pool_sorted,
+        }
+    }
+
+    /// The underlying component decomposition.
+    pub fn decomposition(&self) -> &Decomposition {
+        &self.dec
+    }
+
+    /// Sharded equivalent of [`lazy_greedy`](crate::lazy_greedy).
+    pub fn solve(&self, rule: GreedyRule) -> GreedyOutcome {
+        self.solve_with(None, rule)
+    }
+
+    /// Sharded equivalent of [`lazy_greedy_from`](crate::lazy_greedy_from):
+    /// resumes from an arbitrary initial selection. The cached seed gains do
+    /// not apply to a warm start (they were computed at the post-`S₀` state),
+    /// so this path pays its own seed sweep, like the global solver.
+    pub fn solve_from(&self, initial: &[PhotoId], rule: GreedyRule) -> GreedyOutcome {
+        self.solve_with(Some(initial), rule)
+    }
+
+    fn solve_with(&self, initial: Option<&[PhotoId]>, rule: GreedyRule) -> GreedyOutcome {
+        let start = Instant::now();
+        let inst = self.inst;
+        let dec = &self.dec;
+        let budget = inst.budget();
+        let mut ev = self.base.clone();
+
+        // The per-shard seed gains: the prepared sweep for a cold solve, or
+        // a fresh sweep at the warm-started state. Either way the entries
+        // within a shard are in ascending photo id, mirroring the global
+        // seeding scan order.
+        let warm_seeds: Option<Vec<Vec<(PhotoId, f64)>>> = initial.map(|init| {
+            for &p in init {
+                ev.add(p);
+            }
+            let candidates: Vec<PhotoId> = (0..inst.num_photos() as u32)
+                .map(PhotoId)
+                .filter(|&p| !ev.is_selected(p) && ev.fits(p, budget))
+                .collect();
+            let gains = ev.batch_gains(&candidates);
+            let mut by_shard = vec![Vec::new(); dec.num_shards()];
+            for (&p, &delta) in candidates.iter().zip(&gains) {
+                by_shard[dec.shard_of(p)].push((p, delta));
+            }
+            by_shard
+        });
+        let seeds = warm_seeds.as_ref().unwrap_or(&self.seed_by_shard);
+
+        // Build the per-shard streams through par-exec: keying the cached
+        // gains and heapifying are independent across shards. Pop order is
+        // fully determined by the entry ordering, so the serial fallback is
+        // transcript-identical.
+        let pool = dec.singleton_pool();
+        let mut streams: Vec<ShardStream> = par_exec::par_map_indexed(dec.num_shards(), |s| {
+            if Some(s) == pool {
+                // Frozen pool stream: reuse the pre-sorted entries on the
+                // cold path; a warm start re-keys at the warm state (pool
+                // keys are frozen from the seed sweep on, whatever the
+                // initial selection) and sorts into pop order.
+                let entries = match (&self.pool_sorted, initial.is_none()) {
+                    (Some(per_rule), true) => per_rule[rule_index(rule)].clone(),
+                    _ => {
+                        let mut entries: Vec<Entry> = seeds[s]
+                            .iter()
+                            .map(|&(p, delta)| Entry {
+                                key: rule.key(delta, inst.cost(p)),
+                                photo: p,
+                                epoch: 0,
+                            })
+                            .collect();
+                        entries.sort_unstable_by(|a, b| b.cmp(a));
+                        entries
+                    }
+                };
+                return ShardStream {
+                    state: StreamState::Frozen { entries, cursor: 0 },
+                    candidate: None,
+                    pq_pops: 0,
+                };
+            }
+            let entries: Vec<Entry> = seeds[s]
+                .iter()
+                .map(|&(p, delta)| Entry {
+                    key: rule.key(delta, inst.cost(p)),
+                    photo: p,
+                    epoch: 0,
+                })
+                .collect();
+            ShardStream {
+                state: StreamState::Heap(BinaryHeap::from(entries)),
+                candidate: None,
+                pq_pops: 0,
+            }
+        });
+
+        // Per-photo staleness versions; all zero, matching the epoch-0 seed
+        // entries.
+        let mut ver: Vec<u32> = vec![0; inst.num_photos()];
+        let mut changed: Vec<(SubsetId, u32)> = Vec::new();
+
+        // The merged frontier: at most one settled candidate per shard.
+        let mut merge: BinaryHeap<MergeEntry> = BinaryHeap::new();
+        for (s, stream) in streams.iter_mut().enumerate() {
+            stream.settle(inst, &ev, &ver, budget, rule);
+            if let Some(c) = &stream.candidate {
+                merge.push(MergeEntry {
+                    key: c.key,
+                    photo: c.photo,
+                    shard: s as u32,
+                });
+            }
+        }
+
+        let mut merge_pops = 0u64;
+        let mut lazy_accepts = 0u64;
+        while let Some(top) = merge.pop() {
+            merge_pops += 1;
+            let s = top.shard as usize;
+            streams[s].candidate = None;
+            if ev.fits(top.photo, budget) {
+                lazy_accepts += 1;
+                if Some(s) == pool {
+                    // A pool accept raises only its own coverage (no stored
+                    // pair links it to anyone), and the frozen pool stream
+                    // never reads stamps: no propagation to do.
+                    ev.add(top.photo);
+                } else {
+                    // Accept, then bump the version of every photo whose
+                    // gain read-set the add touched. Reported coverage
+                    // changes arrive grouped by subset; per group the
+                    // cheaper propagation wins: walk the changed members'
+                    // stored rows — a gain reads exactly its own and its
+                    // stored neighbors' coverage — or, when those rows are
+                    // longer than the context (or the context is
+                    // dense/unit, where one change dirties every member),
+                    // bump every member once. Both mark a superset of the
+                    // affected photos, so invalidation never costs more
+                    // than O(|q|) per changed context.
+                    changed.clear();
+                    ev.add_tracked(top.photo, |q, j| changed.push((q, j)));
+                    let mut i = 0;
+                    while i < changed.len() {
+                        let q = changed[i].0;
+                        let mut end = i + 1;
+                        while end < changed.len() && changed[end].0 == q {
+                            end += 1;
+                        }
+                        let group = &changed[i..end];
+                        let members = &inst.subset(q).members;
+                        let precise = match inst.sim(q) {
+                            ContextSim::Sparse(sp) => {
+                                let walk: usize = group
+                                    .iter()
+                                    .map(|&(_, j)| sp.neighbors(j as usize).0.len() + 1)
+                                    .sum();
+                                (walk < members.len()).then_some(sp)
+                            }
+                            _ => None,
+                        };
+                        match precise {
+                            Some(sp) => {
+                                for &(_, j) in group {
+                                    let m = members[j as usize].index();
+                                    ver[m] = ver[m].wrapping_add(1);
+                                    for &k in sp.neighbors(j as usize).0 {
+                                        let n = members[k as usize].index();
+                                        ver[n] = ver[n].wrapping_add(1);
+                                    }
+                                }
+                            }
+                            None => {
+                                for &m in members {
+                                    ver[m.index()] = ver[m.index()].wrapping_add(1);
+                                }
+                            }
+                        }
+                        i = end;
+                    }
+                }
+            }
+            // Otherwise: parked before the budget tightened; global CELF
+            // drops such photos at pop time, and they can never fit again.
+            streams[s].settle(inst, &ev, &ver, budget, rule);
+            if let Some(c) = &streams[s].candidate {
+                merge.push(MergeEntry {
+                    key: c.key,
+                    photo: c.photo,
+                    shard: top.shard,
+                });
+            }
+        }
+
+        let st = ev.stats();
+        let pq_pops = merge_pops + streams.iter().map(|s| s.pq_pops).sum::<u64>();
+        GreedyOutcome {
+            score: ev.score(),
+            cost: ev.cost(),
+            selected: ev.selected_ids().to_vec(),
+            stats: RunStats {
+                // Per-solve work only: the prepared `S₀` replay and seed
+                // sweep are amortized across solves and not re-counted.
+                gain_evals: st.gain_evals - self.base_stats.gain_evals,
+                sim_ops: st.sim_ops - self.base_stats.sim_ops,
+                pq_pops,
+                lazy_accepts,
+                elapsed: start.elapsed(),
+            },
+        }
+    }
+}
+
+/// Runs the component-sharded CELF on `inst` with its budget. Bit-identical
+/// transcript to [`lazy_greedy`](crate::lazy_greedy), faster on instances
+/// with more than one component.
+pub fn sharded_lazy_greedy(inst: &Instance, rule: GreedyRule) -> GreedyOutcome {
+    ShardedSolver::new(inst).solve(rule)
+}
+
+/// [`sharded_lazy_greedy`] resuming from an arbitrary initial selection;
+/// bit-identical to [`lazy_greedy_from`](crate::lazy_greedy_from).
+pub fn sharded_lazy_greedy_from(
+    inst: &Instance,
+    initial: &[PhotoId],
+    rule: GreedyRule,
+) -> GreedyOutcome {
+    ShardedSolver::new(inst).solve_from(initial, rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lazy_greedy;
+    use crate::lazy_greedy_from;
+    use par_core::fixtures::{figure1_instance, random_instance, RandomInstanceConfig, MB};
+
+    fn assert_transcripts_match(inst: &Instance) {
+        for rule in [GreedyRule::UnitCost, GreedyRule::CostBenefit] {
+            let global = lazy_greedy(inst, rule);
+            let sharded = sharded_lazy_greedy(inst, rule);
+            assert_eq!(sharded.selected, global.selected, "selection diverged ({rule:?})");
+            assert_eq!(
+                sharded.score.to_bits(),
+                global.score.to_bits(),
+                "score bits diverged ({rule:?}): {} vs {}",
+                sharded.score,
+                global.score
+            );
+            assert_eq!(sharded.cost, global.cost);
+        }
+    }
+
+    #[test]
+    fn figure1_transcripts_match() {
+        for budget in [2 * MB, 3 * MB, 4 * MB, u64::MAX] {
+            assert_transcripts_match(&figure1_instance(budget));
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_random_transcripts_match() {
+        for seed in 0..4 {
+            let inst = random_instance(seed, &RandomInstanceConfig::default());
+            assert_transcripts_match(&inst);
+            assert_transcripts_match(&inst.sparsify(0.8));
+            assert_transcripts_match(&inst.with_unit_sims());
+        }
+    }
+
+    #[test]
+    fn required_photos_and_tight_budgets_match() {
+        let cfg = RandomInstanceConfig {
+            photos: 60,
+            subsets: 15,
+            required_prob: 0.1,
+            budget_fraction: 0.25,
+            ..Default::default()
+        };
+        for seed in 0..4 {
+            let inst = random_instance(seed, &cfg);
+            assert_transcripts_match(&inst.sparsify(0.85));
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_lazy_greedy_from() {
+        let inst = random_instance(11, &RandomInstanceConfig::default()).sparsify(0.8);
+        // Warm-start from the first few CB picks (a superset of S₀).
+        let warm = lazy_greedy(&inst, GreedyRule::CostBenefit);
+        let initial: Vec<PhotoId> = warm.selected.iter().copied().take(4).collect();
+        for rule in [GreedyRule::UnitCost, GreedyRule::CostBenefit] {
+            let global = lazy_greedy_from(&inst, &initial, rule);
+            let sharded = sharded_lazy_greedy_from(&inst, &initial, rule);
+            assert_eq!(sharded.selected, global.selected);
+            assert_eq!(sharded.score.to_bits(), global.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn sharded_recomputes_less_on_multi_component_instances() {
+        let inst = random_instance(5, &RandomInstanceConfig::default()).sparsify(0.85);
+        let solver = ShardedSolver::new(&inst);
+        if solver.decomposition().num_shards() < 2 {
+            return; // nothing to save on a single component
+        }
+        let global = lazy_greedy(&inst, GreedyRule::CostBenefit);
+        let sharded = solver.solve(GreedyRule::CostBenefit);
+        assert!(
+            sharded.stats.gain_evals <= global.stats.gain_evals,
+            "sharded {} vs global {}",
+            sharded.stats.gain_evals,
+            global.stats.gain_evals
+        );
+    }
+}

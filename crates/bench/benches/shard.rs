@@ -1,0 +1,102 @@
+//! Component-sharded solver benchmarks: the numbers behind `BENCH_shard.json`.
+//!
+//! The P-10K public slice under τ-sparsification decomposes into many
+//! photo–query connected components (Thm 4.8 locality): a few hundred real
+//! components plus a large singleton pool. The sharded CELF driver runs one
+//! lazy stream per component, so an accept in one component never
+//! invalidates the heaps of the others — the global solver's per-accept
+//! epoch churn and its per-rule seed sweep disappear while the transcript
+//! stays bit-identical.
+//!
+//! Both sides are measured at solver granularity on the same prepared
+//! state: `global` is [`lazy_greedy`] exactly as `phocus` ran it before
+//! sharding; `sharded` is [`ShardedSolver::solve`] on a solver prepared
+//! once per instance, the way `main_algorithm_sharded` and the Figure 5
+//! runners use it (the preparation — decomposition, `S₀` replay, and the
+//! rule-independent seed sweep — is amortized over every solve on the
+//! instance and timed as its own `prepare` row).
+//!
+//! Groups:
+//!
+//! * `shard_solver` — global vs sharded per rule on two instances under an
+//!   installed *serial* `Parallelism` (single-core; the before/after rows
+//!   of `BENCH_shard.json`): `t95` = τ=0.95, B = C(P)/5 (163 components)
+//!   and `t92` = τ=0.92, B = C(P)/10 (493 components);
+//! * `shard_scaling` — the sharded solver at 1/2/4 worker threads (the
+//!   per-shard stream builds dispatch through `par-exec`), for the scaling
+//!   rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use par_algo::{lazy_greedy, GreedyRule, ShardedSolver};
+use par_bench::{dataset, DatasetId, Scale};
+use par_core::Instance;
+use par_exec::Parallelism;
+use phocus::{represent, RepresentationConfig, Sparsification};
+
+/// A τ-sparsified P-10K instance with budget `C(P)/budget_div`.
+fn sparse_10k(tau: f64, budget_div: u64) -> Instance {
+    let u = dataset(DatasetId::P10K, Scale::Scaled);
+    let budget = u.total_cost() / budget_div;
+    represent(
+        &u,
+        budget,
+        &RepresentationConfig {
+            sparsification: Sparsification::Threshold { tau },
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn bench_shard_solver(c: &mut Criterion) {
+    let prev = Parallelism::serial().install_global();
+    let mut group = c.benchmark_group("shard_solver");
+    group.sample_size(20);
+    for (label, tau, budget_div) in [("t95", 0.95, 5), ("t92", 0.92, 10)] {
+        let inst = sparse_10k(tau, budget_div);
+        let solver = ShardedSolver::new(&inst);
+        eprintln!(
+            "shard_solver/{label}: {} photos, {} queries, {} components",
+            inst.num_photos(),
+            inst.num_subsets(),
+            solver.decomposition().num_shards()
+        );
+        // Per-instance preprocessing, amortized over both Algorithm 1 rules
+        // (and any warm-started re-solve): timed as its own row.
+        group.bench_function(BenchmarkId::new("prepare", label), |b| {
+            b.iter(|| std::hint::black_box(ShardedSolver::new(&inst).decomposition().num_shards()))
+        });
+        for (rule, name) in [
+            (GreedyRule::CostBenefit, "cb"),
+            (GreedyRule::UnitCost, "uc"),
+        ] {
+            group.bench_function(BenchmarkId::new("global", format!("{label}_{name}")), |b| {
+                b.iter(|| std::hint::black_box(lazy_greedy(&inst, rule).score))
+            });
+            group.bench_function(
+                BenchmarkId::new("sharded", format!("{label}_{name}")),
+                |b| b.iter(|| std::hint::black_box(solver.solve(rule).score)),
+            );
+        }
+    }
+    group.finish();
+    prev.install_global();
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let inst = sparse_10k(0.95, 5);
+    let mut group = c.benchmark_group("shard_scaling");
+    group.sample_size(20);
+    let solver = ShardedSolver::new(&inst);
+    for threads in [1usize, 2, 4] {
+        let prev = Parallelism::with_threads(threads).install_global();
+        group.bench_function(BenchmarkId::new("sharded", format!("t95_t{threads}")), |b| {
+            b.iter(|| std::hint::black_box(solver.solve(GreedyRule::CostBenefit).score))
+        });
+        prev.install_global();
+    }
+    group.finish();
+}
+
+criterion_group!(shard_benches, bench_shard_solver, bench_shard_scaling);
+criterion_main!(shard_benches);

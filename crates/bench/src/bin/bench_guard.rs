@@ -1,0 +1,88 @@
+//! CI guard over the recorded benchmark baselines.
+//!
+//! Scans every `BENCH_*.json` at the repo root (newline-delimited JSON, one
+//! benchmark row per line after the leading meta line) and fails — exit
+//! code 1, offenders listed — if any row records a `speedup_mean` below 1.0
+//! without an accompanying `"known_regression"` note in the same row. Rows
+//! without a `speedup_mean` field (meta, prepare, scaling) are ignored.
+//!
+//! The parsing is deliberately a dumb string scan: the files are
+//! machine-written one-row-per-line by the bench harness, and the guard
+//! must not drag a JSON dependency into the workspace.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Extracts the number following `"speedup_mean":` in `line`, if any.
+fn speedup_mean(line: &str) -> Option<f64> {
+    let key = "\"speedup_mean\":";
+    let at = line.find(key)? + key.len();
+    let rest = line[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The repo root: the workspace directory two levels above this crate.
+fn repo_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let root = repo_root();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&root)
+        .expect("readable repo root")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!("bench_guard: no BENCH_*.json found under {}", root.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut rows = 0usize;
+    let mut offenders = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path).expect("readable bench file");
+        for (lineno, line) in text.lines().enumerate() {
+            let Some(mean) = speedup_mean(line) else {
+                continue;
+            };
+            rows += 1;
+            if mean < 1.0 && !line.contains("known_regression") {
+                offenders.push(format!(
+                    "{}:{}: speedup_mean {} < 1.0 without a known_regression note",
+                    path.file_name().unwrap().to_str().unwrap(),
+                    lineno + 1,
+                    mean
+                ));
+            }
+        }
+    }
+
+    if offenders.is_empty() {
+        println!(
+            "bench_guard: OK ({} speedup rows across {} files)",
+            rows,
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for o in &offenders {
+            eprintln!("bench_guard: {o}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -79,7 +79,7 @@ pub fn fig5d(scale: Scale) -> Vec<Series> {
     let repr = RepresentationConfig::default();
     for (label, budget) in budget_grid(&u, &[0.15, 0.3, 0.6, 1.0]) {
         let inst = represent(&u, budget, &repr).expect("representation");
-        let greedy = par_algo::main_algorithm(&inst).best;
+        let greedy = par_algo::main_algorithm_sharded(&inst).best;
         // Anytime branch and bound: when the node budget runs out the
         // incumbent is reported as an (anytime) reference rather than a
         // certified optimum — mirroring the paper's note that exhaustive

@@ -1,0 +1,431 @@
+//! Connected-component decomposition of a PAR instance.
+//!
+//! The PAR objective is a sum over queries, and within a query a photo's
+//! contribution depends only on its most similar *selected* co-member — so
+//! two photos interact (one's presence can change the other's marginal gain)
+//! only if some query contains both **and** stores a nonzero similarity
+//! between them. The graph over photos with exactly those edges splits the
+//! instance into independent sub-problems coupled solely through the shared
+//! budget `B`. τ-sparsification (Section 4.3) makes these components
+//! numerous and small on realistic archives.
+//!
+//! [`decompose`] computes the components from the similarity stores:
+//!
+//! * [`ContextSim::Sparse`] queries contribute one edge per stored CSR pair;
+//! * [`ContextSim::Dense`] and [`ContextSim::Unit`] queries couple all their
+//!   members (the dense gain kernel visits every co-member, so a dense query
+//!   is never split);
+//! * queries whose members span several components are split into
+//!   per-component *fragments* — the member sub-list in original order, with
+//!   the weight and the relevance sub-slice copied bit-exactly and **no**
+//!   re-normalization, so fragment `W·R` products equal the parent's.
+//!
+//! Components with a single photo (photos with no memberships, or members
+//! with no stored similarity edges at all) are merged into one residual
+//! shard: they never interact with anything, and pooling them avoids
+//! thousands of one-photo evaluators.
+//!
+//! Each resulting [`ComponentView`] materializes a self-contained
+//! [`Instance`] over remapped photo/query ids (sharing unsplit similarity
+//! stores with the parent via `Arc`), so the per-shard
+//! [`Evaluator`](crate::Evaluator) arenas reuse the offset-addressed layout
+//! unchanged — just sized to the shard.
+
+use crate::instance::Instance;
+use crate::sim::ContextSim;
+use crate::{Photo, PhotoId, Subset, SubsetId};
+use std::sync::Arc;
+
+/// One connected component of the photo-interaction graph, materialized as a
+/// self-contained sub-instance with local photo and subset ids.
+#[derive(Debug)]
+pub struct ComponentView {
+    /// The shard as a standalone instance: photos, query fragments,
+    /// memberships and similarity stores all remapped to local ids. The
+    /// budget is the parent's full `B` (the coordinator, not the shard,
+    /// tracks global spend).
+    pub instance: Instance,
+    /// Local photo index → global [`PhotoId`], strictly ascending. Local
+    /// photo order therefore equals global order, which preserves the
+    /// solver's smaller-id tie-break inside a shard.
+    pub photos: Vec<PhotoId>,
+    /// Local subset index → global [`SubsetId`] of the query this fragment
+    /// came from. A split query appears in several shards under the same
+    /// global id.
+    pub subsets: Vec<SubsetId>,
+}
+
+/// The full component decomposition of an instance: a true partition of the
+/// photos plus per-photo shard/local lookup tables.
+#[derive(Debug)]
+pub struct Decomposition {
+    /// The component sub-views, ordered by their smallest global photo id.
+    pub shards: Vec<ComponentView>,
+    /// `photo_shard[p]` = index into `shards` of photo `p`'s component.
+    photo_shard: Vec<u32>,
+    /// `photo_local[p]` = photo `p`'s local index within its shard.
+    photo_local: Vec<u32>,
+    /// Index of the merged singleton shard, if one was formed.
+    singleton_pool: Option<usize>,
+}
+
+impl Decomposition {
+    /// Number of shards (≥ 1 for any non-empty instance).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index of a global photo.
+    #[inline]
+    pub fn shard_of(&self, p: PhotoId) -> usize {
+        self.photo_shard[p.index()] as usize
+    }
+
+    /// The shard-local id of a global photo.
+    #[inline]
+    pub fn local_of(&self, p: PhotoId) -> PhotoId {
+        PhotoId(self.photo_local[p.index()])
+    }
+
+    /// The shard holding all merged single-photo components, if any.
+    #[inline]
+    pub fn singleton_pool(&self) -> Option<usize> {
+        self.singleton_pool
+    }
+}
+
+/// Union-find over photo ids with path halving and union by size.
+struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+    }
+}
+
+/// Computes the connected components of `inst`'s photo-interaction graph and
+/// materializes one [`ComponentView`] per component (singletons pooled).
+///
+/// The decomposition is a true partition: every photo lands in exactly one
+/// shard, every query fragment lies wholly inside one shard, the fragments
+/// of a query partition its members, and no stored similarity edge crosses
+/// shards. Runs in `O(n + Σ_q E_q · α)` time.
+pub fn decompose(inst: &Instance) -> Decomposition {
+    let n = inst.num_photos();
+    let mut dsu = Dsu::new(n);
+    for q in inst.subsets() {
+        match inst.sim(q.id) {
+            ContextSim::Sparse(sp) => {
+                // One union per stored pair: photos without a stored edge in
+                // any query never influence each other's gains.
+                for (pos, &m) in q.members.iter().enumerate() {
+                    for &j in sp.neighbors(pos).0 {
+                        dsu.union(m.0, q.members[j as usize].0);
+                    }
+                }
+            }
+            // Dense and Unit stores couple every co-member pair; a chain
+            // union over the member list merges the whole clique.
+            _ => {
+                for w in q.members.windows(2) {
+                    dsu.union(w[0].0, w[1].0);
+                }
+            }
+        }
+    }
+
+    // Shard numbering: components in first-seen order by ascending photo id,
+    // with all single-photo components collapsed onto one pool shard (when
+    // there are at least two of them).
+    let mut singletons = 0usize;
+    for p in 0..n as u32 {
+        let root = dsu.find(p) as usize;
+        if dsu.size[root] == 1 {
+            singletons += 1;
+        }
+    }
+    let merge_singletons = singletons >= 2;
+    let mut shard_of_root = vec![u32::MAX; n];
+    let mut pool_shard = u32::MAX;
+    let mut next = 0u32;
+    let mut photo_shard = vec![0u32; n];
+    for p in 0..n as u32 {
+        let root = dsu.find(p) as usize;
+        let shard = if merge_singletons && dsu.size[root] == 1 {
+            if pool_shard == u32::MAX {
+                pool_shard = next;
+                next += 1;
+            }
+            pool_shard
+        } else {
+            if shard_of_root[root] == u32::MAX {
+                shard_of_root[root] = next;
+                next += 1;
+            }
+            shard_of_root[root]
+        };
+        photo_shard[p as usize] = shard;
+    }
+
+    let num_shards = next as usize;
+    let mut photo_local = vec![0u32; n];
+    let mut shard_globals: Vec<Vec<PhotoId>> = vec![Vec::new(); num_shards];
+    for p in 0..n {
+        let s = photo_shard[p] as usize;
+        photo_local[p] = shard_globals[s].len() as u32;
+        shard_globals[s].push(PhotoId(p as u32));
+    }
+
+    // Materialize per-shard photos and the projected required set. Iterating
+    // ascending global ids keeps both lists ascending in local ids.
+    let mut shard_photos: Vec<Vec<Photo>> = vec![Vec::new(); num_shards];
+    for (p, &s) in photo_shard.iter().enumerate() {
+        let photo = inst.photo(PhotoId(p as u32));
+        shard_photos[s as usize].push(Photo::new(
+            PhotoId(photo_local[p]),
+            photo.name.clone(),
+            photo.cost,
+        ));
+    }
+    let mut shard_required: Vec<Vec<PhotoId>> = vec![Vec::new(); num_shards];
+    for &r in inst.required() {
+        shard_required[photo_shard[r.index()] as usize].push(PhotoId(photo_local[r.index()]));
+    }
+
+    // Distribute queries, splitting cross-shard ones into fragments. Global
+    // subset order is preserved within each shard so the sub-instance
+    // membership lists keep the parent's ascending-subset iteration order —
+    // a prerequisite for bit-identical gain sums.
+    let mut shard_subsets: Vec<Vec<Subset>> = vec![Vec::new(); num_shards];
+    let mut shard_sims: Vec<Vec<Arc<ContextSim>>> = vec![Vec::new(); num_shards];
+    let mut shard_subset_globals: Vec<Vec<SubsetId>> = vec![Vec::new(); num_shards];
+    let mut push_fragment =
+        |s: usize, subset: Subset, store: Arc<ContextSim>, global: SubsetId| {
+            let mut subset = subset;
+            subset.id = SubsetId(shard_subsets[s].len() as u32);
+            shard_subsets[s].push(subset);
+            shard_sims[s].push(store);
+            shard_subset_globals[s].push(global);
+        };
+    for q in inst.subsets() {
+        let first = photo_shard[q.members[0].index()];
+        if q.members.iter().all(|&m| photo_shard[m.index()] == first) {
+            // Whole query in one shard: remap members, share the store.
+            let members = q.members.iter().map(|&m| PhotoId(photo_local[m.index()])).collect();
+            push_fragment(
+                first as usize,
+                Subset {
+                    id: q.id, // overwritten with the local id
+                    label: q.label.clone(),
+                    weight: q.weight,
+                    members,
+                    relevance: q.relevance.clone(),
+                },
+                Arc::clone(inst.sim_arc(q.id)),
+                q.id,
+            );
+            continue;
+        }
+        // Cross-shard query: group member positions by shard in first-
+        // appearance order. Only sparse stores can split — dense and unit
+        // queries were clique-unioned above.
+        let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
+        for (pos, &m) in q.members.iter().enumerate() {
+            let s = photo_shard[m.index()];
+            match groups.iter_mut().find(|(gs, _)| *gs == s) {
+                Some((_, positions)) => positions.push(pos as u32),
+                None => groups.push((s, vec![pos as u32])),
+            }
+        }
+        let sp = inst
+            .sim(q.id)
+            .as_sparse()
+            .expect("only sparse-similarity queries can span shards");
+        for (s, positions) in groups {
+            let members = positions
+                .iter()
+                .map(|&pos| PhotoId(photo_local[q.members[pos as usize].index()]))
+                .collect();
+            let relevance = positions.iter().map(|&pos| q.relevance[pos as usize]).collect();
+            push_fragment(
+                s as usize,
+                Subset {
+                    id: q.id,
+                    label: q.label.clone(),
+                    weight: q.weight,
+                    members,
+                    relevance,
+                },
+                Arc::new(ContextSim::Sparse(sp.restrict(&positions))),
+                q.id,
+            );
+        }
+    }
+
+    let shards = shard_photos
+        .into_iter()
+        .zip(shard_required)
+        .zip(shard_subsets.into_iter().zip(shard_sims))
+        .zip(shard_globals.into_iter().zip(shard_subset_globals))
+        .map(|(((photos, required), (subsets, sims)), (globals, subset_globals))| {
+            ComponentView {
+                instance: Instance::assemble(photos, required, subsets, inst.budget(), sims),
+                photos: globals,
+                subsets: subset_globals,
+            }
+        })
+        .collect();
+
+    Decomposition {
+        shards,
+        photo_shard,
+        photo_local,
+        singleton_pool: (pool_shard != u32::MAX).then_some(pool_shard as usize),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure1_instance, random_instance, RandomInstanceConfig, MB};
+    use crate::Evaluator;
+
+    /// Checks the structural partition invariants on any decomposition.
+    fn assert_partition(inst: &Instance, dec: &Decomposition) {
+        let mut seen = vec![false; inst.num_photos()];
+        for (s, view) in dec.shards.iter().enumerate() {
+            assert!(view.photos.windows(2).all(|w| w[0] < w[1]));
+            for (local, &g) in view.photos.iter().enumerate() {
+                assert!(!seen[g.index()], "photo {g:?} in two shards");
+                seen[g.index()] = true;
+                assert_eq!(dec.shard_of(g), s);
+                assert_eq!(dec.local_of(g), PhotoId(local as u32));
+                let sub = view.instance.photo(PhotoId(local as u32));
+                assert_eq!(sub.cost, inst.cost(g));
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "photo missing from all shards");
+
+        // Fragments of each query partition its members, bit-exact metadata.
+        let mut covered: Vec<Vec<bool>> = inst
+            .subsets()
+            .iter()
+            .map(|q| vec![false; q.members.len()])
+            .collect();
+        for view in &dec.shards {
+            for (lq, &gq) in view.subsets.iter().enumerate() {
+                let frag = view.instance.subset(SubsetId(lq as u32));
+                let parent = inst.subset(gq);
+                assert_eq!(frag.weight.to_bits(), parent.weight.to_bits());
+                for (k, &lm) in frag.members.iter().enumerate() {
+                    let g = view.photos[lm.index()];
+                    let pos = parent.members.iter().position(|&m| m == g).unwrap();
+                    assert!(!covered[gq.index()][pos]);
+                    covered[gq.index()][pos] = true;
+                    assert_eq!(
+                        frag.relevance[k].to_bits(),
+                        parent.relevance[pos].to_bits()
+                    );
+                }
+            }
+        }
+        assert!(covered.iter().flatten().all(|&b| b), "member lost in split");
+    }
+
+    #[test]
+    fn figure1_decomposes_to_valid_partition() {
+        let inst = figure1_instance(4 * MB);
+        let dec = decompose(&inst);
+        assert_partition(&inst, &dec);
+        assert!(dec.num_shards() >= 1);
+    }
+
+    #[test]
+    fn dense_random_instance_partition() {
+        let inst = random_instance(0xC0FFEE, &RandomInstanceConfig::default());
+        let dec = decompose(&inst);
+        assert_partition(&inst, &dec);
+    }
+
+    #[test]
+    fn sparsified_instance_splits_and_scores_match() {
+        let inst =
+            random_instance(0xC0FFEE, &RandomInstanceConfig::default()).sparsify(0.8);
+        let dec = decompose(&inst);
+        assert_partition(&inst, &dec);
+        // Per-shard scores of "select everything" must sum to the global
+        // all-selected score: the decomposition loses no objective mass.
+        let mut ev = Evaluator::new(&inst);
+        for p in 0..inst.num_photos() as u32 {
+            ev.add(PhotoId(p));
+        }
+        let mut sharded = 0.0;
+        for view in &dec.shards {
+            let mut sev = Evaluator::new(&view.instance);
+            for p in 0..view.instance.num_photos() as u32 {
+                sev.add(PhotoId(p));
+            }
+            sharded += sev.score();
+        }
+        assert!((sharded - ev.score()).abs() < 1e-9 * ev.score().abs().max(1.0));
+    }
+
+    #[test]
+    fn unit_queries_are_clique_unioned() {
+        let inst = random_instance(7, &RandomInstanceConfig::default()).with_unit_sims();
+        let dec = decompose(&inst);
+        assert_partition(&inst, &dec);
+        for view in &dec.shards {
+            for (lq, _) in view.subsets.iter().enumerate() {
+                let frag = view.instance.subset(SubsetId(lq as u32));
+                let parent_len = inst.subset(view.subsets[lq]).members.len();
+                assert_eq!(frag.members.len(), parent_len, "unit query was split");
+            }
+        }
+    }
+
+    #[test]
+    fn singletons_merge_into_pool() {
+        // Unit queries of size 1: every photo is its own component.
+        let mut b = crate::InstanceBuilder::new(100);
+        for k in 0..5 {
+            let p = b.add_photo(format!("p{k}"), 10);
+            b.add_subset(format!("q{k}"), 1.0, vec![p], vec![]);
+        }
+        let inst = b.build_with_provider(&crate::UnitSimilarity).unwrap();
+        let dec = decompose(&inst);
+        assert_eq!(dec.num_shards(), 1);
+        assert_eq!(dec.singleton_pool(), Some(0));
+        assert_partition(&inst, &dec);
+    }
+}

@@ -47,7 +47,10 @@ struct Core {
 #[derive(Debug, Clone)]
 pub struct Instance {
     core: Arc<Core>,
-    sims: Arc<Vec<ContextSim>>,
+    /// One store per subset; each store is individually `Arc`ed so component
+    /// sub-views (see [`crate::components`]) can share unsplit stores with
+    /// their parent instance.
+    sims: Arc<Vec<Arc<ContextSim>>>,
     budget: u64,
 }
 
@@ -100,10 +103,18 @@ impl Instance {
         &self.sims[id.index()]
     }
 
-    /// All similarity stores, parallel to [`Instance::subsets`].
+    /// All similarity stores, parallel to [`Instance::subsets`]. Each store
+    /// sits behind its own `Arc` so derived sub-views can share it.
     #[inline]
-    pub fn sims(&self) -> &[ContextSim] {
+    pub fn sims(&self) -> &[Arc<ContextSim>] {
         &self.sims
+    }
+
+    /// The shared handle to a subset's similarity store (for building
+    /// sub-views that alias the parent's store).
+    #[inline]
+    pub(crate) fn sim_arc(&self, id: SubsetId) -> &Arc<ContextSim> {
+        &self.sims[id.index()]
     }
 
     /// The storage budget `B` in bytes.
@@ -173,7 +184,7 @@ impl Instance {
         }
         Instance {
             core: Arc::clone(&self.core),
-            sims: Arc::new(sims),
+            sims: Arc::new(sims.into_iter().map(Arc::new).collect()),
             budget: self.budget,
         }
     }
@@ -181,7 +192,7 @@ impl Instance {
     /// Derives the τ-sparsified instance of Section 4.3: all similarities
     /// below `tau` are rounded down to 0.
     pub fn sparsify(&self, tau: f64) -> Self {
-        let sims = self.sims.iter().map(|s| s.sparsify(tau)).collect();
+        let sims = self.sims.iter().map(|s| Arc::new(s.sparsify(tau))).collect();
         Instance {
             core: Arc::clone(&self.core),
             sims: Arc::new(sims),
@@ -197,7 +208,7 @@ impl Instance {
             .core
             .subsets
             .iter()
-            .map(|q| ContextSim::Unit(q.members.len()))
+            .map(|q| Arc::new(ContextSim::Unit(q.members.len())))
             .collect();
         Instance {
             core: Arc::clone(&self.core),
@@ -210,6 +221,53 @@ impl Instance {
     /// the size measure that τ-sparsification reduces.
     pub fn stored_pairs(&self) -> usize {
         self.sims.iter().map(|s| s.nonzero_pairs()).sum()
+    }
+
+    /// Assembles an instance from already-validated parts, building the
+    /// membership reverse-index and cost totals but performing **no**
+    /// validation and **no** relevance normalization.
+    ///
+    /// This is the shared tail of the builder (whose `validate` has already
+    /// normalized) and the entry point for [`crate::components`] sub-views,
+    /// which must copy parent relevance bit-exactly — re-normalizing a
+    /// query fragment would change `W·R` products and break the sharded
+    /// solver's bit-identity with the global one.
+    pub(crate) fn assemble(
+        photos: Vec<Photo>,
+        required: Vec<PhotoId>,
+        subsets: Vec<Subset>,
+        budget: u64,
+        sims: Vec<Arc<ContextSim>>,
+    ) -> Instance {
+        let n = photos.len();
+        let mut memberships: Vec<Vec<Membership>> = vec![Vec::new(); n];
+        for q in &subsets {
+            for (local, &m) in q.members.iter().enumerate() {
+                memberships[m.index()].push(Membership {
+                    subset: q.id,
+                    local: local as u32,
+                });
+            }
+        }
+        let mut required_flags = vec![false; n];
+        for &r in &required {
+            required_flags[r.index()] = true;
+        }
+        let required_cost = required.iter().map(|&r| photos[r.index()].cost).sum();
+        let total_cost = photos.iter().map(|p| p.cost).sum();
+        Instance {
+            core: Arc::new(Core {
+                photos,
+                required: required_flags,
+                required_ids: required,
+                required_cost,
+                subsets,
+                memberships,
+                total_cost,
+            }),
+            sims: Arc::new(sims),
+            budget,
+        }
     }
 }
 
@@ -368,44 +426,6 @@ impl InstanceBuilder {
         Ok((self.photos, self.required, self.subsets, self.budget))
     }
 
-    fn assemble(
-        photos: Vec<Photo>,
-        required: Vec<PhotoId>,
-        subsets: Vec<Subset>,
-        budget: u64,
-        sims: Vec<ContextSim>,
-    ) -> Instance {
-        let n = photos.len();
-        let mut memberships: Vec<Vec<Membership>> = vec![Vec::new(); n];
-        for q in &subsets {
-            for (local, &m) in q.members.iter().enumerate() {
-                memberships[m.index()].push(Membership {
-                    subset: q.id,
-                    local: local as u32,
-                });
-            }
-        }
-        let mut required_flags = vec![false; n];
-        for &r in &required {
-            required_flags[r.index()] = true;
-        }
-        let required_cost = required.iter().map(|&r| photos[r.index()].cost).sum();
-        let total_cost = photos.iter().map(|p| p.cost).sum();
-        Instance {
-            core: Arc::new(Core {
-                photos,
-                required: required_flags,
-                required_ids: required,
-                required_cost,
-                subsets,
-                memberships,
-                total_cost,
-            }),
-            sims: Arc::new(sims),
-            budget,
-        }
-    }
-
     /// Finishes construction, materializing dense all-pairs similarity stores
     /// from `provider` (the PHOcus-NS representation). Costs `Σ_q |q|²`
     /// provider calls.
@@ -416,9 +436,11 @@ impl InstanceBuilder {
         let (photos, required, subsets, budget) = self.validate()?;
         let mut sims = Vec::with_capacity(subsets.len());
         for q in &subsets {
-            sims.push(ContextSim::Dense(DenseSim::from_provider(q, provider)?));
+            sims.push(Arc::new(ContextSim::Dense(DenseSim::from_provider(
+                q, provider,
+            )?)));
         }
-        Ok(Self::assemble(photos, required, subsets, budget, sims))
+        Ok(Instance::assemble(photos, required, subsets, budget, sims))
     }
 
     /// Finishes construction with pre-built similarity stores (e.g. sparse
@@ -430,7 +452,8 @@ impl InstanceBuilder {
         for (q, s) in subsets.iter().zip(&sims) {
             assert_eq!(q.members.len(), s.len(), "similarity store size mismatch");
         }
-        Ok(Self::assemble(photos, required, subsets, budget, sims))
+        let sims = sims.into_iter().map(Arc::new).collect();
+        Ok(Instance::assemble(photos, required, subsets, budget, sims))
     }
 }
 

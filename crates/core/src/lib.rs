@@ -62,6 +62,7 @@
 
 #![warn(missing_docs)]
 
+pub mod components;
 pub mod error;
 pub mod fixtures;
 pub mod ids;
@@ -73,10 +74,11 @@ pub mod solution;
 pub mod stats;
 pub mod subset;
 
+pub use components::{decompose, ComponentView, Decomposition};
 pub use error::{ModelError, Result};
 pub use ids::{PhotoId, SubsetId};
 pub use instance::{Instance, InstanceBuilder, Membership};
-pub use objective::{exact_score, exact_subset_score, Evaluator};
+pub use objective::{exact_score, exact_subset_score, EvalStats, Evaluator};
 pub use photo::Photo;
 pub use sim::{ContextSim, DenseSim, FnSimilarity, SimilarityProvider, SparseSim, UnitSimilarity};
 pub use solution::{CoverageStats, Solution};

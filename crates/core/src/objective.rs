@@ -382,6 +382,24 @@ impl<'a> Evaluator<'a> {
     ///
     /// Adding an already-selected photo is a no-op returning 0.
     pub fn add(&mut self, p: PhotoId) -> f64 {
+        self.add_tracked(p, |_, _| {})
+    }
+
+    /// [`add`](Self::add) that additionally reports every coverage change:
+    /// `on_changed(q, j)` runs for each member `j` of subset `q` whose
+    /// `best` similarity was raised by this add (including `p`'s own entry).
+    ///
+    /// Marginal gains are pure functions of the `best` state a candidate's
+    /// contexts expose, so a caller that tracks which subsets changed knows
+    /// exactly which cached gains may have moved — the dependency-tracked
+    /// staleness used by the component-sharded CELF driver. The arithmetic
+    /// and update order are identical to [`add`](Self::add) (which delegates
+    /// here with a no-op callback), keeping scores bit-identical.
+    pub fn add_tracked(
+        &mut self,
+        p: PhotoId,
+        mut on_changed: impl FnMut(SubsetId, u32),
+    ) -> f64 {
         if self.selected[p.index()] {
             return 0.0;
         }
@@ -400,6 +418,7 @@ impl<'a> Evaluator<'a> {
             if 1.0 > best[local] {
                 delta += wr[local] * (1.0 - best[local]);
                 best[local] = 1.0;
+                on_changed(m.subset, local as u32);
             }
             // A member always prefers itself once selected.
             provider[local] = local as u32;
@@ -408,6 +427,7 @@ impl<'a> Evaluator<'a> {
                 delta += wr[j] * (s - b);
                 best[j] = s;
                 provider[j] = local as u32;
+                on_changed(m.subset, j as u32);
             });
         }
         self.sim_ops.fetch_add(ops, Ordering::Relaxed);

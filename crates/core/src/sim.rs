@@ -369,6 +369,42 @@ impl SparseSim {
         self.neighbor_idx.len() / 2
     }
 
+    /// Restricts the store to the members at `positions` (strictly ascending
+    /// local indices), remapping kept neighbors to their position in
+    /// `positions` and dropping edges to excluded members.
+    ///
+    /// Because `positions` is ascending, the remap is order-preserving: each
+    /// restricted row keeps its original (sorted) entry order, so kernels
+    /// iterating the restricted rows see the surviving `(neighbor, sim)`
+    /// pairs in exactly the sequence the parent store produced. The component
+    /// decomposition relies on this for bit-identical gain arithmetic.
+    pub fn restrict(&self, positions: &[u32]) -> SparseSim {
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        let mut remap = vec![u32::MAX; self.len()];
+        for (new, &old) in positions.iter().enumerate() {
+            remap[old as usize] = new as u32;
+        }
+        let mut offsets = vec![0u32; positions.len() + 1];
+        let mut neighbor_idx = Vec::new();
+        let mut sim = Vec::new();
+        for (new, &old) in positions.iter().enumerate() {
+            let (ids, sims) = self.neighbors(old as usize);
+            for (&j, &s) in ids.iter().zip(sims) {
+                let nj = remap[j as usize];
+                if nj != u32::MAX {
+                    neighbor_idx.push(nj);
+                    sim.push(s);
+                }
+            }
+            offsets[new + 1] = neighbor_idx.len() as u32;
+        }
+        SparseSim {
+            offsets,
+            neighbor_idx,
+            sim,
+        }
+    }
+
     /// A copy with all similarities `< tau` (and any zeros) dropped.
     pub fn sparsify(&self, tau: f64) -> SparseSim {
         let n = self.len();

@@ -54,7 +54,8 @@ PHOcus — efficiently archiving photos under storage constraints
 USAGE:
   phocus demo
   phocus table2 [--full] [--seed N]
-  phocus solve --dataset <NAME> --budget-mb <MB> [--tau T] [--ns] [--seed N] [--threads N] [--out FILE]
+  phocus solve --dataset <NAME> --budget-mb <MB> [--tau T] [--ns] [--seed N] [--threads N]
+               [--no-sharding] [--out FILE]
   phocus suite --dataset <NAME> --budget-mb <MB> [--tau T] [--seed N]
   phocus compress --dataset <NAME> --budget-mb <MB> [--seed N]
   phocus export --dataset <NAME> --out <FILE> [--seed N]
@@ -177,6 +178,7 @@ fn cmd_solve(rest: &[String]) -> Result<(), String> {
         representation: representation.clone(),
         certify_sparsification: !flag(rest, "--ns"),
         parallelism: Parallelism::with_threads(parse(rest, "--threads", 0usize)?),
+        sharding: !flag(rest, "--no-sharding"),
     });
     println!(
         "dataset {} — {} photos, {} subsets, archive {:.1} MB",

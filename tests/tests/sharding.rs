@@ -1,0 +1,146 @@
+//! Property tests for the component-sharded solver: the decomposition is a
+//! true partition of the photo–query graph, and the sharded CELF driver's
+//! transcript is bit-identical to the global lazy greedy on random instances
+//! under both greedy rules.
+
+use par_algo::{lazy_greedy, sharded_lazy_greedy, GreedyRule};
+use par_core::fixtures::{random_instance, RandomInstanceConfig};
+use par_core::{decompose, ContextSim, Instance};
+use proptest::prelude::*;
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    // The vendored proptest shim drives everything from integer ranges:
+    // budget_pct becomes the budget fraction, and sparsity picks dense /
+    // τ=0.6 / τ=0.85 similarity stores (the split-fragment paths only
+    // trigger on sparse instances).
+    (any::<u64>(), 30usize..120, 5usize..25, 15u64..80, 0u32..3).prop_map(
+        |(seed, photos, subsets, budget_pct, sparsity)| {
+            let inst = random_instance(
+                seed,
+                &RandomInstanceConfig {
+                    photos,
+                    subsets,
+                    subset_size: (2, 12),
+                    budget_fraction: budget_pct as f64 / 100.0,
+                    required_prob: 0.03,
+                    ..Default::default()
+                },
+            );
+            match sparsity {
+                0 => inst,
+                1 => inst.sparsify(0.6),
+                _ => inst.sparsify(0.85),
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn decomposition_is_a_true_partition(inst in instance_strategy()) {
+        let dec = decompose(&inst);
+
+        // Every photo appears in exactly one shard, and the inverse maps
+        // (shard_of / local_of) agree with the shard member lists.
+        let mut seen = vec![false; inst.num_photos()];
+        for (s, view) in dec.shards.iter().enumerate() {
+            prop_assert_eq!(view.photos.len(), view.instance.num_photos());
+            for (local, &g) in view.photos.iter().enumerate() {
+                prop_assert!(!seen[g.index()], "photo {} in two shards", g.0);
+                seen[g.index()] = true;
+                prop_assert_eq!(dec.shard_of(g), s);
+                prop_assert_eq!(dec.local_of(g).index(), local);
+                prop_assert_eq!(
+                    view.instance.cost(dec.local_of(g)),
+                    inst.cost(g),
+                    "cost changed in remap"
+                );
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "photo missing from all shards");
+
+        // Every query's members are partitioned among its fragments, each
+        // fragment's members all live in the fragment's shard, and weights /
+        // relevance entries are copied bit-exactly (no renormalization).
+        let mut covered: Vec<Vec<bool>> = inst
+            .subsets()
+            .iter()
+            .map(|q| vec![false; q.members.len()])
+            .collect();
+        for view in &dec.shards {
+            for (local_q, &gq) in view.subsets.iter().enumerate() {
+                let frag = &view.instance.subsets()[local_q];
+                let global = &inst.subsets()[gq.index()];
+                prop_assert_eq!(frag.weight.to_bits(), global.weight.to_bits());
+                for (k, (&m, &r)) in frag.members.iter().zip(&frag.relevance).enumerate() {
+                    let g = view.photos[m.index()];
+                    let pos = global
+                        .members
+                        .iter()
+                        .position(|&gm| gm == g)
+                        .expect("fragment member is a member of the global query");
+                    prop_assert!(
+                        !covered[gq.index()][pos],
+                        "member {} of query {} in two fragments", g.0, gq.0
+                    );
+                    covered[gq.index()][pos] = true;
+                    prop_assert_eq!(
+                        r.to_bits(),
+                        global.relevance[pos].to_bits(),
+                        "relevance renormalized"
+                    );
+                    let _ = k;
+                }
+            }
+        }
+        for (q, cov) in covered.iter().enumerate() {
+            prop_assert!(
+                cov.iter().all(|&c| c),
+                "query {q} member missing from all fragments"
+            );
+        }
+
+        // No stored similarity edge crosses shards: each sparse edge links
+        // two members the decomposition placed together.
+        for q in inst.subsets() {
+            if let ContextSim::Sparse(sp) = inst.sim(q.id) {
+                for (pos, &m) in q.members.iter().enumerate() {
+                    let s = dec.shard_of(m);
+                    for &j in sp.neighbors(pos).0 {
+                        prop_assert_eq!(
+                            dec.shard_of(q.members[j as usize]),
+                            s,
+                            "stored edge crosses shards"
+                        );
+                    }
+                }
+            } else {
+                // Dense / unit queries are clique-unioned: all members in
+                // one shard.
+                if let Some((&first, rest)) = q.members.split_first() {
+                    let s = dec.shard_of(first);
+                    for &m in rest {
+                        prop_assert_eq!(dec.shard_of(m), s, "dense query split");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_transcript_equals_global_lazy_greedy(inst in instance_strategy()) {
+        for rule in [GreedyRule::CostBenefit, GreedyRule::UnitCost] {
+            let global = lazy_greedy(&inst, rule);
+            let sharded = sharded_lazy_greedy(&inst, rule);
+            prop_assert_eq!(&sharded.selected, &global.selected, "selection order diverged");
+            prop_assert_eq!(
+                sharded.score.to_bits(),
+                global.score.to_bits(),
+                "score bits diverged: {} vs {}", sharded.score, global.score
+            );
+            prop_assert_eq!(sharded.cost, global.cost);
+        }
+    }
+}
