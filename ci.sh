@@ -24,6 +24,22 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo clippy --all-targets --no-default-features -- -D warnings"
 cargo clippy --all-targets --no-default-features -- -D warnings
 
+# Panic-freedom gate: library and binary code must not contain unwrap/expect/
+# panic! on any path (internal invariants use assert!/unreachable! instead,
+# data-dependent failures return typed errors). Tests, benches, the examples
+# crate, and the vendored shims are exempt — --lib --bins skips #[cfg(test)].
+PKG_FLAGS=()
+for c in par-core par-datasets par-embed par-lsh par-sparse par-search \
+         par-algo par-exec par-study phocus; do
+  PKG_FLAGS+=(-p "$c")
+done
+echo "==> clippy panic-freedom gate (library + bins)"
+cargo clippy "${PKG_FLAGS[@]}" --lib --bins -- \
+  -D warnings -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
+
+echo "==> no-panic fuzz gate (fixed seeds, bounded corpus)"
+cargo test -q -p integration-tests --test no_panic
+
 echo "==> gain-kernel layout bench (quick mode, smoke)"
 CRITERION_QUICK=1 cargo bench -p par-bench --bench layout
 

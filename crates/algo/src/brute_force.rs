@@ -88,11 +88,7 @@ impl<'a> Search<'a> {
             .map(|&p| (ev.gain(p), self.inst.cost(p)))
             .filter(|&(g, _)| g > 0.0)
             .collect();
-        density.sort_unstable_by(|a, b| {
-            (b.0 / b.1 as f64)
-                .partial_cmp(&(a.0 / a.1 as f64))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        density.sort_unstable_by(|a, b| (b.0 / b.1 as f64).total_cmp(&(a.0 / a.1 as f64)));
         let mut extra = 0.0;
         let mut room = remaining_budget as f64;
         for (g, c) in density {
@@ -182,7 +178,7 @@ pub fn brute_force_anytime(
         .filter(|&p| !inst.is_required(p))
         .map(|p| (p, root.gain(p) / inst.cost(p) as f64))
         .collect();
-    root_gains.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    root_gains.sort_unstable_by(|a, b| b.1.total_cmp(&a.1));
     let order: Vec<PhotoId> = root_gains.into_iter().map(|(p, _)| p).collect();
 
     let mut search = Search {

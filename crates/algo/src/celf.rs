@@ -69,8 +69,7 @@ impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap on key; ties broken by photo id for determinism.
         self.key
-            .partial_cmp(&other.key)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.key)
             .then_with(|| other.photo.cmp(&self.photo))
     }
 }

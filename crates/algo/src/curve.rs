@@ -45,10 +45,13 @@ pub fn quality_curve(inst: &Instance, budgets: &[u64]) -> Vec<CurvePoint> {
         return Vec::new();
     }
     let floor = inst.required_cost();
-    let max_budget = (*budgets.iter().max().expect("non-empty")).max(floor);
+    let Some(&raw_max) = budgets.iter().max() else {
+        unreachable!("budgets checked non-empty above");
+    };
+    let max_budget = raw_max.max(floor);
     let reference = inst
         .with_budget(max_budget)
-        .expect("max budget covers S₀");
+        .unwrap_or_else(|e| unreachable!("max budget is clamped to cover S₀: {e}"));
     let order: Vec<PhotoId> = lazy_greedy(&reference, GreedyRule::CostBenefit).selected;
 
     // Ascending budget sweep; ties and the input order are restored at the

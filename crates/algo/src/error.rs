@@ -1,0 +1,80 @@
+//! Typed errors for the solver layer.
+
+use par_core::ModelError;
+use std::fmt;
+
+/// Errors raised by solvers on invalid parameters or model violations.
+///
+/// Part of the workspace-wide `PhocusError` hierarchy: `phocus::PhocusError`
+/// wraps [`SolveError`] via `From`, so solver misconfiguration surfaces to
+/// the CLI as a diagnostic instead of a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// An underlying model operation failed.
+    Model(ModelError),
+    /// The cardinality bound `k` must be at least 1.
+    InvalidCardinality(usize),
+    /// The accuracy parameter `ε` must lie strictly inside `(0, 1)`.
+    InvalidEpsilon(f64),
+    /// The policy-required set `S₀` alone exceeds the cardinality bound.
+    RequiredExceedsCardinality {
+        /// Number of required photos.
+        required: usize,
+        /// The cardinality bound.
+        k: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Model(e) => write!(f, "model error: {e}"),
+            SolveError::InvalidCardinality(k) => {
+                write!(f, "cardinality bound k = {k} must be at least 1")
+            }
+            SolveError::InvalidEpsilon(e) => {
+                write!(f, "accuracy parameter ε = {e} must be in (0, 1)")
+            }
+            SolveError::RequiredExceedsCardinality { required, k } => write!(
+                f,
+                "required set S₀ ({required} photos) exceeds the cardinality bound k = {k}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SolveError {
+    fn from(e: ModelError) -> Self {
+        SolveError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: SolveError = ModelError::CostOverflow.into();
+        assert!(e.to_string().contains("model error"));
+        let dyn_err: &dyn std::error::Error = &e;
+        assert!(dyn_err.source().is_some());
+        assert!(SolveError::InvalidEpsilon(f64::NAN)
+            .to_string()
+            .contains("ε"));
+        assert!(
+            SolveError::RequiredExceedsCardinality { required: 5, k: 3 }
+                .to_string()
+                .contains("k = 3")
+        );
+    }
+}

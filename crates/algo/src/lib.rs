@@ -46,6 +46,7 @@ pub mod baselines;
 pub mod brute_force;
 pub mod celf;
 pub mod curve;
+pub mod error;
 pub mod local_search;
 pub mod main_alg;
 pub mod online_bound;
@@ -58,6 +59,7 @@ pub use baselines::{greedy_ncs, greedy_nr, greedy_select, rand_a, rand_d};
 pub use brute_force::{brute_force, brute_force_anytime, BruteForceConfig};
 pub use celf::{eager_greedy, lazy_greedy, lazy_greedy_from, GreedyRule};
 pub use curve::{quality_curve, CurvePoint};
+pub use error::SolveError;
 pub use local_search::{swap_local_search, LocalSearchConfig};
 pub use main_alg::{main_algorithm, main_algorithm_sharded, main_algorithm_with, MainOutcome};
 pub use online_bound::{online_bound, OnlineBound};

@@ -54,7 +54,7 @@ pub fn online_bound(inst: &Instance, solution: &[PhotoId]) -> OnlineBound {
     density.sort_unstable_by(|a, b| {
         let da = a.0 / a.1 as f64;
         let db = b.0 / b.1 as f64;
-        db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
+        db.total_cmp(&da)
     });
     let mut remaining = inst.budget() as f64;
     let mut extra = 0.0;

@@ -198,8 +198,7 @@ impl PartialOrd for MergeEntry {
 impl Ord for MergeEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         self.key
-            .partial_cmp(&other.key)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.key)
             .then_with(|| other.photo.cmp(&self.photo))
     }
 }

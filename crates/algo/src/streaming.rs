@@ -16,6 +16,7 @@
 //! Both honor `S₀` (policy photos are accepted unconditionally before the
 //! stream starts).
 
+use crate::error::SolveError;
 use crate::types::{GreedyOutcome, RunStats};
 use par_core::{Evaluator, Instance, PhotoId};
 use std::time::Instant;
@@ -31,15 +32,28 @@ struct Sieve<'a> {
 /// the "stream". Returns the best sieve's selection.
 ///
 /// Guarantee (Badanidiyuru et al.): `G(S) ≥ (1/2 − ε) · max_{|T|≤k} G(T)`.
-pub fn sieve_streaming(inst: &Instance, k: usize, epsilon: f64) -> GreedyOutcome {
-    assert!(k >= 1, "cardinality bound must be positive");
-    assert!(epsilon > 0.0 && epsilon < 1.0);
+///
+/// Returns [`SolveError`] if `k` is zero, `ε` is outside `(0, 1)` (or NaN),
+/// or the policy-required set alone exceeds the cardinality bound.
+pub fn sieve_streaming(
+    inst: &Instance,
+    k: usize,
+    epsilon: f64,
+) -> Result<GreedyOutcome, SolveError> {
+    if k == 0 {
+        return Err(SolveError::InvalidCardinality(k));
+    }
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(SolveError::InvalidEpsilon(epsilon));
+    }
     let start = Instant::now();
     let required: Vec<PhotoId> = inst.required().to_vec();
-    assert!(
-        required.len() <= k,
-        "S₀ alone exceeds the cardinality bound"
-    );
+    if required.len() > k {
+        return Err(SolveError::RequiredExceedsCardinality {
+            required: required.len(),
+            k,
+        });
+    }
 
     // Track the best singleton value m seen so far; maintain sieves for
     // guesses (1+ε)^i ∈ [m, 2·k·m].
@@ -97,11 +111,9 @@ pub fn sieve_streaming(inst: &Instance, k: usize, epsilon: f64) -> GreedyOutcome
         }
     }
 
-    let best = sieves.into_iter().max_by(|a, b| {
-        a.ev.score()
-            .partial_cmp(&b.ev.score())
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    let best = sieves
+        .into_iter()
+        .max_by(|a, b| a.ev.score().total_cmp(&b.ev.score()));
     let (selected, score, cost) = match best {
         Some(s) => (s.ev.selected_ids().to_vec(), s.ev.score(), s.ev.cost()),
         None => {
@@ -110,7 +122,7 @@ pub fn sieve_streaming(inst: &Instance, k: usize, epsilon: f64) -> GreedyOutcome
             (ev.selected_ids().to_vec(), ev.score(), ev.cost())
         }
     };
-    GreedyOutcome {
+    Ok(GreedyOutcome {
         selected,
         score,
         cost,
@@ -121,7 +133,7 @@ pub fn sieve_streaming(inst: &Instance, k: usize, epsilon: f64) -> GreedyOutcome
             lazy_accepts: 0,
             elapsed: start.elapsed(),
         },
-    }
+    })
 }
 
 /// One-pass density-threshold sieve for the knapsack (byte-budget) setting.
@@ -215,7 +227,7 @@ mod tests {
         for seed in 0..6 {
             let k = 4;
             let inst = unit_cost_instance(seed, 12, k);
-            let sieve = sieve_streaming(&inst, k, 0.1);
+            let sieve = sieve_streaming(&inst, k, 0.1).unwrap();
             assert!(sieve.selected.len() <= k);
             // OPT via brute force (budget == cardinality on unit costs).
             let opt = brute_force(&inst, &BruteForceConfig::default())
@@ -239,7 +251,7 @@ mod tests {
         };
         let inst = random_instance(3, &cfg);
         let k = inst.required().len() + 5;
-        let out = sieve_streaming(&inst, k, 0.2);
+        let out = sieve_streaming(&inst, k, 0.2).unwrap();
         assert!(out.selected.len() <= k);
         for &r in inst.required() {
             assert!(out.selected.contains(&r));
@@ -269,6 +281,30 @@ mod tests {
             let cert = online_bound(&inst, &sieve.selected);
             assert!(cert.ratio > 0.0 && cert.ratio <= 1.0);
         }
+    }
+
+    #[test]
+    fn sieve_rejects_bad_parameters() {
+        use crate::error::SolveError;
+        let inst = unit_cost_instance(1, 12, 4);
+        assert!(matches!(
+            sieve_streaming(&inst, 0, 0.1),
+            Err(SolveError::InvalidCardinality(0))
+        ));
+        assert!(sieve_streaming(&inst, 4, 0.0).is_err());
+        assert!(sieve_streaming(&inst, 4, 1.0).is_err());
+        assert!(sieve_streaming(&inst, 4, f64::NAN).is_err());
+        let cfg = RandomInstanceConfig {
+            photos: 10,
+            subsets: 3,
+            required_prob: 1.0,
+            ..Default::default()
+        };
+        let all_required = random_instance(2, &cfg);
+        assert!(matches!(
+            sieve_streaming(&all_required, 1, 0.1),
+            Err(SolveError::RequiredExceedsCardinality { .. })
+        ));
     }
 
     #[test]

@@ -41,7 +41,7 @@ fn bench_pair_discovery(c: &mut Criterion) {
     for n in [500usize, 1000, 2000] {
         let vecs = vectors(n, 42);
         group.bench_with_input(BenchmarkId::new("lsh", n), &vecs, |b, v| {
-            b.iter(|| similar_pairs(std::hint::black_box(v), 0.8, 0.95, 7))
+            b.iter(|| similar_pairs(std::hint::black_box(v), 0.8, 0.95, 7).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("exhaustive", n), &vecs, |b, v| {
             b.iter(|| exhaustive_pairs(std::hint::black_box(v), 0.8))

@@ -11,7 +11,7 @@ fn catalog(n: usize, seed: u64) -> Vec<String> {
     let d = EcDomain::Fashion;
     let (nouns, brands, colors, mods) = (d.nouns(), d.brands(), d.colors(), d.modifiers());
     let mut rng = StdRng::seed_from_u64(seed);
-    let zipf = Zipf::new(nouns.len(), 0.8);
+    let zipf = Zipf::new(nouns.len(), 0.8).unwrap();
     (0..n)
         .map(|_| {
             format!(

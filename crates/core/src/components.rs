@@ -267,10 +267,9 @@ pub fn decompose(inst: &Instance) -> Decomposition {
                 None => groups.push((s, vec![pos as u32])),
             }
         }
-        let sp = inst
-            .sim(q.id)
-            .as_sparse()
-            .expect("only sparse-similarity queries can span shards");
+        let Some(sp) = inst.sim(q.id).as_sparse() else {
+            unreachable!("only sparse-similarity queries can span shards")
+        };
         for (s, positions) in groups {
             let members = positions
                 .iter()

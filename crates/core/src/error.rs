@@ -81,6 +81,11 @@ pub enum ModelError {
     },
     /// The instance has no photos at all.
     NoPhotos,
+    /// A cost accumulation `C(S)` overflowed `u64`. Raised at instance
+    /// construction (total archive cost) and solution validation, so the
+    /// solver's internal running sums — always sub-sums of the validated
+    /// total — can stay unchecked.
+    CostOverflow,
 }
 
 impl fmt::Display for ModelError {
@@ -136,6 +141,9 @@ impl fmt::Display for ModelError {
                 write!(f, "solution costs {cost} bytes, exceeding budget {budget}")
             }
             ModelError::NoPhotos => write!(f, "instance contains no photos"),
+            ModelError::CostOverflow => {
+                write!(f, "total photo cost overflows a 64-bit byte count")
+            }
         }
     }
 }

@@ -54,7 +54,7 @@ pub fn figure1_instance(budget: u64) -> Instance {
         }
     });
     b.build_with_provider(&sim)
-        .expect("figure 1 fixture is valid")
+        .unwrap_or_else(|e| unreachable!("figure 1 fixture is valid: {e}"))
 }
 
 /// A tiny deterministic PRNG (SplitMix64) for dependency-free fixtures.
@@ -174,9 +174,12 @@ pub fn random_instance(seed: u64, cfg: &RandomInstanceConfig) -> Instance {
     // C(S₀)), so build with an ample budget and derive the real one, clamped
     // up to the required-set cost so it is always feasible.
     b.set_budget(u64::MAX);
-    let inst = b.build_with_provider(&sim).expect("random instance valid");
+    let inst = b
+        .build_with_provider(&sim)
+        .unwrap_or_else(|e| unreachable!("random instance valid: {e}"));
     let budget = budget.max(inst.required_cost());
-    inst.with_budget(budget).expect("budget covers S0")
+    inst.with_budget(budget)
+        .unwrap_or_else(|e| unreachable!("budget clamped to C(S₀): {e}"))
 }
 
 #[cfg(test)]

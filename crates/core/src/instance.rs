@@ -355,10 +355,18 @@ impl InstanceBuilder {
             return Err(ModelError::NoPhotos);
         }
         let n = self.photos.len();
+        // Total archive cost must fit u64. Every later accumulation — the
+        // required-set cost, a solution's C(S), the evaluator's running
+        // cost — is a sub-sum over distinct photos, so this single check
+        // makes all of them overflow-free.
+        let mut total: u64 = 0;
         for p in &self.photos {
             if p.cost == 0 {
                 return Err(ModelError::ZeroCostPhoto(p.id));
             }
+            total = total
+                .checked_add(p.cost)
+                .ok_or(ModelError::CostOverflow)?;
         }
         self.required.sort_unstable();
         self.required.dedup();

@@ -405,6 +405,8 @@ impl<'a> Evaluator<'a> {
         }
         self.selected[p.index()] = true;
         self.selected_ids.push(p);
+        // Cannot overflow: instance validation checked Σ C(p) over all
+        // photos, and a selection is a set of distinct photos.
         self.cost += self.inst.cost(p);
         let mut delta = 0.0;
         let mut ops = 0u64;

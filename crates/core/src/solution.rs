@@ -38,7 +38,12 @@ impl Solution {
                 return Err(ModelError::MissingRequiredPhoto(r));
             }
         }
-        let cost: u64 = photos.iter().map(|&p| inst.cost(p)).sum();
+        let mut cost: u64 = 0;
+        for &p in &photos {
+            cost = cost
+                .checked_add(inst.cost(p))
+                .ok_or(ModelError::CostOverflow)?;
+        }
         if cost > inst.budget() {
             return Err(ModelError::OverBudget {
                 cost,
@@ -59,7 +64,12 @@ impl Solution {
     pub fn new_unchecked(inst: &Instance, mut photos: Vec<PhotoId>) -> Self {
         photos.sort_unstable();
         photos.dedup();
-        let cost = photos.iter().map(|&p| inst.cost(p)).sum();
+        // Deduplicated ids of a validated instance sum to at most the
+        // checked total cost, so this cannot overflow; saturate anyway
+        // rather than wrap, since this constructor skips validation.
+        let cost = photos
+            .iter()
+            .fold(0u64, |acc, &p| acc.saturating_add(inst.cost(p)));
         let score = exact_score(inst, &photos);
         Solution {
             photos,

@@ -1,0 +1,94 @@
+//! Typed errors for dataset parsing, validation, and generation.
+//!
+//! Part of the workspace-wide `PhocusError` hierarchy: `phocus::PhocusError`
+//! wraps [`DatasetError`] via `From`, so dataset failures surface to the CLI
+//! as diagnostics instead of panics.
+
+use crate::io::ParseError;
+use std::fmt;
+
+/// Convenience result alias for dataset operations.
+pub type Result<T> = std::result::Result<T, DatasetError>;
+
+/// Errors raised while parsing, validating, or generating a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// A line-level syntax error in the universe text format.
+    Parse(ParseError),
+    /// The parsed or constructed universe violates a model invariant
+    /// (index out of range, empty subset, non-finite weight, …).
+    InvalidUniverse(String),
+    /// The total archive cost `Σ C(p)` overflows a 64-bit byte count.
+    CostOverflow,
+    /// A Zipf distribution's cumulative weights are not finite and strictly
+    /// increasing (degenerate exponent, zero items, or numeric underflow).
+    InvalidZipf {
+        /// Index of the first offending CDF entry.
+        index: usize,
+        /// The offending cumulative value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Parse(e) => write!(f, "parse error: {e}"),
+            DatasetError::InvalidUniverse(msg) => write!(f, "invalid universe: {msg}"),
+            DatasetError::CostOverflow => {
+                write!(f, "total archive cost overflows a 64-bit byte count")
+            }
+            DatasetError::InvalidZipf { index, value } => write!(
+                f,
+                "Zipf CDF is not finite and strictly increasing at rank {index} (value {value})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for DatasetError {
+    fn from(e: ParseError) -> Self {
+        DatasetError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let p = ParseError {
+            line: 3,
+            message: "bad cost".into(),
+        };
+        let e: DatasetError = p.into();
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("bad cost"));
+        assert!(DatasetError::CostOverflow.to_string().contains("overflow"));
+        let z = DatasetError::InvalidZipf {
+            index: 4,
+            value: f64::NAN,
+        };
+        assert!(z.to_string().contains("rank 4"));
+    }
+
+    #[test]
+    fn error_is_std_error_with_source() {
+        let e = DatasetError::Parse(ParseError {
+            line: 1,
+            message: "x".into(),
+        });
+        let dyn_err: &dyn std::error::Error = &e;
+        assert!(dyn_err.source().is_some());
+    }
+}

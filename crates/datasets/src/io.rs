@@ -17,6 +17,7 @@
 //! Floats round-trip via their shortest exact representation, so
 //! `write → read` is lossless (verified by tests).
 
+use crate::error::DatasetError;
 use crate::universe::{SubsetDef, Universe};
 use par_embed::{Embedding, ExifData};
 use std::fmt::Write as _;
@@ -79,15 +80,22 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError {
+fn err(line: usize, message: impl Into<String>) -> DatasetError {
+    DatasetError::Parse(ParseError {
         line,
         message: message.into(),
-    }
+    })
 }
 
 /// Parses a universe from the text format. Validates the result.
-pub fn from_text(text: &str) -> Result<Universe, ParseError> {
+///
+/// Syntax problems surface as [`DatasetError::Parse`] with a 1-based line
+/// number; a well-formed file describing an inconsistent universe (dangling
+/// indices, non-finite weights, cost overflow, …) surfaces as the
+/// corresponding semantic [`DatasetError`] variant. This function never
+/// panics, whatever the input bytes — the no-panic fuzz harness in
+/// `tests/tests/no_panic.rs` feeds it arbitrary strings.
+pub fn from_text(text: &str) -> Result<Universe, DatasetError> {
     let mut name = String::from("unnamed");
     let mut photos: Vec<(u32, u64, String)> = Vec::new();
     let mut embeddings: Vec<(u32, Embedding)> = Vec::new();
@@ -204,7 +212,7 @@ pub fn from_text(text: &str) -> Result<Universe, ParseError> {
         subsets,
         required,
     };
-    universe.validate().map_err(|m| err(0, m))?;
+    universe.validate()?;
     Ok(universe)
 }
 
@@ -267,6 +275,51 @@ mod tests {
         assert!(from_text("photo\tx\ty\tz").is_err());
         let e = from_text("subset\tq\tnot-a-number\t0:1").unwrap_err();
         assert!(e.to_string().contains("weight"));
+    }
+
+    #[test]
+    fn rejects_truncated_records() {
+        // A photo line cut off before its cost.
+        assert!(from_text("photo\t0").is_err());
+        // An embedding line cut off before its values.
+        let e = from_text("photo\t0\t100\ta\nembedding\t0").unwrap_err();
+        assert!(e.to_string().contains("embedding"));
+        // A file cut off before the embeddings section entirely.
+        let e = from_text("photo\t0\t100\ta\nphoto\t1\t200\tb").unwrap_err();
+        assert!(e.to_string().contains("embedding count"));
+        // A subset member pair cut off at the colon.
+        let text = "photo\t0\t100\ta\nembedding\t0\t1.0\nsubset\tq\t1.0\t0";
+        assert!(from_text(text).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_weights_and_relevance() {
+        let head = "photo\t0\t100\ta\nembedding\t0\t1.0\n";
+        for bad in [
+            "subset\tq\tNaN\t0:1",
+            "subset\tq\tinf\t0:1",
+            "subset\tq\t-inf\t0:1",
+            "subset\tq\t0\t0:1",
+            "subset\tq\t1.0\t0:NaN",
+            "subset\tq\t1.0\t0:-2",
+        ] {
+            let e = from_text(&format!("{head}{bad}")).unwrap_err();
+            assert!(
+                matches!(e, DatasetError::InvalidUniverse(_)),
+                "{bad}: wrong error {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_cost_sum_overflow() {
+        let max = u64::MAX;
+        let text = format!(
+            "photo\t0\t{max}\ta\nphoto\t1\t{max}\tb\n\
+             embedding\t0\t1.0\nembedding\t1\t0.5\n"
+        );
+        let e = from_text(&text).unwrap_err();
+        assert!(matches!(e, DatasetError::CostOverflow), "got {e}");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod ecommerce;
+pub mod error;
 pub mod io;
 pub mod openimages;
 pub mod table2;
@@ -32,7 +33,8 @@ pub mod universe;
 pub mod zipf;
 
 pub use ecommerce::{generate_ecommerce, EcConfig, EcDomain};
-pub use io::{from_text, to_text};
+pub use error::DatasetError;
+pub use io::{from_text, to_text, ParseError};
 pub use openimages::{generate_openimages, OpenImagesConfig, PublicScale};
 pub use table2::{table2_rows, Table2Row};
 pub use universe::{SubsetDef, Universe};

@@ -157,7 +157,8 @@ pub fn generate_openimages(cfg: &OpenImagesConfig) -> Universe {
         vocab_f = cfg.target_subsets as f64 / seen_fraction(draws / vocab_f).max(0.05);
     }
     let vocab = vocab_f.ceil() as usize + 8;
-    let zipf = Zipf::new(vocab, cfg.zipf_s);
+    let zipf = Zipf::new(vocab, cfg.zipf_s)
+        .unwrap_or_else(|e| unreachable!("vocab ≥ 9 and asserted finite exponent: {e}"));
 
     let mut spec_embedder = SpecEmbedder::new(cfg.embed_dim, cfg.seed ^ 0xE5EED);
     // Spread intra-label similarities across ~[0.4, 0.95] (real photo
@@ -231,7 +232,9 @@ pub fn generate_openimages(cfg: &OpenImagesConfig) -> Universe {
     labels.sort_unstable();
     let mut subsets = Vec::with_capacity(labels.len());
     for l in labels {
-        let (members, relevance) = label_members.remove(&l).expect("label present");
+        let Some((members, relevance)) = label_members.remove(&l) else {
+            unreachable!("label {l} came from label_members' own key set");
+        };
         if members.len() < cfg.min_subset_size {
             continue;
         }
@@ -262,7 +265,10 @@ pub fn generate_openimages(cfg: &OpenImagesConfig) -> Universe {
         subsets,
         required,
     };
-    universe.validate().expect("generated universe is valid");
+    debug_assert!(
+        universe.validate().is_ok(),
+        "generated universe is valid by construction"
+    );
     universe
 }
 
@@ -310,7 +316,7 @@ mod tests {
         let u = generate_openimages(&PublicScale::P1K.config(1));
         // The heaviest subset should be much larger than the median.
         let mut weights: Vec<f64> = u.subsets.iter().map(|s| s.weight).collect();
-        weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        weights.sort_by(|a, b| b.total_cmp(a));
         assert!(weights[0] > 4.0 * weights[weights.len() / 2]);
         // Weight equals member count (frequency) for this generator.
         for s in &u.subsets {

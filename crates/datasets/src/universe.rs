@@ -7,6 +7,7 @@
 //! (PHOcus-NS) or LSH-sparsified (PHOcus) similarities is the representation
 //! module's job (`phocus::representation`).
 
+use crate::error::DatasetError;
 use par_embed::{Embedding, ExifData};
 
 /// Definition of one pre-defined subset, by photo indices into the universe.
@@ -53,9 +54,11 @@ impl Universe {
         self.subsets.len()
     }
 
-    /// Total archive cost in bytes.
+    /// Total archive cost in bytes. Saturates instead of wrapping on
+    /// un-validated universes; [`Universe::validate`] rejects any corpus
+    /// whose true total exceeds `u64`.
     pub fn total_cost(&self) -> u64 {
-        self.costs.iter().sum()
+        self.costs.iter().fold(0u64, |acc, &c| acc.saturating_add(c))
     }
 
     /// Mean photo cost in bytes.
@@ -78,45 +81,56 @@ impl Universe {
     }
 
     /// Validates internal consistency (indices in range, parallel arrays,
-    /// non-empty subsets). Generators call this before returning.
-    pub fn validate(&self) -> Result<(), String> {
+    /// non-empty subsets, finite positive weights/relevances, no cost-sum
+    /// overflow). Generators call this before returning; [`crate::from_text`]
+    /// calls it on every parsed file, so malformed input surfaces as a typed
+    /// [`DatasetError`] instead of a panic deeper in the pipeline.
+    pub fn validate(&self) -> Result<(), DatasetError> {
+        let invalid = |msg: String| Err(DatasetError::InvalidUniverse(msg));
         let n = self.num_photos();
         if self.costs.len() != n || self.embeddings.len() != n {
-            return Err("parallel photo arrays disagree in length".into());
+            return invalid("parallel photo arrays disagree in length".into());
         }
         if let Some(exif) = &self.exif {
             if exif.len() != n {
-                return Err("EXIF array length mismatch".into());
+                return invalid("EXIF array length mismatch".into());
             }
+        }
+        let mut total: u64 = 0;
+        for &c in &self.costs {
+            total = match total.checked_add(c) {
+                Some(t) => t,
+                None => return Err(DatasetError::CostOverflow),
+            };
         }
         for (i, s) in self.subsets.iter().enumerate() {
             if s.members.is_empty() {
-                return Err(format!("subset {i} ({}) is empty", s.label));
+                return invalid(format!("subset {i} ({}) is empty", s.label));
             }
             if s.members.len() != s.relevance.len() {
-                return Err(format!("subset {i} relevance length mismatch"));
+                return invalid(format!("subset {i} relevance length mismatch"));
             }
             if s.weight <= 0.0 || !s.weight.is_finite() {
-                return Err(format!("subset {i} has invalid weight {}", s.weight));
+                return invalid(format!("subset {i} has invalid weight {}", s.weight));
             }
             let mut seen = std::collections::HashSet::new();
             for &m in &s.members {
                 if m as usize >= n {
-                    return Err(format!("subset {i} references photo {m} ≥ {n}"));
+                    return invalid(format!("subset {i} references photo {m} ≥ {n}"));
                 }
                 if !seen.insert(m) {
-                    return Err(format!("subset {i} repeats photo {m}"));
+                    return invalid(format!("subset {i} repeats photo {m}"));
                 }
             }
             for &r in &s.relevance {
                 if r <= 0.0 || !r.is_finite() {
-                    return Err(format!("subset {i} has invalid relevance {r}"));
+                    return invalid(format!("subset {i} has invalid relevance {r}"));
                 }
             }
         }
         for &r in &self.required {
             if r as usize >= n {
-                return Err(format!("required photo {r} out of range"));
+                return invalid(format!("required photo {r} out of range"));
             }
         }
         Ok(())

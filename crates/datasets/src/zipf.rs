@@ -4,6 +4,7 @@
 //! Sampling is by binary search over the precomputed CDF — `O(log n)` per
 //! draw, exact, and dependency-free.
 
+use crate::error::DatasetError;
 use rand::Rng;
 
 /// A Zipf distribution over ranks `0..n`.
@@ -15,9 +16,22 @@ pub struct Zipf {
 impl Zipf {
     /// Creates a Zipf distribution with `n` items and exponent `s ≥ 0`
     /// (`s = 0` is uniform; larger `s` concentrates mass on low ranks).
-    pub fn new(n: usize, s: f64) -> Self {
-        assert!(n > 0, "Zipf needs at least one item");
-        assert!(s >= 0.0 && s.is_finite());
+    ///
+    /// Returns [`DatasetError::InvalidZipf`] if the parameters yield a
+    /// cumulative distribution that is not finite and strictly increasing —
+    /// zero items, a non-finite or negative exponent, or an exponent so large
+    /// that tail masses underflow to zero. A NaN in the CDF would otherwise
+    /// silently mis-bucket every binary-searched draw.
+    pub fn new(n: usize, s: f64) -> Result<Self, DatasetError> {
+        if n == 0 {
+            return Err(DatasetError::InvalidZipf {
+                index: 0,
+                value: f64::NAN,
+            });
+        }
+        if !(s >= 0.0 && s.is_finite()) {
+            return Err(DatasetError::InvalidZipf { index: 0, value: s });
+        }
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for k in 0..n {
@@ -28,7 +42,16 @@ impl Zipf {
         for c in &mut cdf {
             *c /= total;
         }
-        Zipf { cdf }
+        // The normalized CDF must be finite and strictly increasing for
+        // binary search to partition `[0, 1)` correctly.
+        let mut prev = 0.0f64;
+        for (index, &value) in cdf.iter().enumerate() {
+            if !value.is_finite() || value <= prev {
+                return Err(DatasetError::InvalidZipf { index, value });
+            }
+            prev = value;
+        }
+        Ok(Zipf { cdf })
     }
 
     /// Number of items.
@@ -44,10 +67,7 @@ impl Zipf {
     /// Draws a rank in `0..n`.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Less))
-        {
+        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -71,14 +91,14 @@ mod tests {
 
     #[test]
     fn pmf_sums_to_one() {
-        let z = Zipf::new(100, 1.1);
+        let z = Zipf::new(100, 1.1).unwrap();
         let sum: f64 = (0..100).map(|k| z.pmf(k)).sum();
         assert!((sum - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn low_ranks_dominate() {
-        let z = Zipf::new(1000, 1.0);
+        let z = Zipf::new(1000, 1.0).unwrap();
         assert!(z.pmf(0) > z.pmf(1));
         assert!(z.pmf(1) > z.pmf(100));
         // Rank-0 mass ≈ 1/H_1000 ≈ 0.133.
@@ -87,7 +107,7 @@ mod tests {
 
     #[test]
     fn s_zero_is_uniform() {
-        let z = Zipf::new(10, 0.0);
+        let z = Zipf::new(10, 0.0).unwrap();
         for k in 0..10 {
             assert!((z.pmf(k) - 0.1).abs() < 1e-12);
         }
@@ -95,7 +115,7 @@ mod tests {
 
     #[test]
     fn sampling_matches_pmf_roughly() {
-        let z = Zipf::new(50, 1.0);
+        let z = Zipf::new(50, 1.0).unwrap();
         let mut rng = StdRng::seed_from_u64(42);
         let mut counts = vec![0usize; 50];
         let draws = 100_000;
@@ -107,5 +127,19 @@ mod tests {
         assert!((freq0 - z.pmf(0)).abs() < 0.1 * z.pmf(0) + 0.005);
         // All draws in range.
         assert_eq!(counts.iter().sum::<usize>(), draws);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(matches!(
+            Zipf::new(0, 1.0),
+            Err(DatasetError::InvalidZipf { .. })
+        ));
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, f64::INFINITY).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        // Exponent large enough that every tail term underflows: the CDF
+        // stalls at 1.0 and stops strictly increasing.
+        assert!(Zipf::new(10, 2000.0).is_err());
     }
 }

@@ -71,13 +71,14 @@ impl Codebook {
                 }
                 idx
             };
-            centroids.push(samples[next].clone());
+            let next_c = samples[next].clone();
             for (i, s) in samples.iter().enumerate() {
-                let d = sq_dist(s, centroids.last().unwrap());
+                let d = sq_dist(s, &next_c);
                 if d < dists[i] {
                     dists[i] = d;
                 }
             }
+            centroids.push(next_c);
         }
 
         // Lloyd iterations.

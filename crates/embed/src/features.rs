@@ -143,7 +143,7 @@ mod tests {
         let peak = h
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(peak, 3, "peak bin {peak}");

@@ -188,8 +188,8 @@ where
         }
     });
     out.into_iter()
-       .map(|s| s.expect("parallel_fill: worker failed to fill its slot"))
-       .collect()
+        .map(|s| s.unwrap_or_else(|| unreachable!("parallel_fill covers every slot exactly once")))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,43 @@
+//! Typed errors for LSH parameter planning.
+
+use std::fmt;
+
+/// Errors raised when planning a banded SimHash configuration.
+///
+/// Part of the workspace-wide `PhocusError` hierarchy: `phocus::PhocusError`
+/// wraps [`LshError`] via `From`, so a bad sparsification threshold surfaces
+/// to the CLI as a diagnostic instead of a panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LshError {
+    /// The recall target is outside `(0, 1]` (or NaN).
+    InvalidRecall(f64),
+    /// The similarity threshold `τ` is outside `[-1, 1]` (or NaN) — it must
+    /// be a cosine value.
+    InvalidTau(f64),
+}
+
+impl fmt::Display for LshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LshError::InvalidRecall(r) => {
+                write!(f, "LSH recall target {r} is not in (0, 1]")
+            }
+            LshError::InvalidTau(t) => {
+                write!(f, "similarity threshold τ = {t} is not a cosine in [-1, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LshError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_value() {
+        assert!(LshError::InvalidRecall(1.5).to_string().contains("1.5"));
+        assert!(LshError::InvalidTau(-2.0).to_string().contains("-2"));
+    }
+}

@@ -17,10 +17,12 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod planner;
 pub mod simhash;
 pub mod tables;
 
+pub use error::LshError;
 pub use planner::{plan, LshPlan};
 
 pub use simhash::{cosine, Signature, SimHasher};
@@ -36,13 +38,21 @@ pub use tables::LshIndex;
 /// Runtime is `O(n · bits)` hashing plus candidate verification — near-linear
 /// when the similarity graph is sparse, versus `Θ(n²)` for exhaustive
 /// comparison.
+///
+/// Returns [`LshError`] if `tau` is not a cosine value in `[-1, 1]` or
+/// `target_recall` is not in `(0, 1]`.
 pub fn similar_pairs(
     vectors: &[impl AsRef<[f32]> + Sync],
     tau: f64,
     target_recall: f64,
     seed: u64,
-) -> Vec<(u32, u32, f64)> {
-    similar_pairs_with_plan(vectors, tau, plan(tau, target_recall), seed)
+) -> Result<Vec<(u32, u32, f64)>, LshError> {
+    Ok(similar_pairs_with_plan(
+        vectors,
+        tau,
+        plan(tau, target_recall)?,
+        seed,
+    ))
 }
 
 /// [`similar_pairs`] with an explicit banding plan.
@@ -99,7 +109,7 @@ mod tests {
                 vecs.push(unit(base + 0.02 * k as f32));
             }
         }
-        let pairs = similar_pairs(&vecs, 0.95, 0.95, 42);
+        let pairs = similar_pairs(&vecs, 0.95, 0.95, 42).unwrap();
         // All within-cluster pairs have cosine ≈ 1; expect ≥ 90% of the 30.
         let within = pairs.iter().filter(|&&(i, j, _)| i / 5 == j / 5).count();
         assert!(
@@ -113,7 +123,7 @@ mod tests {
     #[test]
     fn empty_input_is_fine() {
         let v: Vec<Vec<f32>> = Vec::new();
-        assert!(similar_pairs(&v, 0.9, 0.9, 1).is_empty());
+        assert!(similar_pairs(&v, 0.9, 0.9, 1).unwrap().is_empty());
     }
 
     #[test]
@@ -125,7 +135,7 @@ mod tests {
             vec![-1.0, 0.0],
             vec![0.0, -1.0],
         ];
-        let pairs = similar_pairs(&vecs, 0.9, 0.99, 7);
+        let pairs = similar_pairs(&vecs, 0.9, 0.99, 7).unwrap();
         assert!(pairs.is_empty());
     }
 }

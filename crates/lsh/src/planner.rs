@@ -7,6 +7,8 @@
 //! meets a target recall, while keeping the false-candidate rate for
 //! clearly-dissimilar pairs low.
 
+use crate::error::LshError;
+
 /// A banding plan: `rows` bits per band × `bands` bands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LshPlan {
@@ -45,12 +47,16 @@ pub fn collision_probability(sim: f64) -> f64 {
 /// rows sharpen the S-curve; more bands flatten it). Among feasible plans the
 /// fewest total bits wins; if none is feasible the plan with the lowest
 /// background detection rate is returned.
-pub fn plan(tau: f64, target_recall: f64) -> LshPlan {
-    assert!(
-        (0.0..1.0).contains(&target_recall) || target_recall == 1.0,
-        "recall must be in (0,1]"
-    );
-    assert!((-1.0..=1.0).contains(&tau), "tau must be a cosine value");
+///
+/// Returns [`LshError`] if `target_recall` is not in `(0, 1]` or `tau` is
+/// not a cosine value in `[-1, 1]` (NaN fails both checks).
+pub fn plan(tau: f64, target_recall: f64) -> Result<LshPlan, LshError> {
+    if !(target_recall > 0.0 && target_recall <= 1.0) {
+        return Err(LshError::InvalidRecall(target_recall));
+    }
+    if !((-1.0..=1.0).contains(&tau)) {
+        return Err(LshError::InvalidTau(tau));
+    }
     let p = collision_probability(tau);
     let background = (tau - 0.3).max(0.0);
     const MAX_BACKGROUND_RATE: f64 = 0.5;
@@ -97,8 +103,9 @@ pub fn plan(tau: f64, target_recall: f64) -> LshPlan {
             best = Some(cand);
         }
     }
-    best.or(fallback.map(|(_, p)| p))
-        .unwrap_or(LshPlan { rows: 4, bands: 32 })
+    Ok(best
+        .or(fallback.map(|(_, p)| p))
+        .unwrap_or(LshPlan { rows: 4, bands: 32 }))
 }
 
 #[cfg(test)]
@@ -116,7 +123,7 @@ mod tests {
     fn plan_meets_recall_at_threshold() {
         for tau in [0.5, 0.7, 0.9] {
             for recall in [0.8, 0.9, 0.95] {
-                let p = plan(tau, recall);
+                let p = plan(tau, recall).unwrap();
                 let d = p.detection_probability(tau);
                 assert!(
                     d >= recall - 1e-9,
@@ -128,7 +135,7 @@ mod tests {
 
     #[test]
     fn detection_is_monotone_in_similarity() {
-        let p = plan(0.8, 0.9);
+        let p = plan(0.8, 0.9).unwrap();
         let d_low = p.detection_probability(0.3);
         let d_mid = p.detection_probability(0.6);
         let d_high = p.detection_probability(0.9);
@@ -139,7 +146,7 @@ mod tests {
     fn plans_filter_dissimilar_pairs() {
         // At τ=0.9 with decent recall, pairs at sim 0.2 should rarely be
         // candidates (this is what makes LSH sub-quadratic).
-        let p = plan(0.9, 0.9);
+        let p = plan(0.9, 0.9).unwrap();
         assert!(p.rows >= 2, "plan {p:?} has no AND construction");
         let fp = p.detection_probability(0.2);
         assert!(fp < 0.6, "false-candidate rate {fp} too high for {p:?}");
@@ -149,5 +156,14 @@ mod tests {
     fn total_bits_is_rows_times_bands() {
         let p = LshPlan { rows: 8, bands: 16 };
         assert_eq!(p.total_bits(), 128);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert_eq!(plan(0.8, 0.0), Err(LshError::InvalidRecall(0.0)));
+        assert_eq!(plan(0.8, 1.5), Err(LshError::InvalidRecall(1.5)));
+        assert!(plan(0.8, f64::NAN).is_err());
+        assert_eq!(plan(2.0, 0.9), Err(LshError::InvalidTau(2.0)));
+        assert!(plan(f64::NAN, 0.9).is_err());
     }
 }

@@ -42,7 +42,9 @@ proptest! {
             }
         }
         prop_assume!(truth >= 10); // need enough positives to measure recall
-        let found = similar_pairs(&vectors, tau, target, seed ^ 0xF00).len();
+        let found = similar_pairs(&vectors, tau, target, seed ^ 0xF00)
+            .unwrap()
+            .len();
         let recall = found as f64 / truth as f64;
         // The plan guarantees `target` in expectation; allow sampling slack.
         prop_assert!(

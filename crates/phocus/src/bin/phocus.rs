@@ -6,6 +6,13 @@
 //! phocus solve --dataset p1k --budget-mb 10 [--tau 0.6] [--ns] [--seed 42]
 //! phocus suite --dataset ec-fashion --budget-mb 100 [--seed 42]
 //! ```
+//!
+//! Every failure exits with a diagnostic on stderr and a documented nonzero
+//! status — the binary never panics on bad input:
+//!
+//! * `2` — usage error (unknown command/dataset, malformed flag value);
+//! * `3` — invalid input data (parse error, model violation, bad parameter);
+//! * `4` — I/O failure (unreadable dataset file, unwritable output).
 
 use par_core::fixtures::figure1_instance;
 use par_datasets::{
@@ -14,15 +21,53 @@ use par_datasets::{
 };
 use phocus::{
     render_report, representation::RepresentationConfig, representation::Sparsification, run_suite,
-    Parallelism, Phocus, PhocusConfig, SuiteConfig,
+    Parallelism, Phocus, PhocusConfig, PhocusError, SuiteConfig,
 };
 use std::process::ExitCode;
+
+/// A CLI failure: either a usage mistake or a typed pipeline error.
+enum CliError {
+    /// Bad invocation — unknown command/dataset or malformed flag value.
+    Usage(String),
+    /// A typed error from the PHOcus pipeline (parse, model, I/O, …).
+    Pipeline(PhocusError),
+}
+
+impl From<PhocusError> for CliError {
+    fn from(e: PhocusError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    /// Documented exit codes: 2 usage, 3 invalid data, 4 I/O.
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Usage(_) => ExitCode::from(2),
+            CliError::Pipeline(PhocusError::Io { .. }) => ExitCode::from(4),
+            CliError::Pipeline(_) => ExitCode::from(3),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Pipeline(e) => write!(f, "{e}"),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let rest = &args[1..];
     let result = match cmd.as_str() {
@@ -37,13 +82,13 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => Err(CliError::usage(format!("unknown command `{other}`\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            e.exit_code()
         }
     }
 }
@@ -62,7 +107,9 @@ USAGE:
   phocus plan --dataset <NAME> --target <FRACTION> [--seed N]
 
 DATASETS: p1k p5k p10k p50k p100k ec-fashion ec-electronics ec-home file:<path>
-  (EC datasets use the scaled-down generator; pass --paper-scale for full size)";
+  (EC datasets use the scaled-down generator; pass --paper-scale for full size)
+
+EXIT CODES: 0 success, 2 usage error, 3 invalid input data, 4 I/O failure";
 
 fn flag(rest: &[String], name: &str) -> bool {
     rest.iter().any(|a| a == name)
@@ -74,19 +121,34 @@ fn opt(rest: &[String], name: &str) -> Option<String> {
         .and_then(|i| rest.get(i + 1).cloned())
 }
 
-fn parse<T: std::str::FromStr>(rest: &[String], name: &str, default: T) -> Result<T, String> {
+fn parse<T: std::str::FromStr>(rest: &[String], name: &str, default: T) -> Result<T, CliError> {
     match opt(rest, name) {
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|_| format!("invalid value for {name}: {v}")),
+            .map_err(|_| CliError::usage(format!("invalid value for {name}: {v}"))),
     }
 }
 
-fn load_dataset(name: &str, seed: u64, paper_scale: bool) -> Result<Universe, String> {
+fn read_file(path: &str) -> Result<String, PhocusError> {
+    std::fs::read_to_string(path).map_err(|e| PhocusError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })
+}
+
+fn write_file(path: &str, text: &str) -> Result<(), PhocusError> {
+    std::fs::write(path, text).map_err(|e| PhocusError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })
+}
+
+fn load_dataset(name: &str, seed: u64, paper_scale: bool) -> Result<Universe, CliError> {
     if let Some(path) = name.strip_prefix("file:") {
-        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-        return par_datasets::from_text(&text).map_err(|e| e.to_string());
+        let text = read_file(path)?;
+        return par_datasets::from_text(&text)
+            .map_err(|e| CliError::Pipeline(PhocusError::Dataset(e)));
     }
     let scale = |s: PublicScale| generate_openimages(&s.config(seed));
     let ec = |d: EcDomain| {
@@ -112,11 +174,11 @@ fn load_dataset(name: &str, seed: u64, paper_scale: bool) -> Result<Universe, St
             seed,
             ..Default::default()
         }),
-        other => return Err(format!("unknown dataset `{other}`")),
+        other => return Err(CliError::usage(format!("unknown dataset `{other}`"))),
     })
 }
 
-fn cmd_demo() -> Result<(), String> {
+fn cmd_demo() -> Result<(), CliError> {
     println!("Figure 1 worked example (7 photos, 4 pre-defined subsets)\n");
     let inst = figure1_instance(4 * par_core::fixtures::MB);
     let report = Phocus::default().solve_instance(&inst, std::time::Duration::ZERO);
@@ -134,7 +196,7 @@ fn cmd_demo() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_table2(rest: &[String]) -> Result<(), String> {
+fn cmd_table2(rest: &[String]) -> Result<(), CliError> {
     let full = flag(rest, "--full");
     let seed = parse(rest, "--seed", 42u64)?;
     let rows = par_datasets::table2_rows(full, seed);
@@ -154,8 +216,8 @@ fn cmd_table2(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_solve(rest: &[String]) -> Result<(), String> {
-    let dataset = opt(rest, "--dataset").ok_or("missing --dataset")?;
+fn cmd_solve(rest: &[String]) -> Result<(), CliError> {
+    let dataset = opt(rest, "--dataset").ok_or_else(|| CliError::usage("missing --dataset"))?;
     let budget_mb: f64 = parse(rest, "--budget-mb", 10.0)?;
     let tau: f64 = parse(rest, "--tau", 0.6)?;
     let seed: u64 = parse(rest, "--seed", 42)?;
@@ -187,8 +249,8 @@ fn cmd_solve(rest: &[String]) -> Result<(), String> {
         universe.num_subsets(),
         universe.total_cost() as f64 / 1e6
     );
-    let report = solver.solve(&universe, budget).map_err(|e| e.to_string())?;
-    let inst = phocus::represent(&universe, budget, &representation).map_err(|e| e.to_string())?;
+    let report = solver.solve(&universe, budget)?;
+    let inst = phocus::represent(&universe, budget, &representation)?;
     print!("{}", render_report(&inst, &report));
     if let Some(out) = opt(rest, "--out") {
         // One retained photo per line: id, byte cost, name.
@@ -197,14 +259,14 @@ fn cmd_solve(rest: &[String]) -> Result<(), String> {
             let photo = inst.photo(p);
             text.push_str(&format!("{}\t{}\t{}\n", p.0, photo.cost, photo.name));
         }
-        std::fs::write(&out, text).map_err(|e| e.to_string())?;
+        write_file(&out, &text)?;
         println!("wrote retained set to {out}");
     }
     Ok(())
 }
 
-fn cmd_compress(rest: &[String]) -> Result<(), String> {
-    let dataset = opt(rest, "--dataset").ok_or("missing --dataset")?;
+fn cmd_compress(rest: &[String]) -> Result<(), CliError> {
+    let dataset = opt(rest, "--dataset").ok_or_else(|| CliError::usage("missing --dataset"))?;
     let budget_mb: f64 = parse(rest, "--budget-mb", 2.0)?;
     let seed: u64 = parse(rest, "--seed", 42)?;
     let universe = load_dataset(&dataset, seed, flag(rest, "--paper-scale"))?;
@@ -221,8 +283,7 @@ fn cmd_compress(rest: &[String]) -> Result<(), String> {
         budget,
         &phocus::DEFAULT_LADDER,
         &phocus::RepresentationConfig::default(),
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
     println!("remove-only quality:        {:.2}", cmp.remove_only);
     println!(
         "compression-aware quality:  {:.2} ({:+.1}%)",
@@ -236,12 +297,12 @@ fn cmd_compress(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_export(rest: &[String]) -> Result<(), String> {
-    let dataset = opt(rest, "--dataset").ok_or("missing --dataset")?;
-    let out = opt(rest, "--out").ok_or("missing --out")?;
+fn cmd_export(rest: &[String]) -> Result<(), CliError> {
+    let dataset = opt(rest, "--dataset").ok_or_else(|| CliError::usage("missing --dataset"))?;
+    let out = opt(rest, "--out").ok_or_else(|| CliError::usage("missing --out"))?;
     let seed: u64 = parse(rest, "--seed", 42)?;
     let universe = load_dataset(&dataset, seed, flag(rest, "--paper-scale"))?;
-    std::fs::write(&out, par_datasets::to_text(&universe)).map_err(|e| e.to_string())?;
+    write_file(&out, &par_datasets::to_text(&universe))?;
     println!(
         "wrote {} ({} photos, {} subsets)",
         out,
@@ -251,8 +312,8 @@ fn cmd_export(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_plan(rest: &[String]) -> Result<(), String> {
-    let dataset = opt(rest, "--dataset").ok_or("missing --dataset")?;
+fn cmd_plan(rest: &[String]) -> Result<(), CliError> {
+    let dataset = opt(rest, "--dataset").ok_or_else(|| CliError::usage("missing --dataset"))?;
     let target: f64 = parse(rest, "--target", 0.9)?;
     let seed: u64 = parse(rest, "--seed", 42)?;
     let universe = load_dataset(&dataset, seed, flag(rest, "--paper-scale"))?;
@@ -262,8 +323,7 @@ fn cmd_plan(rest: &[String]) -> Result<(), String> {
         target,
         &RepresentationConfig::default(),
         tolerance,
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
     println!(
         "dataset {} — archive {:.1} MB",
         universe.name,
@@ -281,8 +341,8 @@ fn cmd_plan(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_suite(rest: &[String]) -> Result<(), String> {
-    let dataset = opt(rest, "--dataset").ok_or("missing --dataset")?;
+fn cmd_suite(rest: &[String]) -> Result<(), CliError> {
+    let dataset = opt(rest, "--dataset").ok_or_else(|| CliError::usage("missing --dataset"))?;
     let budget_mb: f64 = parse(rest, "--budget-mb", 10.0)?;
     let tau: f64 = parse(rest, "--tau", 0.6)?;
     let seed: u64 = parse(rest, "--seed", 42)?;
@@ -293,7 +353,7 @@ fn cmd_suite(rest: &[String]) -> Result<(), String> {
         rand_seed: seed,
         ..Default::default()
     };
-    let result = run_suite(&universe, budget, &cfg).map_err(|e| e.to_string())?;
+    let result = run_suite(&universe, budget, &cfg)?;
     print!("{}", phocus::report::render_suite(&result));
     Ok(())
 }

@@ -1,0 +1,124 @@
+//! The unified PHOcus error type.
+//!
+//! Every fallible system-level operation — dataset parsing, representation,
+//! planning, solving — returns [`PhocusError`], which wraps the per-layer
+//! error enums (`par_core::ModelError`, `par_datasets::DatasetError`,
+//! `par_lsh::LshError`, `par_algo::SolveError`) via `From`, so `?` composes
+//! across crate boundaries and the CLI can print one diagnostic per failure
+//! instead of panicking.
+
+use par_algo::SolveError;
+use par_core::ModelError;
+use par_datasets::DatasetError;
+use par_lsh::LshError;
+use std::fmt;
+
+/// Convenience result alias for PHOcus operations.
+pub type Result<T> = std::result::Result<T, PhocusError>;
+
+/// Any error a PHOcus pipeline stage can raise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhocusError {
+    /// A model-layer violation (unknown photo, infeasible budget, cost
+    /// overflow, …).
+    Model(ModelError),
+    /// A dataset-layer failure (parse error, invalid universe, …).
+    Dataset(DatasetError),
+    /// An LSH planning failure (bad threshold or recall target).
+    Lsh(LshError),
+    /// A solver-layer failure (bad cardinality or ε).
+    Solve(SolveError),
+    /// The budget-planner quality target is outside `(0, 1]` (or NaN).
+    InvalidTarget(f64),
+    /// An I/O failure while reading an input file (CLI layer).
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying OS error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for PhocusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhocusError::Model(e) => write!(f, "{e}"),
+            PhocusError::Dataset(e) => write!(f, "{e}"),
+            PhocusError::Lsh(e) => write!(f, "{e}"),
+            PhocusError::Solve(e) => write!(f, "{e}"),
+            PhocusError::InvalidTarget(t) => {
+                write!(f, "quality target {t} is not in (0, 1]")
+            }
+            PhocusError::Io { path, message } => {
+                write!(f, "cannot read {path}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PhocusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PhocusError::Model(e) => Some(e),
+            PhocusError::Dataset(e) => Some(e),
+            PhocusError::Lsh(e) => Some(e),
+            PhocusError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for PhocusError {
+    fn from(e: ModelError) -> Self {
+        PhocusError::Model(e)
+    }
+}
+
+impl From<DatasetError> for PhocusError {
+    fn from(e: DatasetError) -> Self {
+        PhocusError::Dataset(e)
+    }
+}
+
+impl From<LshError> for PhocusError {
+    fn from(e: LshError) -> Self {
+        PhocusError::Lsh(e)
+    }
+}
+
+impl From<SolveError> for PhocusError {
+    fn from(e: SolveError) -> Self {
+        PhocusError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_every_layer() {
+        let m: PhocusError = ModelError::CostOverflow.into();
+        assert!(m.to_string().contains("overflow"));
+        let d: PhocusError = DatasetError::CostOverflow.into();
+        assert!(matches!(d, PhocusError::Dataset(_)));
+        let l: PhocusError = LshError::InvalidTau(2.0).into();
+        assert!(l.to_string().contains("τ"));
+        let s: PhocusError = SolveError::InvalidCardinality(0).into();
+        assert!(matches!(s, PhocusError::Solve(_)));
+    }
+
+    #[test]
+    fn sources_chain_to_the_wrapped_error() {
+        let e: PhocusError = ModelError::CostOverflow.into();
+        let dyn_err: &dyn std::error::Error = &e;
+        assert!(dyn_err.source().is_some());
+        let io = PhocusError::Io {
+            path: "x.tsv".into(),
+            message: "no such file".into(),
+        };
+        assert!(io.to_string().contains("x.tsv"));
+        let dyn_io: &dyn std::error::Error = &io;
+        assert!(dyn_io.source().is_none());
+    }
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod compression;
+pub mod error;
 pub mod planner;
 pub mod report;
 pub mod representation;
@@ -32,6 +33,7 @@ pub use compression::{
     compare_remove_vs_compress, expand_with_variants, prune_and_refill, represent_with_variants,
     CompressionComparison, CompressionLevel, VariantMap, DEFAULT_LADDER,
 };
+pub use error::{PhocusError, Result};
 pub use par_exec::Parallelism;
 pub use planner::{minimal_budget, minimal_budget_with, BudgetPlan};
 pub use report::render_report;

@@ -7,8 +7,8 @@
 //! integration test), the minimal sufficient budget can be found by binary
 //! search over solver runs.
 
+use crate::error::{PhocusError, Result};
 use crate::representation::{represent, RepresentationConfig};
-use par_core::Result;
 use par_datasets::Universe;
 use par_exec::Parallelism;
 
@@ -62,10 +62,9 @@ fn minimal_budget_inner(
     cfg: &RepresentationConfig,
     tolerance: u64,
 ) -> Result<BudgetPlan> {
-    assert!(
-        target_fraction > 0.0 && target_fraction <= 1.0,
-        "target fraction must be in (0, 1]"
-    );
+    if !(target_fraction > 0.0 && target_fraction <= 1.0) {
+        return Err(PhocusError::InvalidTarget(target_fraction));
+    }
     let total = universe.total_cost();
     let tolerance = tolerance.max(1);
 

@@ -14,9 +14,10 @@
 //!   SimHash LSH without ever computing all pairs ([`Sparsification::Lsh`],
 //!   the PHOcus default for large inputs).
 
+use crate::error::{PhocusError, Result};
 use par_core::{
-    ContextSim, DenseSim, Instance, InstanceBuilder, PhotoId, Result, SimilarityProvider,
-    SparseSim, Subset, SubsetId,
+    ContextSim, DenseSim, Instance, InstanceBuilder, PhotoId, SimilarityProvider, SparseSim,
+    Subset, SubsetId,
 };
 use par_datasets::Universe;
 use par_embed::{ContextVector, ContextualSimilarity, NonContextualSimilarity};
@@ -149,7 +150,7 @@ fn dense_store<P: SimilarityProvider>(
     subset: &Subset,
     provider: &P,
     normalize: bool,
-) -> Result<DenseSim> {
+) -> par_core::Result<DenseSim> {
     if !normalize {
         return DenseSim::from_provider(subset, provider);
     }
@@ -181,9 +182,9 @@ fn dense_store<P: SimilarityProvider>(
 /// work across `threads` workers (0 = all cores, honoring the process-wide
 /// [`par_exec`] override). Results are ordered and bit-identical to a serial
 /// run; errors surface in subset order.
-fn map_sims_parallel<F>(subsets: &[Subset], threads: usize, f: F) -> Result<Vec<ContextSim>>
+fn map_sims_parallel<F>(subsets: &[Subset], threads: usize, f: F) -> par_core::Result<Vec<ContextSim>>
 where
-    F: Fn(&Subset) -> Result<ContextSim> + Sync,
+    F: Fn(&Subset) -> par_core::Result<ContextSim> + Sync,
 {
     let threads = if threads == 0 { None } else { Some(threads) };
     par_exec::par_map_slice_with(threads, subsets, &f)
@@ -193,6 +194,10 @@ where
 
 /// Runs the Data Representation Module: turns a universe plus budget and
 /// representation choices into a validated, solvable instance.
+///
+/// Returns a [`PhocusError`] wrapping the failing layer: a model violation
+/// from instance building, or an LSH planning failure when the sparsification
+/// threshold or recall target is not a valid parameter.
 pub fn represent(universe: &Universe, budget: u64, cfg: &RepresentationConfig) -> Result<Instance> {
     let builder = builder_from_universe(universe, budget);
     match cfg.sparsification {
@@ -203,7 +208,7 @@ pub fn represent(universe: &Universe, budget: u64, cfg: &RepresentationConfig) -
             let sims = map_sims_parallel(&subsets, cfg.threads, |q| {
                 Ok(ContextSim::Dense(dense_store(q, &provider, normalize)?))
             })?;
-            builder.build_with_sims(sims)
+            Ok(builder.build_with_sims(sims)?)
         }
         Sparsification::Threshold { tau } => {
             let provider = contextual_provider(universe, cfg);
@@ -213,7 +218,7 @@ pub fn represent(universe: &Universe, budget: u64, cfg: &RepresentationConfig) -
                 let dense = dense_store(q, &provider, normalize)?;
                 Ok(ContextSim::Sparse(dense.sparsify(tau)))
             })?;
-            builder.build_with_sims(sims)
+            Ok(builder.build_with_sims(sims)?)
         }
         Sparsification::Lsh {
             tau,
@@ -239,7 +244,7 @@ pub fn represent(universe: &Universe, budget: u64, cfg: &RepresentationConfig) -
             // most moderate ones, and misses only pairs whose loss
             // Figure 5e shows to be negligible. The cap respects the
             // caller's recall target when it is achievable within it.
-            let planned = par_lsh::plan(tau, target_recall);
+            let planned = par_lsh::plan(tau, target_recall)?;
             let plan = if planned.total_bits() <= 256 {
                 planned
             } else {
@@ -297,7 +302,7 @@ pub fn represent(universe: &Universe, budget: u64, cfg: &RepresentationConfig) -
                 }
                 Ok(ContextSim::Sparse(SparseSim::from_pairs(q.id, n, pairs)?))
             })?;
-            builder.build_with_sims(sims)
+            Ok(builder.build_with_sims(sims)?)
         }
     }
 }
@@ -329,7 +334,8 @@ pub fn non_contextual_view(inst: &Instance, universe: &Universe) -> Result<Insta
     };
     let mut sims = Vec::with_capacity(inst.num_subsets());
     for q in inst.subsets() {
-        sims.push(ContextSim::Dense(DenseSim::from_provider(q, &provider)?));
+        let dense = DenseSim::from_provider(q, &provider).map_err(PhocusError::Model)?;
+        sims.push(ContextSim::Dense(dense));
     }
     Ok(inst.with_sims(sims))
 }

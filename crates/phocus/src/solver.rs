@@ -1,8 +1,9 @@
 //! The PHOcus Solver facade: represent → solve → certify.
 
+use crate::error::Result;
 use crate::representation::{represent, RepresentationConfig, Sparsification};
 use par_algo::{main_algorithm_with, online_bound, GreedyRule, OnlineBound, RunStats};
-use par_core::{Instance, PhotoId, Result};
+use par_core::{Instance, PhotoId};
 use par_datasets::Universe;
 use par_exec::Parallelism;
 use par_sparse::{sparsification_bound, SparsificationBound};
@@ -81,6 +82,11 @@ impl Phocus {
     }
 
     /// Represents the universe under `budget` and solves it.
+    ///
+    /// Returns a typed [`crate::PhocusError`] — never panics — when the
+    /// universe cannot be represented (e.g. the required set `S₀` alone
+    /// exceeds `budget`, surfacing as
+    /// [`par_core::ModelError::RequiredSetOverBudget`]).
     pub fn solve(&self, universe: &Universe, budget: u64) -> Result<PhocusReport> {
         let prev = self.config.parallelism.install_global();
         let result = (|| {

@@ -3,9 +3,10 @@
 //! contextual instance), regardless of which simplified view each baseline
 //! used for selection.
 
+use crate::error::Result;
 use crate::representation::{non_contextual_view, represent, RepresentationConfig, Sparsification};
 use par_algo::{baselines, lazy_greedy, main_algorithm_with, GreedyRule};
-use par_core::{Instance, PhotoId, Result, Solution};
+use par_core::{Instance, PhotoId, Solution};
 use par_datasets::Universe;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -97,6 +97,66 @@ fn missing_dataset_argument_errors() {
 }
 
 #[test]
+fn malformed_file_exits_nonzero_with_readable_message() {
+    let path = std::env::temp_dir().join("phocus_cli_malformed.universe");
+    std::fs::write(&path, "photo\t0\tnot-a-number\tbroken\n").unwrap();
+    let out = phocus(&[
+        "solve",
+        "--dataset",
+        &format!("file:{}", path.display()),
+        "--budget-mb",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "bad data exits 3");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("error:"), "diagnostic prefix: {err}");
+    assert!(err.contains("line 1"), "points at the offending line: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn nan_weight_file_is_rejected_as_invalid_data() {
+    let path = std::env::temp_dir().join("phocus_cli_nan.universe");
+    std::fs::write(
+        &path,
+        "photo\t0\t100\ta\nembedding\t0\t1.0\nsubset\tq\tNaN\t0:1\n",
+    )
+    .unwrap();
+    let out = phocus(&[
+        "solve",
+        "--dataset",
+        &format!("file:{}", path.display()),
+        "--budget-mb",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("weight"), "names the bad field: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_file_exits_with_io_code() {
+    let out = phocus(&[
+        "solve",
+        "--dataset",
+        "file:/nonexistent/phocus.universe",
+        "--budget-mb",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "I/O failure exits 4");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("/nonexistent/phocus.universe"), "names the path: {err}");
+}
+
+#[test]
+fn bad_flag_value_exits_with_usage_code() {
+    let out = phocus(&["solve", "--dataset", "tiny", "--budget-mb", "lots"]);
+    assert_eq!(out.status.code(), Some(2), "usage error exits 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--budget-mb"));
+}
+
+#[test]
 fn compress_compares_remove_vs_compress() {
     let out = phocus(&[
         "compress",

@@ -83,12 +83,7 @@ impl SearchEngine {
             .filter(|&(_, s)| s > 0.0)
             .map(|(doc, score)| Hit { doc, score })
             .collect();
-        hits.sort_unstable_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.doc.cmp(&b.doc))
-        });
+        hits.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.doc.cmp(&b.doc)));
         hits.truncate(limit);
         hits
     }

@@ -62,8 +62,7 @@ impl PartialOrd for Entry {
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         self.key
-            .partial_cmp(&other.key)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.key)
             .then_with(|| other.set.cmp(&self.set))
     }
 }

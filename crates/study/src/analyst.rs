@@ -61,12 +61,7 @@ impl ManualAnalyst {
         let budget = inst.budget();
         let mut selected = vec![false; inst.num_photos()];
         let mut order: Vec<usize> = (0..inst.num_subsets()).collect();
-        order.sort_by(|&a, &b| {
-            inst.subsets()[b]
-                .weight
-                .partial_cmp(&inst.subsets()[a].weight)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| inst.subsets()[b].weight.total_cmp(&inst.subsets()[a].weight));
 
         let mut cost = 0u64;
         let mut picked = Vec::new();
@@ -92,7 +87,7 @@ impl ManualAnalyst {
                     .copied()
                     .zip(q.relevance.iter().copied())
                     .collect();
-                members.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                members.sort_by(|a, b| b.1.total_cmp(&a.1));
                 members.into_iter().map(|(p, _)| p).collect()
             })
             .collect();
@@ -185,7 +180,7 @@ mod tests {
         let heaviest = inst
             .subsets()
             .iter()
-            .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap())
+            .max_by(|a, b| a.weight.total_cmp(&b.weight))
             .unwrap();
         assert!(heaviest.members.iter().any(|&m| sol.contains(m)));
     }

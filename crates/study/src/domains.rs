@@ -8,7 +8,7 @@
 use crate::analyst::ManualAnalyst;
 use par_core::Solution;
 use par_datasets::Universe;
-use phocus::{represent, Phocus, PhocusConfig, RepresentationConfig};
+use phocus::{represent, Phocus, PhocusConfig, PhocusError, RepresentationConfig};
 use std::time::Duration;
 
 /// One domain's row of Figures 5g/5h.
@@ -44,7 +44,7 @@ pub fn domain_study(
     universe: &Universe,
     budget: u64,
     analyst: &ManualAnalyst,
-) -> Result<DomainStudyRow, par_core::ModelError> {
+) -> Result<DomainStudyRow, PhocusError> {
     let repr = RepresentationConfig::default();
     let inst = represent(universe, budget, &repr)?;
 

@@ -73,9 +73,9 @@ pub fn analyze(inst: &Instance, solver: &[PhotoId], manual: &[PhotoId]) -> Insig
         .map(|&p| describe(inst, p))
         .collect();
     let order = |a: &Insight, b: &Insight| {
-        (b.pages_served, b.proxy_coverage)
-            .partial_cmp(&(a.pages_served, a.proxy_coverage))
-            .unwrap_or(std::cmp::Ordering::Equal)
+        b.pages_served
+            .cmp(&a.pages_served)
+            .then_with(|| b.proxy_coverage.total_cmp(&a.proxy_coverage))
     };
     solver_only.sort_by(order);
     manual_only.sort_by(order);

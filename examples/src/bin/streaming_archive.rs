@@ -60,7 +60,7 @@ fn main() {
     // Cardinality-constrained SieveStreaming (the summarization setting):
     // keep at most as many photos as the offline solution used.
     let k = offline.selected.len();
-    let sieve = sieve_streaming(&inst, k, 0.1);
+    let sieve = sieve_streaming(&inst, k, 0.1).expect("valid sieve parameters");
     report(
         &format!("SieveStreaming (k = {k})"),
         &sieve.selected,

@@ -112,7 +112,7 @@ fn transcript_hash(seed: u64, cfg: &RandomInstanceConfig) -> u64 {
             (0..24).map(|_| (rng.next_f64() * 2.0 - 1.0) as f32).collect()
         })
         .collect();
-    for (i, j, cos) in similar_pairs(&vectors, 0.5, 0.9, seed) {
+    for (i, j, cos) in similar_pairs(&vectors, 0.5, 0.9, seed).unwrap() {
         h.u64(i as u64);
         h.u64(j as u64);
         h.f64(cos);

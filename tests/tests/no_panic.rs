@@ -1,0 +1,311 @@
+//! The no-panic fuzz gate.
+//!
+//! Every external input path — text-format bytes, hand-built universes with
+//! adversarial numerics, raw similarity pairs — must surface as a typed
+//! error or a valid report; a panic anywhere in
+//! `from_text → represent → solve` is a bug. The generators are seeded, so
+//! CI runs a fixed, reproducible corpus (see `ci.sh`).
+
+use par_core::{InstanceBuilder, ModelError, PhotoId, SparseSim, SubsetId, UnitSimilarity};
+use par_datasets::{from_text, to_text, SubsetDef, Universe};
+use par_embed::Embedding;
+use phocus::{Phocus, PhocusError};
+use proptest::prelude::*;
+
+/// SplitMix64 — a local deterministic stream so each case can draw an
+/// unbounded number of values from one generated seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fragments the text fuzzer splices together: valid records, truncated
+/// records, hostile numerics, and separator soup.
+const FRAGMENTS: &[&str] = &[
+    "# phocus-universe v1\n",
+    "name\tfuzz\n",
+    "photo\t0\t100\ta\n",
+    "photo\t1\t200\tb\n",
+    "photo\t0\t18446744073709551615\tmax\n",
+    "photo\t0\t0\tzero-cost\n",
+    "photo\t99999999\t1\tsparse-id\n",
+    "photo\t0\n",
+    "photo\t-1\t5\tneg\n",
+    "embedding\t0\t1.0\t0.0\n",
+    "embedding\t1\t0.0\t1.0\n",
+    "embedding\t0\tNaN\tinf\n",
+    "embedding\t0\n",
+    "embedding\tx\t1.0\n",
+    "subset\tq\t1.5\t0:1\t1:2\n",
+    "subset\tq\tNaN\t0:1\n",
+    "subset\tq\t-inf\t0:1\n",
+    "subset\tq\t1e308\t0:NaN\n",
+    "subset\tq\t2.0\t5:1\n",
+    "subset\tq\t2.0\t0:1\t0:1\n",
+    "subset\tq\t2.0\n",
+    "subset\tq\t1.0\t0:0\n",
+    "required\t0\n",
+    "required\t7\t-3\n",
+    "exif\t0\t12345\t1.5\t2.5\tcam\n",
+    "exif\t0\tbad\n",
+    "frobnicate\t1\n",
+    "\n",
+    "\t",
+    ":",
+    "0",
+    "NaN",
+    "photo",
+    "subset\t",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary splices of format fragments: `from_text` must return
+    /// `Ok`/`Err`, never panic, and any `Ok` universe must re-validate.
+    #[test]
+    fn from_text_never_panics_on_fragment_soup(seed in any::<u64>(), len in 1usize..24) {
+        let mut s = seed;
+        let mut text = String::new();
+        for _ in 0..len {
+            text.push_str(FRAGMENTS[(splitmix(&mut s) % FRAGMENTS.len() as u64) as usize]);
+        }
+        if let Ok(u) = from_text(&text) {
+            u.validate().expect("from_text output must be valid");
+        }
+    }
+
+    /// Raw byte soup (lossily decoded): the parser sees genuinely arbitrary
+    /// lines, not just recombined fragments.
+    #[test]
+    fn from_text_never_panics_on_byte_soup(seed in any::<u64>(), len in 0usize..200) {
+        let mut s = seed;
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            // Bias toward the format's structural bytes so parsing gets past
+            // the first field often enough to exercise deep paths.
+            let b = match splitmix(&mut s) % 8 {
+                0 => b'\t',
+                1 => b'\n',
+                2..=4 => b"0123456789.:-+eE"[(splitmix(&mut s) % 16) as usize],
+                _ => (splitmix(&mut s) % 256) as u8,
+            };
+            bytes.push(b);
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = from_text(&text);
+    }
+}
+
+/// A small well-formed universe the adversarial cases corrupt.
+fn base_universe(n: usize) -> Universe {
+    let dim = 4;
+    Universe {
+        name: "adversarial".into(),
+        names: (0..n).map(|i| format!("p{i}")).collect(),
+        costs: (0..n).map(|i| 50 + 10 * i as u64).collect(),
+        embeddings: (0..n)
+            .map(|i| {
+                let mut v = vec![0.25f32; dim];
+                v[i % dim] = 1.0;
+                Embedding::new(v)
+            })
+            .collect(),
+        exif: None,
+        subsets: vec![
+            SubsetDef {
+                label: "q0".into(),
+                weight: 2.0,
+                members: (0..n as u32 / 2).collect(),
+                relevance: vec![1.0; n / 2],
+            },
+            SubsetDef {
+                label: "q1".into(),
+                weight: 1.0,
+                members: (n as u32 / 2..n as u32).collect(),
+                relevance: vec![1.0; n - n / 2],
+            },
+        ],
+        required: vec![0],
+    }
+}
+
+/// Every way this harness knows to corrupt a universe.
+fn corrupt(u: &mut Universe, case: u64, raw: u64) {
+    match case % 13 {
+        0 => u.subsets[0].weight = f64::NAN,
+        1 => u.subsets[0].weight = f64::INFINITY,
+        2 => u.subsets[1].weight = f64::NEG_INFINITY,
+        3 => u.subsets[0].weight = 0.0,
+        4 => u.subsets[0].relevance[0] = f64::NAN,
+        5 => {
+            let i = raw as usize % u.costs.len();
+            u.costs[i] = 0;
+        }
+        6 => {
+            // The per-photo costs are fine; their sum overflows u64.
+            for c in &mut u.costs {
+                *c = u64::MAX / 2;
+            }
+        }
+        7 => {
+            u.subsets[0].members.clear();
+            u.subsets[0].relevance.clear();
+        }
+        8 => u.subsets[1].members[0] = u.num_photos() as u32 + raw as u32 % 1000,
+        9 => u.required = vec![u.num_photos() as u32],
+        10 => u.subsets[0].relevance.pop().map_or((), drop),
+        11 => u.subsets[1].members[0] = u.subsets[1].members[1 % u.subsets[1].members.len()],
+        12 => u.subsets[0].relevance[0] = -1.0,
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Adversarial universes through the full pipeline: serialization must
+    /// not panic, parsing must reject or the solver must succeed or return
+    /// a typed error — no panic anywhere.
+    #[test]
+    fn corrupted_pipeline_is_typed_or_valid(case in any::<u64>(), raw in any::<u64>(), n in 4usize..12) {
+        let mut u = base_universe(n);
+        corrupt(&mut u, case, raw);
+        // to_text must serialize even hostile numerics (NaN/inf render as
+        // their Display forms and round-trip through f64::from_str).
+        let text = to_text(&u);
+        match from_text(&text) {
+            Err(_) => {} // typed rejection: the desired outcome for most cases
+            Ok(parsed) => {
+                // Zero-cost photos survive universe validation by design; the
+                // instance builder inside represent() must reject them (or
+                // solve must succeed) — never panic.
+                let total = parsed.total_cost();
+                for budget in [1, total / 2 + 1, total, u64::MAX] {
+                    match Phocus::default().solve(&parsed, budget) {
+                        Ok(report) => {
+                            assert!(report.cost <= budget);
+                            assert!(report.score.is_finite());
+                        }
+                        Err(e) => {
+                            // Typed, displayable, and source-chained.
+                            assert!(!e.to_string().is_empty());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The builder path with hostile parameters: typed error or valid
+    /// instance, decided entirely by validation.
+    #[test]
+    fn builder_never_panics(seed in any::<u64>(), n in 1usize..8) {
+        let mut s = seed;
+        let mut b = InstanceBuilder::new(splitmix(&mut s) % 10_000);
+        for i in 0..n {
+            // Costs include 0 (invalid) and huge values (sum may overflow).
+            let cost = match splitmix(&mut s) % 4 {
+                0 => 0,
+                1 => u64::MAX / 2,
+                _ => 1 + splitmix(&mut s) % 500,
+            };
+            b.add_photo(format!("p{i}"), cost);
+        }
+        let weight = match splitmix(&mut s) % 5 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => -1.0,
+            3 => 0.0,
+            _ => 1.5,
+        };
+        // Member ids intentionally range past the photo count.
+        let members: Vec<PhotoId> = (0..1 + splitmix(&mut s) % 6)
+            .map(|_| PhotoId((splitmix(&mut s) % (n as u64 + 3)) as u32))
+            .collect();
+        let relevance: Vec<f64> = members
+            .iter()
+            .map(|_| match splitmix(&mut s) % 4 {
+                0 => f64::NAN,
+                1 => -2.0,
+                _ => 1.0,
+            })
+            .collect();
+        b.add_subset("q", weight, members, relevance);
+        if splitmix(&mut s).is_multiple_of(2) {
+            b.require(PhotoId((splitmix(&mut s) % (n as u64 + 2)) as u32));
+        }
+        let _ = b.build_with_provider(&UnitSimilarity);
+    }
+
+    /// Raw similarity pairs with out-of-range indices and non-[0,1] values:
+    /// `SparseSim::from_pairs` must reject with the matching typed error.
+    #[test]
+    fn sparse_pairs_are_typed(seed in any::<u64>(), n in 1usize..10, m in 0usize..12) {
+        let mut s = seed;
+        let mut pairs = Vec::with_capacity(m);
+        for _ in 0..m {
+            let i = (splitmix(&mut s) % (n as u64 * 2)) as u32;
+            let j = (splitmix(&mut s) % (n as u64 * 2)) as u32;
+            let sim = match splitmix(&mut s) % 6 {
+                0 => f64::NAN,
+                1 => -0.5,
+                2 => 1.5,
+                3 => f64::INFINITY,
+                _ => (splitmix(&mut s) % 1000) as f64 / 1000.0,
+            };
+            pairs.push((i, j, sim));
+        }
+        match SparseSim::from_pairs(SubsetId(0), n, pairs.clone()) {
+            Ok(sim) => {
+                assert_eq!(sim.len(), n);
+                // Only in-range, in-[0,1] pairs can have survived.
+                for (i, j, s) in pairs {
+                    if i != j && (i as usize) < n && (j as usize) < n && (0.0..=1.0).contains(&s) {
+                        assert!(sim.sim(i as usize, j as usize) >= 0.0);
+                    }
+                }
+            }
+            Err(ModelError::PairIndexOutOfRange { index, members, .. }) => {
+                assert!(index as usize >= members);
+            }
+            Err(ModelError::InvalidSimilarity { value, .. }) => {
+                assert!(!(0.0..=1.0).contains(&value) || value.is_nan());
+            }
+            Err(other) => panic!("unexpected error kind: {other}"),
+        }
+    }
+}
+
+/// Regression: a required set `S₀` costing more than the budget is a typed
+/// `RequiredSetOverBudget`, not a panic (the seed repo asserted).
+#[test]
+fn required_set_over_budget_is_a_typed_error() {
+    let u = base_universe(8);
+    let floor: u64 = u.required.iter().map(|&r| u.costs[r as usize]).sum();
+    let result = Phocus::default().solve(&u, floor - 1);
+    match result {
+        Err(PhocusError::Model(ModelError::RequiredSetOverBudget {
+            required_cost,
+            budget,
+        })) => {
+            assert_eq!(required_cost, floor);
+            assert_eq!(budget, floor - 1);
+        }
+        other => panic!("expected RequiredSetOverBudget, got {other:?}"),
+    }
+}
+
+/// The typed error chain renders a readable diagnostic end to end.
+#[test]
+fn pipeline_errors_are_displayable_and_chained() {
+    let err = from_text("subset\tq\tNaN\t0:1").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("weight") || msg.contains("NaN"), "opaque: {msg}");
+
+    let phocus_err = PhocusError::from(err);
+    assert!(std::error::Error::source(&phocus_err).is_some());
+}
