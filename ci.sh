@@ -12,6 +12,12 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
+# Static analysis gates the test steps: determinism (float-ord, hash-iter,
+# wall-clock), layering (crate-dag, parallel-cfg), and hygiene (no-print,
+# no-unsafe) regressions fail fast with file:line spans. See DESIGN.md §12.
+echo "==> phocus-lint (workspace static analysis)"
+cargo run --release -q -p par-lint
+
 echo "==> cargo test (default features: parallel)"
 cargo test -q
 
@@ -28,9 +34,11 @@ cargo clippy --all-targets --no-default-features -- -D warnings
 # panic! on any path (internal invariants use assert!/unreachable! instead,
 # data-dependent failures return typed errors). Tests, benches, the examples
 # crate, and the vendored shims are exempt — --lib --bins skips #[cfg(test)].
+# The crate list is derived from workspace metadata via `phocus-lint
+# gate-crates`, so a newly added library crate is gated automatically;
+# phocus-lint's ci-gate rule cross-checks this stays wired up.
 PKG_FLAGS=()
-for c in par-core par-datasets par-embed par-lsh par-sparse par-search \
-         par-algo par-exec par-study phocus; do
+for c in $(cargo run --release -q -p par-lint -- gate-crates); do
   PKG_FLAGS+=(-p "$c")
 done
 echo "==> clippy panic-freedom gate (library + bins)"

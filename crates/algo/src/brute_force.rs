@@ -164,7 +164,7 @@ pub fn brute_force_anytime(
             limit: cfg.max_photos,
         });
     }
-    let start = Instant::now();
+    let start = Instant::now(); // phocus-lint: allow(wall-clock) — fills the reported timing field only
 
     // Warm start: Algorithm 1's solution is a strong incumbent that makes
     // the fractional-knapsack bound prune aggressively.

@@ -88,7 +88,7 @@ pub fn lazy_greedy(inst: &Instance, rule: GreedyRule) -> GreedyOutcome {
 /// and repair-style callers, e.g. the compression module's prune-and-refill
 /// pass.
 pub fn lazy_greedy_from(inst: &Instance, initial: &[PhotoId], rule: GreedyRule) -> GreedyOutcome {
-    let start = Instant::now();
+    let start = Instant::now(); // phocus-lint: allow(wall-clock) — fills the reported timing field only
     let budget = inst.budget();
     let mut ev = Evaluator::new(inst);
     for &p in inst.required() {
@@ -169,7 +169,7 @@ pub fn lazy_greedy_from(inst: &Instance, initial: &[PhotoId], rule: GreedyRule) 
 /// identically) but with `O(n)` gain evaluations per selected photo — the
 /// baseline against which the paper's ~700× lazy speedup is measured.
 pub fn eager_greedy(inst: &Instance, rule: GreedyRule) -> GreedyOutcome {
-    let start = Instant::now();
+    let start = Instant::now(); // phocus-lint: allow(wall-clock) — fills the reported timing field only
     let budget = inst.budget();
     let mut ev = Evaluator::with_required(inst);
     let mut alive: Vec<PhotoId> = (0..inst.num_photos() as u32)

@@ -40,6 +40,8 @@
 //! assert!(cert.ratio > 0.9); // far above the a-priori (1-1/e)/2
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod baselines;

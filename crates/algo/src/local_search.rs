@@ -43,7 +43,7 @@ pub fn swap_local_search(
     initial: &[PhotoId],
     cfg: &LocalSearchConfig,
 ) -> GreedyOutcome {
-    let start = Instant::now();
+    let start = Instant::now(); // phocus-lint: allow(wall-clock) — fills the reported timing field only
     let budget = inst.budget();
     let mut ev = Evaluator::new(inst);
     for &p in initial {

@@ -302,7 +302,7 @@ impl<'a> ShardedSolver<'a> {
     }
 
     fn solve_with(&self, initial: Option<&[PhotoId]>, rule: GreedyRule) -> GreedyOutcome {
-        let start = Instant::now();
+        let start = Instant::now(); // phocus-lint: allow(wall-clock) — fills the reported timing field only
         let inst = self.inst;
         let dec = &self.dec;
         let budget = inst.budget();

@@ -46,7 +46,7 @@ pub fn sieve_streaming(
     if !(epsilon > 0.0 && epsilon < 1.0) {
         return Err(SolveError::InvalidEpsilon(epsilon));
     }
-    let start = Instant::now();
+    let start = Instant::now(); // phocus-lint: allow(wall-clock) — fills the reported timing field only
     let required: Vec<PhotoId> = inst.required().to_vec();
     if required.len() > k {
         return Err(SolveError::RequiredExceedsCardinality {
@@ -144,7 +144,7 @@ pub fn sieve_streaming(
 /// [`online_bound`](crate::online_bound::online_bound) for an a-posteriori certificate.
 pub fn density_sieve(inst: &Instance, levels: usize) -> GreedyOutcome {
     assert!(levels >= 1);
-    let start = Instant::now();
+    let start = Instant::now(); // phocus-lint: allow(wall-clock) — fills the reported timing field only
     let budget = inst.budget();
     let mut ev = Evaluator::with_required(inst);
     let mut gain_evals = 0u64;

@@ -101,7 +101,7 @@ pub fn sviridenko(inst: &Instance, cfg: &SviridenkoConfig) -> Result<GreedyOutco
             limit: cfg.max_photos,
         });
     }
-    let start = Instant::now();
+    let start = Instant::now(); // phocus-lint: allow(wall-clock) — fills the reported timing field only
     let optional: Vec<PhotoId> = (0..inst.num_photos() as u32)
         .map(PhotoId)
         .filter(|&p| !inst.is_required(p))

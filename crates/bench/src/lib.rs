@@ -12,6 +12,8 @@
 //!   while finishing in seconds to minutes;
 //! * **full** — the paper's dataset sizes and budget grids.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod ablations;

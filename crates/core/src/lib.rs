@@ -60,6 +60,8 @@
 //! assert!(sol.score() > 2.8); // of the maximum 3.0
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod components;

@@ -22,6 +22,8 @@
 //! * [`zipf`] — a seeded Zipf sampler used by both generators;
 //! * [`table2`] — reproduces Table 2's dataset-statistics rows.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod ecommerce;

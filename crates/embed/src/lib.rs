@@ -26,6 +26,8 @@
 //!   distance normalization (Section 5.1), exposed as a
 //!   [`par_core::SimilarityProvider`].
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod codebook;

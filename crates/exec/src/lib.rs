@@ -29,6 +29,8 @@
 //! hardware parallelism. A count of 1 short-circuits to the serial path;
 //! without the `parallel` feature everything is serial regardless.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};

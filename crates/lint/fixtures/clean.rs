@@ -1,0 +1,26 @@
+//! Fixture: idiomatic code every rule accepts with zero pragmas —
+//! collect-then-sort over a hash map, and wall-clock reads confined to a
+//! `#[cfg(test)]` module.
+
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let mut out: Vec<(u32, u32)> = counts.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t0 = Instant::now();
+        assert!(t0.elapsed().as_nanos() < u128::MAX);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: a suppressed `partial_cmp` site plus the canonical delegation,
+//! which is recognized structurally and needs no pragma at all.
+
+#[derive(PartialEq, Eq, Ord)]
+pub struct Score(pub u64);
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+pub fn comparable(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some() // phocus-lint: allow(float-ord) — fixture: audited NaN-free site
+}

@@ -1,0 +1,11 @@
+//! Fixture: `partial_cmp` outside the canonical `PartialOrd` delegation.
+
+pub fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, x) in xs.iter().enumerate() {
+        if x.partial_cmp(&xs[best]) == Some(std::cmp::Ordering::Greater) {
+            best = i;
+        }
+    }
+    best
+}

@@ -1,0 +1,15 @@
+//! Fixture: a pragma-suppressed hash iteration plus the collect-then-sort
+//! idiom, which is auto-exempt without any pragma.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn sum_unordered(weights: &HashMap<u32, f64>) -> f64 {
+    // phocus-lint: allow(hash-iter) — fixture: addition reordering is accepted here
+    weights.values().sum()
+}
+
+pub fn sorted_ids(ids: &HashSet<u32>) -> Vec<u32> {
+    let mut out: Vec<u32> = ids.iter().copied().collect();
+    out.sort_unstable();
+    out
+}

@@ -1,0 +1,20 @@
+//! Fixture: unordered hash iteration reaching results, two shapes — a
+//! method call on a tracked binding and a `for` loop over a tracked place.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn total(weights: &HashMap<u32, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_, w) in weights.iter() {
+        sum += w;
+    }
+    sum
+}
+
+pub fn first_digitful(seen: HashSet<u32>) -> u32 {
+    let mut acc = 0;
+    for v in &seen {
+        acc = acc * 10 + v % 10;
+    }
+    acc
+}

@@ -1,0 +1,6 @@
+//! Fixture: a pragma naming a rule that does not exist — a typo must be
+//! reported, never silently suppress nothing.
+
+pub fn f() -> u32 {
+    41 // phocus-lint: allow(no-such-rule) — this rule name is a typo
+}

@@ -1,0 +1,5 @@
+//! Fixture: a suppressed print site (e.g. a temporary trace with sign-off).
+
+pub fn report(x: u32) {
+    println!("x = {x}"); // phocus-lint: allow(no-print) — fixture: sanctioned trace
+}

@@ -1,0 +1,9 @@
+//! Fixture: direct output and a panicking placeholder in library code.
+
+pub fn report(x: u32) {
+    println!("x = {x}");
+}
+
+pub fn later() {
+    todo!()
+}

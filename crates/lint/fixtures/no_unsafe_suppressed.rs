@@ -1,0 +1,5 @@
+//! Fixture: a suppressed `unsafe` site with documented invariants.
+
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p } // phocus-lint: allow(no-unsafe) — fixture: audited shim with documented invariants
+}

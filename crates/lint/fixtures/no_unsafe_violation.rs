@@ -1,0 +1,5 @@
+//! Fixture: an `unsafe` block outside crates/vendor.
+
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p }
+}

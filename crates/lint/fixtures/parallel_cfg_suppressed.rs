@@ -1,0 +1,6 @@
+//! Fixture: a suppressed feature gate (e.g. a doc-only cfg in transition).
+
+#[cfg(feature = "parallel")] // phocus-lint: allow(parallel-cfg) — fixture: transitional gate
+pub fn fan_out(chunks: usize) -> usize {
+    chunks
+}

@@ -1,0 +1,6 @@
+//! Fixture: a `cfg(feature = "parallel")` gate outside par-exec.
+
+#[cfg(feature = "parallel")]
+pub fn fan_out(chunks: usize) -> usize {
+    chunks
+}

@@ -1,0 +1,14 @@
+//! Fixture: a sanctioned timing-struct fill, annotated per site.
+
+use std::time::Instant;
+
+pub struct Timed {
+    pub nanos: u128,
+}
+
+pub fn run() -> Timed {
+    let t0 = Instant::now(); // phocus-lint: allow(wall-clock) — fixture: fills the timing field only
+    Timed {
+        nanos: t0.elapsed().as_nanos(),
+    }
+}

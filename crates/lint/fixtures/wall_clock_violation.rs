@@ -1,0 +1,8 @@
+//! Fixture: an unannotated wall-clock read in library code.
+
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}

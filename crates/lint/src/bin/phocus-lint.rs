@@ -1,0 +1,144 @@
+//! The `phocus-lint` CLI.
+//!
+//! ```text
+//! phocus-lint [--json] [--root <dir>]    lint the workspace
+//! phocus-lint gate-crates [--root <dir>] print the panic-gate crate list
+//! phocus-lint --help                     usage and rule list
+//! ```
+//!
+//! Exit codes: `0` clean · `1` violations found · `2` usage error ·
+//! `3` workspace I/O or parse failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+phocus-lint — workspace static analysis for determinism, layering, and panic-freedom
+
+USAGE:
+  phocus-lint [--json] [--root <dir>]     lint every non-vendor crate
+  phocus-lint gate-crates [--root <dir>]  print panic-freedom gate crate list
+  phocus-lint --help
+
+OPTIONS:
+  --json        machine-readable diagnostics (stable schema, version 1)
+  --root <dir>  workspace root (default: nearest ancestor with [workspace])
+
+EXIT CODES:
+  0  clean        1  violations found
+  2  usage error  3  workspace I/O or parse failure
+
+Suppressions: `// phocus-lint: allow(<rules>) — reason` (site) and
+`// phocus-lint: allow-file(<rules>) — reason` (file). See DESIGN.md §12.";
+
+struct Args {
+    json: bool,
+    root: Option<PathBuf>,
+    gate_crates: bool,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        json: false,
+        root: None,
+        gate_crates: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--json" => args.json = true,
+            "--root" => match it.next() {
+                Some(dir) => args.root = Some(PathBuf::from(dir)),
+                None => return Err("--root requires a directory argument".to_string()),
+            },
+            "gate-crates" => args.gate_crates = true,
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    Ok(Some(args))
+}
+
+/// Nearest ancestor of the current directory whose `Cargo.toml` declares a
+/// `[workspace]` — so the tool works from any crate directory.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(src) = std::fs::read_to_string(&manifest) {
+            if src.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::from(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = args.root.clone().or_else(find_root) else {
+        eprintln!("error: no workspace root found (pass --root <dir>)");
+        return ExitCode::from(3);
+    };
+
+    if args.gate_crates {
+        return match par_lint::gate_crates(&root) {
+            Ok(names) => {
+                for n in names {
+                    println!("{n}");
+                }
+                ExitCode::from(0)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(3)
+            }
+        };
+    }
+
+    match par_lint::run(&root) {
+        Ok(report) => {
+            if args.json {
+                println!("{}", par_lint::diag::to_json(&report.diagnostics));
+            } else {
+                for d in &report.diagnostics {
+                    println!("{d}");
+                }
+                if report.diagnostics.is_empty() {
+                    println!(
+                        "phocus-lint: clean — {} files across {} crates",
+                        report.files_scanned, report.crates
+                    );
+                } else {
+                    println!(
+                        "phocus-lint: {} violation(s) in {} files across {} crates",
+                        report.diagnostics.len(),
+                        report.files_scanned,
+                        report.crates
+                    );
+                }
+            }
+            if report.diagnostics.is_empty() {
+                ExitCode::from(0)
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(3)
+        }
+    }
+}

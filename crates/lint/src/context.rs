@@ -1,0 +1,351 @@
+//! Per-file analysis context: the token stream, suppression pragmas, and
+//! `#[cfg(test)]` regions.
+//!
+//! ## Suppression syntax
+//!
+//! ```text
+//! // phocus-lint: allow(rule-a, rule-b) — reason why this site is exempt
+//! // phocus-lint: allow-file(rule-a) — reason why the whole file is exempt
+//! ```
+//!
+//! A trailing `allow` covers its own line; an `allow` on a line of its own
+//! covers the next line that carries code. `allow-file` covers the whole
+//! file for the named rules wherever it appears. Unknown rule names inside
+//! a pragma are themselves reported (rule `lint-meta`), so a typo cannot
+//! silently disable nothing.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::RULES;
+
+/// Which kind of source file this is, by path convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/**` excluding `src/bin/**` — library code.
+    Lib,
+    /// `src/bin/**` — CLI / reporter binaries.
+    Bin,
+    /// `benches/**`.
+    Bench,
+    /// `tests/**`, or any file of the integration-test crate.
+    Test,
+}
+
+/// Which kind of crate owns the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateCategory {
+    /// A library crate under `crates/` (the audited production surface).
+    Library,
+    /// `par-bench` — the benchmark/reporting harness.
+    BenchHarness,
+    /// `par-examples` — runnable demos.
+    Examples,
+    /// `integration-tests`.
+    TestCrate,
+    /// `crates/vendor/*` — offline dependency shims (skipped entirely).
+    Vendor,
+}
+
+/// Identity and classification of one source file handed to the rules.
+#[derive(Debug, Clone)]
+pub struct FileSpec<'a> {
+    /// Workspace-relative path (used verbatim in diagnostics).
+    pub path: &'a str,
+    /// Package name of the owning crate (e.g. `"par-algo"`).
+    pub crate_name: &'a str,
+    /// Crate classification.
+    pub category: CrateCategory,
+    /// File classification.
+    pub kind: FileKind,
+}
+
+/// A suppression pragma parsed from a `phocus-lint:` comment.
+#[derive(Debug, Clone)]
+struct Allow {
+    rules: Vec<String>,
+    /// Line the pragma covers (the pragma's own line for trailing comments,
+    /// otherwise the next code-bearing line). `None` for `allow-file`.
+    line: Option<u32>,
+}
+
+/// Everything a rule needs to scan one file.
+pub struct FileContext<'a> {
+    /// Identity/classification.
+    pub spec: FileSpec<'a>,
+    /// Code tokens only (comments stripped), in source order.
+    pub code: Vec<Tok>,
+    /// Inclusive line ranges of `#[cfg(test)] mod … { }` regions.
+    test_regions: Vec<(u32, u32)>,
+    allows: Vec<Allow>,
+    /// Pragma-syntax findings (unknown rule names), reported with the rest.
+    pub meta_diags: Vec<Diagnostic>,
+}
+
+impl<'a> FileContext<'a> {
+    /// Lexes `src` and extracts suppressions and test regions.
+    pub fn new(spec: FileSpec<'a>, src: &str) -> Self {
+        let toks = lex(src);
+        let mut meta_diags = Vec::new();
+        let allows = parse_allows(&toks, &spec, &mut meta_diags);
+        let code: Vec<Tok> = toks.into_iter().filter(|t| !t.is_comment()).collect();
+        let test_regions = find_test_regions(&code);
+        FileContext {
+            spec,
+            code,
+            test_regions,
+            allows,
+            meta_diags,
+        }
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` module.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// Whether `rule` is suppressed at `line` (site pragma or file pragma).
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            (a.line.is_none() || a.line == Some(line)) && a.rules.iter().any(|r| r == rule)
+        })
+    }
+
+    /// Emits a diagnostic unless a suppression covers it.
+    pub fn emit(
+        &self,
+        out: &mut Vec<Diagnostic>,
+        rule: &'static str,
+        line: u32,
+        col: u32,
+        message: String,
+    ) {
+        if self.is_allowed(rule, line) {
+            return;
+        }
+        out.push(Diagnostic {
+            rule,
+            path: self.spec.path.to_string(),
+            line,
+            col,
+            message,
+        });
+    }
+}
+
+fn parse_allows(toks: &[Tok], spec: &FileSpec<'_>, meta: &mut Vec<Diagnostic>) -> Vec<Allow> {
+    const MARKER: &str = "phocus-lint:";
+    let mut allows = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        // Doc comments (`///`, `//!`) are documentation, not pragmas — the
+        // rule docs quote pragma syntax without activating it.
+        if t.text.starts_with("///") || t.text.starts_with("//!") {
+            continue;
+        }
+        let Some(pos) = t.text.find(MARKER) else {
+            continue;
+        };
+        let directive = t.text[pos + MARKER.len()..].trim();
+        let (file_scope, rest) = if let Some(r) = directive.strip_prefix("allow-file(") {
+            (true, r)
+        } else if let Some(r) = directive.strip_prefix("allow(") {
+            (false, r)
+        } else {
+            meta.push(Diagnostic {
+                rule: "lint-meta",
+                path: spec.path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "unrecognized phocus-lint directive `{directive}` \
+                     (expected `allow(<rules>)` or `allow-file(<rules>)`)"
+                ),
+            });
+            continue;
+        };
+        let Some(end) = rest.find(')') else {
+            meta.push(Diagnostic {
+                rule: "lint-meta",
+                path: spec.path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: "unterminated phocus-lint allow(...) pragma".to_string(),
+            });
+            continue;
+        };
+        let mut rules = Vec::new();
+        for name in rest[..end].split(',') {
+            let name = name.trim();
+            if name.is_empty() {
+                continue;
+            }
+            if !RULES.contains(&name) {
+                meta.push(Diagnostic {
+                    rule: "lint-meta",
+                    path: spec.path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!("unknown rule `{name}` in phocus-lint pragma"),
+                });
+                continue;
+            }
+            rules.push(name.to_string());
+        }
+        if rules.is_empty() {
+            continue;
+        }
+        let line = if file_scope {
+            None
+        } else if toks[..i]
+            .iter()
+            .rev()
+            .take_while(|p| p.line == t.line)
+            .any(|p| !p.is_comment())
+        {
+            // Trailing comment: covers its own line.
+            Some(t.line)
+        } else {
+            // Standalone comment line: covers the next code-bearing line.
+            toks[i + 1..]
+                .iter()
+                .find(|n| !n.is_comment())
+                .map(|n| n.line)
+        };
+        if !file_scope && line.is_none() {
+            // A standalone pragma at end of file covers nothing; ignore.
+            continue;
+        }
+        allows.push(Allow { rules, line });
+    }
+    allows
+}
+
+/// Finds `#[cfg(test)] mod name { … }` line ranges by token matching and
+/// brace counting. Attributes between the cfg and the `mod` are skipped.
+fn find_test_regions(code: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < code.len() {
+        let hit = code[i].is_punct('#')
+            && code[i + 1].is_punct('[')
+            && code[i + 2].is_ident("cfg")
+            && code[i + 3].is_punct('(')
+            && code[i + 4].is_ident("test")
+            && code[i + 5].is_punct(')')
+            && code[i + 6].is_punct(']');
+        if !hit {
+            i += 1;
+            continue;
+        }
+        let start_line = code[i].line;
+        // Scan ahead for `mod … {`, tolerating further attributes and
+        // visibility modifiers; give up after a few tokens.
+        let mut j = i + 7;
+        let mut brace = None;
+        let mut budget = 24usize;
+        while j < code.len() && budget > 0 {
+            if code[j].is_ident("mod") {
+                // Find the opening brace after the module name.
+                let mut k = j + 1;
+                while k < code.len() && !code[k].is_punct('{') {
+                    if code[k].is_punct(';') {
+                        break; // out-of-line module: no body here
+                    }
+                    k += 1;
+                }
+                if k < code.len() && code[k].is_punct('{') {
+                    brace = Some(k);
+                }
+                break;
+            }
+            j += 1;
+            budget -= 1;
+        }
+        let Some(open) = brace else {
+            i += 7;
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut end_line = code[open].line;
+        let mut k = open;
+        while k < code.len() {
+            if code[k].is_punct('{') {
+                depth += 1;
+            } else if code[k].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    end_line = code[k].line;
+                    break;
+                }
+            }
+            k += 1;
+        }
+        regions.push((start_line, end_line));
+        i = k.max(i + 7);
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: &str) -> FileContext<'static> {
+        FileContext::new(
+            FileSpec {
+                path: "fixture.rs",
+                crate_name: "par-algo",
+                category: CrateCategory::Library,
+                kind: FileKind::Lib,
+            },
+            src,
+        )
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_line() {
+        let c = ctx("let x = 1; // phocus-lint: allow(float-ord) — audited\nlet y = 2;\n");
+        assert!(c.is_allowed("float-ord", 1));
+        assert!(!c.is_allowed("float-ord", 2));
+        assert!(!c.is_allowed("hash-iter", 1));
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_code_line() {
+        let c = ctx("// phocus-lint: allow(hash-iter) — sorted after\n// another comment\nfor x in m.values() {}\n");
+        assert!(c.is_allowed("hash-iter", 3));
+        assert!(!c.is_allowed("hash-iter", 1));
+    }
+
+    #[test]
+    fn allow_file_covers_everything() {
+        let c = ctx("// phocus-lint: allow-file(wall-clock) — timing module\nfn f() {}\n");
+        assert!(c.is_allowed("wall-clock", 1));
+        assert!(c.is_allowed("wall-clock", 999));
+    }
+
+    #[test]
+    fn unknown_rule_is_reported() {
+        let c = ctx("// phocus-lint: allow(no-such-rule)\nfn f() {}\n");
+        assert_eq!(c.meta_diags.len(), 1);
+        assert_eq!(c.meta_diags[0].rule, "lint-meta");
+    }
+
+    #[test]
+    fn bad_directive_is_reported() {
+        let c = ctx("// phocus-lint: disable(float-ord)\n");
+        assert_eq!(c.meta_diags.len(), 1);
+    }
+
+    #[test]
+    fn test_regions_span_the_module() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
+        let c = ctx(src);
+        assert!(!c.in_test_region(1));
+        assert!(c.in_test_region(3));
+        assert!(c.in_test_region(4));
+        assert!(!c.in_test_region(6));
+    }
+}

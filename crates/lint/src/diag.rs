@@ -1,0 +1,117 @@
+//! Diagnostics: the typed finding every rule emits, plus human and JSON
+//! rendering.
+
+use std::fmt;
+
+/// One finding, anchored to a file/line/column span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (e.g. `"float-ord"`), one of [`crate::rules::RULES`].
+    pub rule: &'static str,
+    /// Path relative to the workspace root (or a fixture label in tests).
+    pub path: String,
+    /// 1-based line of the offending token (0 for file-level findings).
+    pub line: u32,
+    /// 1-based column of the offending token (0 for file-level findings).
+    pub col: u32,
+    /// What went wrong and what the sanctioned alternative is.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal. Non-ASCII
+/// characters pass through raw (JSON is UTF-8); quotes, backslashes, and
+/// control characters are escaped.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a diagnostic list as the stable `--json` document:
+///
+/// ```json
+/// {"version":1,"violations":N,"diagnostics":[{"rule":…,"path":…,
+///  "line":…,"col":…,"message":…}]}
+/// ```
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"version\":1,\"violations\":");
+    out.push_str(&diags.len().to_string());
+    out.push_str(",\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            json_escape(d.rule),
+            json_escape(&d.path),
+            d.line,
+            d.col,
+            json_escape(&d.message)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_spanned() {
+        let d = Diagnostic {
+            rule: "float-ord",
+            path: "crates/algo/src/celf.rs".into(),
+            line: 7,
+            col: 3,
+            message: "m".into(),
+        };
+        assert_eq!(d.to_string(), "crates/algo/src/celf.rs:7:3: [float-ord] m");
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let d = Diagnostic {
+            rule: "no-print",
+            path: "a\"b".into(),
+            line: 1,
+            col: 2,
+            message: "tab\there — dash".into(),
+        };
+        let j = to_json(&[d]);
+        assert!(j.contains("\\\"") && j.contains("\\t") && j.contains("— dash"));
+        assert!(j.starts_with("{\"version\":1,\"violations\":1,"));
+    }
+
+    #[test]
+    fn empty_report() {
+        assert_eq!(
+            to_json(&[]),
+            "{\"version\":1,\"violations\":0,\"diagnostics\":[]}"
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Workspace discovery and the lint driver.
+//!
+//! Crates are discovered from the root `Cargo.toml`'s `workspace.members`
+//! list — never from a hard-coded inventory — so a newly added crate is
+//! audited (and panic-gated, via [`gate_crates`]) automatically.
+
+use crate::context::{CrateCategory, FileContext, FileKind, FileSpec};
+use crate::diag::Diagnostic;
+use crate::manifest::{parse_crate_manifest, parse_members, CrateManifest};
+use crate::rules;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Engine failure: the workspace itself could not be read or understood.
+/// (Rule findings are [`Diagnostic`]s, not errors.)
+#[derive(Debug)]
+pub enum LintError {
+    /// A file the engine needs could not be read.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The root manifest has no usable `workspace.members`.
+    Workspace {
+        /// What was wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, source } => write!(f, "{path}: {source}"),
+            LintError::Workspace { msg } => write!(f, "workspace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LintError::Io { source, .. } => Some(source),
+            LintError::Workspace { .. } => None,
+        }
+    }
+}
+
+/// Outcome of a full workspace run.
+#[derive(Debug)]
+pub struct Report {
+    /// All surviving diagnostics, sorted by (path, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of workspace crates discovered (vendor shims included).
+    pub crates: usize,
+}
+
+struct CrateInfo {
+    /// Workspace-relative member path (e.g. `crates/algo`).
+    member: String,
+    manifest: CrateManifest,
+    category: CrateCategory,
+}
+
+fn categorize(member: &str) -> CrateCategory {
+    if member.starts_with("crates/vendor") {
+        CrateCategory::Vendor
+    } else if member == "crates/bench" {
+        CrateCategory::BenchHarness
+    } else if member == "examples" {
+        CrateCategory::Examples
+    } else if member == "tests" {
+        CrateCategory::TestCrate
+    } else {
+        CrateCategory::Library
+    }
+}
+
+fn read(path: &Path) -> Result<String, LintError> {
+    fs::read_to_string(path).map_err(|source| LintError::Io {
+        path: path.display().to_string(),
+        source,
+    })
+}
+
+fn discover(root: &Path) -> Result<Vec<CrateInfo>, LintError> {
+    let root_manifest = read(&root.join("Cargo.toml"))?;
+    let members = parse_members(&root_manifest);
+    if members.is_empty() {
+        return Err(LintError::Workspace {
+            msg: format!(
+                "no workspace.members found in {}",
+                root.join("Cargo.toml").display()
+            ),
+        });
+    }
+    let mut crates = Vec::with_capacity(members.len());
+    for member in members {
+        let manifest = parse_crate_manifest(&read(&root.join(&member).join("Cargo.toml"))?);
+        let category = categorize(&member);
+        crates.push(CrateInfo {
+            member,
+            manifest,
+            category,
+        });
+    }
+    Ok(crates)
+}
+
+/// The panic-freedom gate list: every non-vendor library crate under
+/// `crates/` (the bench harness is exempt by policy — its benches and
+/// runner binaries are perf instrumentation, like tests). Sorted.
+pub fn gate_crates(root: &Path) -> Result<Vec<String>, LintError> {
+    let crates = discover(root)?;
+    let mut names: Vec<String> = crates
+        .iter()
+        .filter(|c| c.category == CrateCategory::Library)
+        .map(|c| c.manifest.name.clone())
+        .collect();
+    names.sort();
+    Ok(names)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted by path so the
+/// diagnostic order never depends on directory-entry order.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(ref e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(source) => {
+            return Err(LintError::Io {
+                path: dir.display().to_string(),
+                source,
+            })
+        }
+    };
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|source| LintError::Io {
+            path: dir.display().to_string(),
+            source,
+        })?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            rs_files(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Result<Report, LintError> {
+    let crates = discover(root)?;
+    let gate = {
+        let mut names: Vec<String> = crates
+            .iter()
+            .filter(|c| c.category == CrateCategory::Library)
+            .map(|c| c.manifest.name.clone())
+            .collect();
+        names.sort();
+        names
+    };
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+
+    // Workspace-level rules: the crate DAG and the CI gate.
+    for c in &crates {
+        let manifest_path = format!("{}/Cargo.toml", c.member);
+        rules::architecture::check_dag(&manifest_path, &c.manifest, &mut diagnostics);
+    }
+    match fs::read_to_string(root.join("ci.sh")) {
+        Ok(ci_src) => rules::ci::check_ci("ci.sh", &ci_src, &gate, &mut diagnostics),
+        Err(_) => diagnostics.push(Diagnostic {
+            rule: "ci-gate",
+            path: "ci.sh".to_string(),
+            line: 1,
+            col: 1,
+            message: "ci.sh not found at the workspace root".to_string(),
+        }),
+    }
+
+    // File-level rules over every non-vendor crate.
+    let mut files_scanned = 0usize;
+    for c in &crates {
+        if c.category == CrateCategory::Vendor {
+            continue;
+        }
+        for (sub, default_kind) in [
+            ("src", FileKind::Lib),
+            ("benches", FileKind::Bench),
+            ("tests", FileKind::Test),
+        ] {
+            let mut files = Vec::new();
+            rs_files(&root.join(&c.member).join(sub), &mut files)?;
+            for file in files {
+                let rel = file
+                    .strip_prefix(root)
+                    .unwrap_or(&file)
+                    .display()
+                    .to_string();
+                let kind = if c.category == CrateCategory::TestCrate {
+                    FileKind::Test
+                } else if sub == "src" && rel.contains("/bin/") {
+                    FileKind::Bin
+                } else {
+                    default_kind
+                };
+                let src = read(&file)?;
+                let ctx = FileContext::new(
+                    FileSpec {
+                        path: &rel,
+                        crate_name: &c.manifest.name,
+                        category: c.category,
+                        kind,
+                    },
+                    &src,
+                );
+                diagnostics.extend(rules::run_file_rules(&ctx));
+                files_scanned += 1;
+            }
+        }
+    }
+
+    diagnostics.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(Report {
+        diagnostics,
+        files_scanned,
+        crates: crates.len(),
+    })
+}

@@ -1,0 +1,516 @@
+//! A self-contained Rust lexer sufficient for token-level static analysis.
+//!
+//! Produces a flat token stream with line/column spans. The goal is not a
+//! full grammar — rules match token *sequences* — but the lexer must be
+//! exact about what is code and what is not: banned identifiers inside
+//! string literals, comments, or doc comments must never fire, and
+//! suppression pragmas live inside line comments. Handles nested block
+//! comments, cooked/raw/byte string literals, char literals vs. lifetimes,
+//! raw identifiers, and numeric literals with exponents and suffixes.
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, without `r#`).
+    Ident,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// Numeric literal, including suffix (`1e-12`, `0xFF`, `3.5f32`).
+    Num,
+    /// String literal of any flavor (cooked, raw, byte), quotes included.
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Lifetime (`'a`), without the quote.
+    Lifetime,
+    /// `// …` comment, marker included (doc `///` comments lex as this).
+    LineComment,
+    /// `/* … */` comment, markers included.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Token text (for `Ident`/`Punct`/`Num`/comments; literals keep quotes).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// Whether this token is a comment (not code).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Whether this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a token stream. Unterminated literals and comments are
+/// closed at end of input rather than reported — the compiler is the
+/// authority on well-formedness; the linter only needs a best-effort stream.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks: Vec<Tok> = Vec::new();
+
+    while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && lx.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(n) = lx.peek(0) {
+                if n == '\n' {
+                    break;
+                }
+                text.push(n);
+                lx.bump();
+            }
+            toks.push(Tok {
+                kind: TokKind::LineComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '/' && lx.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while let Some(n) = lx.peek(0) {
+                if n == '/' && lx.peek(1) == Some('*') {
+                    depth += 1;
+                    text.push('/');
+                    text.push('*');
+                    lx.bump();
+                    lx.bump();
+                } else if n == '*' && lx.peek(1) == Some('/') {
+                    depth -= 1;
+                    text.push('*');
+                    text.push('/');
+                    lx.bump();
+                    lx.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(n);
+                    lx.bump();
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::BlockComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Raw strings / raw identifiers / byte strings: r" r#" r#ident b" b' br".
+        if c == 'r' || c == 'b' {
+            let mut j = 1;
+            let mut saw_b = false;
+            if c == 'b' {
+                saw_b = true;
+                if lx.peek(1) == Some('r') {
+                    j = 2;
+                }
+            }
+            // Count hashes after the (b)r prefix.
+            let raw_marker = c == 'r' || (saw_b && j == 2);
+            if raw_marker {
+                let mut hashes = 0usize;
+                while lx.peek(j + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if lx.peek(j + hashes) == Some('"') {
+                    // Raw string literal: consume prefix, hashes, then scan
+                    // for `"` followed by the same number of hashes.
+                    let mut text = String::new();
+                    for _ in 0..(j + hashes + 1) {
+                        if let Some(n) = lx.bump() {
+                            text.push(n);
+                        }
+                    }
+                    'raw: while let Some(n) = lx.bump() {
+                        text.push(n);
+                        if n == '"' {
+                            let mut k = 0usize;
+                            while k < hashes {
+                                if lx.peek(k) == Some('#') {
+                                    k += 1;
+                                } else {
+                                    continue 'raw;
+                                }
+                            }
+                            for _ in 0..hashes {
+                                if let Some(h) = lx.bump() {
+                                    text.push(h);
+                                }
+                            }
+                            break;
+                        }
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+                if c == 'r'
+                    && hashes == 1
+                    && lx.peek(j + 1).is_some_and(is_ident_start)
+                {
+                    // Raw identifier r#name: emit as the bare identifier.
+                    lx.bump(); // r
+                    lx.bump(); // #
+                    let mut text = String::new();
+                    while let Some(n) = lx.peek(0) {
+                        if !is_ident_continue(n) {
+                            break;
+                        }
+                        text.push(n);
+                        lx.bump();
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+            }
+            if saw_b && lx.peek(1) == Some('"') {
+                // Byte string b"…": consume prefix then cooked-string body.
+                let mut text = String::new();
+                if let Some(n) = lx.bump() {
+                    text.push(n); // b
+                }
+                lex_cooked_string(&mut lx, &mut text);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if saw_b && lx.peek(1) == Some('\'') {
+                let mut text = String::new();
+                if let Some(n) = lx.bump() {
+                    text.push(n); // b
+                }
+                lex_char_literal(&mut lx, &mut text);
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+
+        if c == '"' {
+            let mut text = String::new();
+            lex_cooked_string(&mut lx, &mut text);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c == '\'' {
+            // Lifetime `'a` vs char literal `'a'` / `'\n'`.
+            let next = lx.peek(1);
+            let is_lifetime = match next {
+                Some(n) if is_ident_start(n) => lx.peek(2) != Some('\''),
+                _ => false,
+            };
+            if is_lifetime {
+                lx.bump(); // '
+                let mut text = String::new();
+                while let Some(n) = lx.peek(0) {
+                    if !is_ident_continue(n) {
+                        break;
+                    }
+                    text.push(n);
+                    lx.bump();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                let mut text = String::new();
+                lex_char_literal(&mut lx, &mut text);
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(n) = lx.peek(0) {
+                if !is_ident_continue(n) {
+                    break;
+                }
+                text.push(n);
+                lx.bump();
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            // Integer / prefix part (also consumes hex/octal/binary bodies
+            // and type suffixes, which are all ident-continue characters).
+            while let Some(n) = lx.peek(0) {
+                if !is_ident_continue(n) {
+                    break;
+                }
+                text.push(n);
+                lx.bump();
+            }
+            // Fraction: a dot followed by a digit (`0..n` must not consume).
+            if lx.peek(0) == Some('.') && lx.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                text.push('.');
+                lx.bump();
+                while let Some(n) = lx.peek(0) {
+                    if !is_ident_continue(n) {
+                        break;
+                    }
+                    text.push(n);
+                    lx.bump();
+                }
+            }
+            // Exponent sign: `1e-12` — the `e` was consumed above, the sign
+            // and exponent digits were not.
+            if (text.ends_with('e') || text.ends_with('E'))
+                && matches!(lx.peek(0), Some('+') | Some('-'))
+                && lx.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                if let Some(s) = lx.bump() {
+                    text.push(s);
+                }
+                while let Some(n) = lx.peek(0) {
+                    if !is_ident_continue(n) {
+                        break;
+                    }
+                    text.push(n);
+                    lx.bump();
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Anything else: single punctuation character.
+        if let Some(p) = lx.bump() {
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: p.to_string(),
+                line,
+                col,
+            });
+        }
+    }
+    toks
+}
+
+fn lex_cooked_string(lx: &mut Lexer, text: &mut String) {
+    if let Some(q) = lx.bump() {
+        text.push(q); // opening quote
+    }
+    while let Some(n) = lx.bump() {
+        text.push(n);
+        if n == '\\' {
+            if let Some(esc) = lx.bump() {
+                text.push(esc);
+            }
+        } else if n == '"' {
+            break;
+        }
+    }
+}
+
+fn lex_char_literal(lx: &mut Lexer, text: &mut String) {
+    if let Some(q) = lx.bump() {
+        text.push(q); // opening '
+    }
+    while let Some(n) = lx.bump() {
+        text.push(n);
+        if n == '\\' {
+            if let Some(esc) = lx.bump() {
+                text.push(esc);
+            }
+        } else if n == '\'' {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("foo.bar::baz()");
+        assert_eq!(t[0], (TokKind::Ident, "foo".into()));
+        assert_eq!(t[1], (TokKind::Punct, ".".into()));
+        assert_eq!(t[3], (TokKind::Punct, ":".into()));
+        assert_eq!(t[4], (TokKind::Punct, ":".into()));
+    }
+
+    #[test]
+    fn strings_hide_banned_tokens() {
+        let t = lex(r#"let s = "partial_cmp inside";"#);
+        assert!(t.iter().all(|t| !t.is_ident("partial_cmp")));
+        assert!(t.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let t = kinds(r###"r#"a "quoted" body"# x"###);
+        assert_eq!(t[0].0, TokKind::Str);
+        assert_eq!(t[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn comments_are_separate_tokens() {
+        let t = lex("a // trailing partial_cmp\nb /* block\nspan */ c");
+        assert!(t.iter().any(|t| t.kind == TokKind::LineComment));
+        assert!(t.iter().any(|t| t.kind == TokKind::BlockComment));
+        assert!(t
+            .iter()
+            .filter(|t| !t.is_comment())
+            .all(|t| !t.is_ident("partial_cmp")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'y'; let n = '\\n'; }");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Lifetime && s == "a"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && s == "'y'"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && s == "'\\n'"));
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_ranges() {
+        let t = kinds("1e-12 0..n 3.5f32 0xFF");
+        assert_eq!(t[0], (TokKind::Num, "1e-12".into()));
+        assert_eq!(t[1], (TokKind::Num, "0".into()));
+        assert_eq!(t[2], (TokKind::Punct, ".".into()));
+        assert_eq!(t[3], (TokKind::Punct, ".".into()));
+        assert_eq!(t[4], (TokKind::Ident, "n".into()));
+        assert_eq!(t[5], (TokKind::Num, "3.5f32".into()));
+        assert_eq!(t[6], (TokKind::Num, "0xFF".into()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = kinds("/* outer /* inner */ still */ after");
+        assert_eq!(t[0].0, TokKind::BlockComment);
+        assert_eq!(t[1], (TokKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let t = kinds("r#type x");
+        assert_eq!(t[0], (TokKind::Ident, "type".into()));
+        assert_eq!(t[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn line_positions_are_one_based() {
+        let t = lex("a\n  b");
+        assert_eq!((t[0].line, t[0].col), (1, 1));
+        assert_eq!((t[1].line, t[1].col), (2, 3));
+    }
+}

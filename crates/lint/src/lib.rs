@@ -1,0 +1,59 @@
+//! # par-lint — `phocus-lint`, the workspace static-analysis engine
+//!
+//! PRs 1–4 established invariants by hand: bit-identical serial/parallel
+//! solver transcripts, `f64::total_cmp` in every float comparator, a typed
+//! error / no-panic discipline, and a layered crate DAG. This crate
+//! machine-checks them, so the next refactor cannot silently reintroduce a
+//! `partial_cmp().unwrap()` or an order-nondeterministic `HashMap`
+//! iteration into a solver path and break the golden transcripts that the
+//! Figure 5 / Table 1–2 reproductions depend on.
+//!
+//! The engine is a lightweight self-contained Rust [`lexer`] (the workspace
+//! builds offline; no syn/proc-macro dependencies) plus token-sequence
+//! [`rules`] walked over every non-vendor crate discovered from the
+//! workspace manifest. Findings are typed [`diag::Diagnostic`]s with
+//! `file:line:col` spans, suppressible per site or per file:
+//!
+//! ```text
+//! // phocus-lint: allow(hash-iter) — keys are collected and sort-deduped below
+//! // phocus-lint: allow-file(wall-clock) — the figure-suite timing harness
+//! ```
+//!
+//! Rule families (full rationale in DESIGN.md §12):
+//!
+//! | rule           | protects                                             |
+//! |----------------|------------------------------------------------------|
+//! | `float-ord`    | total-order float comparisons (PR 4)                 |
+//! | `hash-iter`    | hash-iteration-order independence (PR 1/3 goldens)   |
+//! | `wall-clock`   | time-independent solver decisions                    |
+//! | `crate-dag`    | the declared crate layering (DESIGN §3)              |
+//! | `parallel-cfg` | the serial/parallel equivalence boundary (PR 1)      |
+//! | `no-print`     | silent library code; output via CLI/reporters only   |
+//! | `no-unsafe`    | `#![forbid(unsafe_code)]` everywhere but vendor      |
+//! | `ci-gate`      | metadata-derived panic-freedom gate coverage (PR 4)  |
+//! | `lint-meta`    | well-formed suppression pragmas                      |
+//!
+//! The `phocus-lint` binary exits 0 when clean, 1 on violations, 2 on
+//! usage errors, 3 on I/O failures; `--json` emits a stable document and
+//! `gate-crates` prints the panic-gate crate list that `ci.sh` consumes.
+
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+
+pub use context::{CrateCategory, FileContext, FileKind, FileSpec};
+pub use diag::Diagnostic;
+pub use engine::{gate_crates, run, LintError, Report};
+
+/// Lints a single in-memory source file — the fixture-test entry point.
+/// Runs every file-scoped rule with the given classification and returns
+/// the surviving diagnostics.
+pub fn lint_source(spec: FileSpec<'_>, src: &str) -> Vec<Diagnostic> {
+    let ctx = FileContext::new(spec, src);
+    rules::run_file_rules(&ctx)
+}

@@ -1,0 +1,184 @@
+//! A minimal TOML subset reader for the workspace's own `Cargo.toml`s.
+//!
+//! The workspace builds offline with no external dependencies, so the lint
+//! engine reads manifests with a purpose-built line scanner instead of a
+//! TOML crate. It understands exactly what the repo's manifests use:
+//! `[section]` headers, `key = value` entries, multi-line string arrays,
+//! and dotted section headers (`[dependencies.par-core]`). That subset is
+//! asserted by the fixture tests; anything fancier should extend this
+//! module deliberately.
+
+/// One dependency edge as written in a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dep {
+    /// Dependency key (the package name for every edge in this workspace).
+    pub name: String,
+    /// Whether it came from `[dev-dependencies]`.
+    pub dev: bool,
+    /// 1-based line of the entry, for spanned diagnostics.
+    pub line: u32,
+}
+
+/// The slice of a crate manifest the lint rules need.
+#[derive(Debug, Clone, Default)]
+pub struct CrateManifest {
+    /// `package.name`.
+    pub name: String,
+    /// All `[dependencies]` / `[dev-dependencies]` keys with their lines.
+    pub deps: Vec<Dep>,
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside a string value does not occur in this workspace's
+    // manifests; treat the first `#` as a comment start.
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Extracts `workspace.members` from a root manifest.
+pub fn parse_members(src: &str) -> Vec<String> {
+    let mut members = Vec::new();
+    let mut section = String::new();
+    let mut in_array = false;
+    for raw in src.lines() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !in_array && line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            continue;
+        }
+        if in_array {
+            for s in string_literals(line) {
+                members.push(s);
+            }
+            if line.contains(']') {
+                in_array = false;
+            }
+            continue;
+        }
+        if section == "workspace" {
+            if let Some(rest) = line.strip_prefix("members") {
+                let rest = rest.trim_start().trim_start_matches('=').trim_start();
+                if let Some(after) = rest.strip_prefix('[') {
+                    for s in string_literals(after) {
+                        members.push(s);
+                    }
+                    in_array = !after.contains(']');
+                }
+            }
+        }
+    }
+    members
+}
+
+/// Extracts the package name and dependency keys from a crate manifest.
+pub fn parse_crate_manifest(src: &str) -> CrateManifest {
+    let mut m = CrateManifest::default();
+    let mut section = String::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            // Dotted form: `[dependencies.par-core]`.
+            for (tbl, dev) in [("dependencies.", false), ("dev-dependencies.", true)] {
+                if let Some(name) = section.strip_prefix(tbl) {
+                    m.deps.push(Dep {
+                        name: name.to_string(),
+                        dev,
+                        line: lineno,
+                    });
+                }
+            }
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            continue;
+        };
+        let key = line[..eq].trim();
+        let value = line[eq + 1..].trim();
+        match section.as_str() {
+            "package" if key == "name" => {
+                if let Some(v) = string_literals(value).into_iter().next() {
+                    m.name = v;
+                }
+            }
+            "dependencies" | "dev-dependencies" | "build-dependencies" => {
+                m.deps.push(Dep {
+                    name: key.to_string(),
+                    dev: section != "dependencies",
+                    line: lineno,
+                });
+            }
+            _ => {}
+        }
+    }
+    m
+}
+
+/// All double-quoted string literals on one line, unescaped naively (the
+/// workspace's manifests contain no escapes).
+fn string_literals(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(start) = rest.find('"') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('"') else {
+            break;
+        };
+        out.push(after[..end].to_string());
+        rest = &after[end + 1..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_multiline_array() {
+        let src = "[workspace]\nmembers = [\n  \"crates/a\", # inline\n  \"crates/b\",\n]\n";
+        assert_eq!(parse_members(src), vec!["crates/a", "crates/b"]);
+    }
+
+    #[test]
+    fn members_single_line() {
+        let src = "[workspace]\nmembers = [\"x\", \"y\"]\n";
+        assert_eq!(parse_members(src), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn crate_manifest_deps_and_name() {
+        let src = "[package]\nname = \"par-algo\"\n\n[dependencies]\npar-core = { workspace = true }\nrand = { workspace = true }\n\n[dev-dependencies]\nproptest = { workspace = true }\n";
+        let m = parse_crate_manifest(src);
+        assert_eq!(m.name, "par-algo");
+        let names: Vec<(&str, bool)> = m.deps.iter().map(|d| (d.name.as_str(), d.dev)).collect();
+        assert_eq!(
+            names,
+            vec![("par-core", false), ("rand", false), ("proptest", true)]
+        );
+        assert_eq!(m.deps[0].line, 5);
+    }
+
+    #[test]
+    fn dotted_dependency_sections() {
+        let src = "[package]\nname = \"x\"\n[dependencies.par-core]\nworkspace = true\n";
+        let m = parse_crate_manifest(src);
+        assert_eq!(m.deps.len(), 1);
+        assert_eq!(m.deps[0].name, "par-core");
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = "[package]\n# name = \"wrong\"\nname = \"right\" # trailing\n";
+        assert_eq!(parse_crate_manifest(src).name, "right");
+    }
+}

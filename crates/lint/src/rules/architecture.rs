@@ -1,0 +1,169 @@
+//! Architecture rules: the declared crate DAG and the `parallel` feature
+//! boundary.
+//!
+//! The declared DAG below is the machine-checked form of DESIGN.md §3
+//! ("Dependency edges (bottom-up)"). Adding a crate or an edge is a
+//! deliberate act: extend the table here in the same PR, and the diff shows
+//! the layering change explicitly. An edge in a `Cargo.toml` that the table
+//! does not sanction fails CI with the manifest line in the span.
+
+use crate::context::{CrateCategory, FileContext};
+use crate::diag::Diagnostic;
+use crate::manifest::CrateManifest;
+
+/// Offline dependency shims under `crates/vendor/`, allowed everywhere.
+pub const VENDOR_SHIMS: &[&str] = &["rand", "proptest", "criterion"];
+
+const ALL_LIBS: &[&str] = &[
+    "par-core",
+    "par-embed",
+    "par-lsh",
+    "par-search",
+    "par-algo",
+    "par-sparse",
+    "par-datasets",
+    "phocus",
+    "par-study",
+    "par-exec",
+];
+
+/// The declared crate DAG: every internal dependency each crate may have.
+/// `None` means the crate is unknown — it must be added here (with its
+/// layer) before the workspace accepts it.
+pub fn declared_deps(name: &str) -> Option<&'static [&'static str]> {
+    Some(match name {
+        // Leaves.
+        "par-exec" | "par-search" | "par-lint" => &[],
+        "rand" | "proptest" | "criterion" => &[],
+        // Model and substrates.
+        "par-core" => &["par-exec"],
+        "par-embed" => &["par-core"],
+        "par-lsh" => &["par-exec"],
+        // Solvers over the model.
+        "par-algo" => &["par-core", "par-exec"],
+        "par-sparse" => &["par-core", "par-algo", "par-exec"],
+        // Data and the end-to-end system.
+        "par-datasets" => &["par-core", "par-embed", "par-search"],
+        "phocus" => &[
+            "par-core",
+            "par-embed",
+            "par-lsh",
+            "par-search",
+            "par-algo",
+            "par-sparse",
+            "par-datasets",
+            "par-exec",
+        ],
+        "par-study" => &["par-core", "par-algo", "par-datasets", "phocus"],
+        // Harnesses may see everything.
+        "par-bench" | "par-examples" | "integration-tests" => ALL_LIBS,
+        _ => return None,
+    })
+}
+
+/// `crate-dag`: validates one crate's manifest edges against the declared
+/// DAG. `manifest_path` is used verbatim in diagnostics.
+pub fn check_dag(manifest_path: &str, m: &CrateManifest, out: &mut Vec<Diagnostic>) {
+    let Some(allowed) = declared_deps(&m.name) else {
+        out.push(Diagnostic {
+            rule: "crate-dag",
+            path: manifest_path.to_string(),
+            line: 1,
+            col: 1,
+            message: format!(
+                "crate `{}` is not in the declared crate DAG \
+                 (crates/lint/src/rules/architecture.rs); declare its layer \
+                 and allowed dependencies there",
+                m.name
+            ),
+        });
+        return;
+    };
+    for dep in &m.deps {
+        if VENDOR_SHIMS.contains(&dep.name.as_str()) || allowed.contains(&dep.name.as_str()) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "crate-dag",
+            path: manifest_path.to_string(),
+            line: dep.line,
+            col: 1,
+            message: format!(
+                "dependency edge `{}` -> `{}` violates the declared crate DAG \
+                 (allowed: {:?}); layering changes must update the declared \
+                 table in the same PR",
+                m.name, dep.name, allowed
+            ),
+        });
+    }
+}
+
+/// `parallel-cfg`: the `parallel` feature gate may only be *tested* inside
+/// `par-exec` — every other crate forwards the feature in its manifest and
+/// calls `par_exec` kernels that fall back to serial. A stray
+/// `#[cfg(feature = "parallel")]` elsewhere forks behavior outside the
+/// audited serial/parallel equivalence boundary.
+pub fn parallel_cfg(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.spec.crate_name == "par-exec" || ctx.spec.category == CrateCategory::Vendor {
+        return;
+    }
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        let t = &code[i];
+        if t.is_ident("feature")
+            && i + 2 < code.len()
+            && code[i + 1].is_punct('=')
+            && code[i + 2].text.contains("parallel")
+        {
+            ctx.emit(
+                out,
+                "parallel-cfg",
+                t.line,
+                t.col,
+                "`cfg(feature = \"parallel\")` is confined to par-exec: other \
+                 crates must forward the feature in Cargo.toml and call \
+                 par_exec kernels (which fall back to serial), so the \
+                 serial/parallel equivalence stays auditable in one place"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::parse_crate_manifest;
+
+    #[test]
+    fn legal_edge_passes() {
+        let m = parse_crate_manifest(
+            "[package]\nname = \"par-algo\"\n[dependencies]\npar-core = { workspace = true }\nrand = { workspace = true }\n",
+        );
+        let mut out = Vec::new();
+        check_dag("crates/algo/Cargo.toml", &m, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn inverted_edge_fails_with_span() {
+        let m = parse_crate_manifest(
+            "[package]\nname = \"par-core\"\n[dependencies]\npar-algo = { workspace = true }\n",
+        );
+        let mut out = Vec::new();
+        check_dag("crates/core/Cargo.toml", &m, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "crate-dag");
+        assert_eq!(out[0].line, 4);
+        assert!(out[0].message.contains("par-core"));
+    }
+
+    #[test]
+    fn unknown_crate_must_declare_its_layer() {
+        let m = parse_crate_manifest("[package]\nname = \"par-new-thing\"\n");
+        let mut out = Vec::new();
+        check_dag("crates/new/Cargo.toml", &m, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("declare its layer"));
+    }
+}

@@ -1,0 +1,131 @@
+//! `ci-gate`: cross-checks `ci.sh` against the workspace.
+//!
+//! Two invariants:
+//!
+//! 1. `phocus-lint` itself must run in CI *before* the test steps, so a
+//!    determinism/layering regression fails fast.
+//! 2. The clippy panic-freedom gate must cover every non-vendor library
+//!    crate. The sanctioned mechanism is deriving the list from
+//!    `phocus-lint gate-crates` (metadata-derived, so a newly added crate
+//!    is covered automatically). A hard-coded list is accepted only if it
+//!    names every gate crate — the historical failure mode this rule
+//!    exists to prevent is a new crate silently skipping the gate.
+
+use crate::diag::Diagnostic;
+
+/// Validates `ci_src` (the text of `ci.sh`) given the metadata-derived
+/// gate crate list. `path` is used verbatim in diagnostics.
+pub fn check_ci(path: &str, ci_src: &str, gate_crates: &[String], out: &mut Vec<Diagnostic>) {
+    let lines: Vec<&str> = ci_src.lines().collect();
+    let find_line = |needle: &str| {
+        lines
+            .iter()
+            .position(|l| l.contains(needle))
+            .map(|i| i as u32 + 1)
+    };
+
+    // 1. phocus-lint runs, and before the first test step.
+    let lint_line = find_line("par-lint");
+    let test_line = find_line("cargo test");
+    match (lint_line, test_line) {
+        (None, _) => out.push(Diagnostic {
+            rule: "ci-gate",
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            message: "ci.sh never runs phocus-lint (`cargo run --release -q -p \
+                      par-lint`); static analysis must gate CI"
+                .to_string(),
+        }),
+        (Some(l), Some(t)) if t < l => out.push(Diagnostic {
+            rule: "ci-gate",
+            path: path.to_string(),
+            line: l,
+            col: 1,
+            message: "phocus-lint must run before the test steps in ci.sh so \
+                      invariant regressions fail fast"
+                .to_string(),
+        }),
+        _ => {}
+    }
+
+    // 2. Panic-freedom gate coverage.
+    let Some(gate_line) = find_line("unwrap_used") else {
+        out.push(Diagnostic {
+            rule: "ci-gate",
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            message: "ci.sh lost the clippy panic-freedom gate \
+                      (-D clippy::unwrap_used …) over the library crates"
+                .to_string(),
+        });
+        return;
+    };
+    if ci_src.contains("gate-crates") {
+        return; // metadata-derived list: covers every crate by construction
+    }
+    for c in gate_crates {
+        let covered = lines.iter().any(|l| {
+            l.split_whitespace().any(|w| {
+                w.trim_matches(|ch: char| !(ch.is_alphanumeric() || ch == '-' || ch == '_'))
+                    == c.as_str()
+            })
+        });
+        if !covered {
+            out.push(Diagnostic {
+                rule: "ci-gate",
+                path: path.to_string(),
+                line: gate_line,
+                col: 1,
+                message: format!(
+                    "panic-freedom gate omits crate `{c}`; derive the crate \
+                     list from `phocus-lint gate-crates` instead of \
+                     hard-coding it"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate() -> Vec<String> {
+        vec!["par-core".to_string(), "par-algo".to_string()]
+    }
+
+    #[test]
+    fn derived_list_passes() {
+        let ci = "cargo build\ncargo run --release -q -p par-lint\nfor c in $(cargo run -q -p par-lint -- gate-crates); do :; done\ncargo clippy -- -D clippy::unwrap_used\ncargo test -q\n";
+        let mut out = Vec::new();
+        check_ci("ci.sh", ci, &gate(), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn hardcoded_list_missing_a_crate_fails() {
+        let ci = "cargo run -q -p par-lint\nfor c in par-core; do :; done\ncargo clippy -D clippy::unwrap_used\ncargo test -q\n";
+        let mut out = Vec::new();
+        check_ci("ci.sh", ci, &gate(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("par-algo"));
+    }
+
+    #[test]
+    fn lint_after_tests_fails() {
+        let ci = "cargo test -q\ncargo run -q -p par-lint -- gate-crates\nclippy -D clippy::unwrap_used\n";
+        let mut out = Vec::new();
+        check_ci("ci.sh", ci, &gate(), &mut out);
+        assert!(out.iter().any(|d| d.message.contains("before the test steps")));
+    }
+
+    #[test]
+    fn missing_gate_fails() {
+        let ci = "cargo run -q -p par-lint\ncargo test -q\n";
+        let mut out = Vec::new();
+        check_ci("ci.sh", ci, &gate(), &mut out);
+        assert!(out.iter().any(|d| d.message.contains("panic-freedom gate")));
+    }
+}

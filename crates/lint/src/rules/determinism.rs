@@ -1,0 +1,364 @@
+//! Determinism rules: the invariants behind the golden solver transcripts.
+//!
+//! * `float-ord` — bans `partial_cmp` (the lexical signature of
+//!   NaN-unsound float comparators) everywhere except the canonical
+//!   `PartialOrd` delegation `Some(self.cmp(other))` over a
+//!   `total_cmp`-based `Ord`. Sorting floats must go through
+//!   `f64::total_cmp` (PR 4 moved every comparator there).
+//! * `hash-iter` — bans iterating `HashMap`/`HashSet` in library code:
+//!   `RandomState` seeds per process, so iteration order differs run to
+//!   run. Auto-exempts the collect-then-sort idiom; everything else needs
+//!   a pragma explaining why order cannot leak into results.
+//! * `wall-clock` — bans `Instant::now`/`SystemTime` outside the bench and
+//!   study harnesses; solver timing-struct fills are annotated
+//!   individually so a stray clock read cannot sneak into a decision path.
+
+use crate::context::{CrateCategory, FileContext, FileKind};
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+
+/// Methods whose call on a hash container observes iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "difference",
+    "intersection",
+    "union",
+    "symmetric_difference",
+];
+
+const SORT_METHODS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// `float-ord`: see module docs.
+pub fn float_ord(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !matches!(ctx.spec.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        let t = &code[i];
+        if !t.is_ident("partial_cmp") || ctx.in_test_region(t.line) {
+            continue;
+        }
+        let is_def = i > 0 && code[i - 1].is_ident("fn");
+        if is_def && is_canonical_delegation(code, i) {
+            continue;
+        }
+        ctx.emit(
+            out,
+            "float-ord",
+            t.line,
+            t.col,
+            "`partial_cmp` is banned: float comparators must use \
+             `f64::total_cmp` (or delegate `PartialOrd` to a \
+             total_cmp-based `Ord` via `Some(self.cmp(other))`)"
+                .to_string(),
+        );
+    }
+}
+
+/// Accepts exactly `fn partial_cmp(…) -> … { Some(self.cmp(other)) }`.
+fn is_canonical_delegation(code: &[Tok], at: usize) -> bool {
+    let mut j = at;
+    while j < code.len() && !code[j].is_punct('{') {
+        j += 1;
+    }
+    let body = &code[j + 1..];
+    const PAT: &[&str] = &["Some", "(", "self", ".", "cmp", "(", "other", ")", ")"];
+    for (k, p) in PAT.iter().enumerate() {
+        match body.get(k) {
+            Some(t) if t.text == *p => {}
+            _ => return false,
+        }
+    }
+    body.get(PAT.len()).is_some_and(|t| t.is_punct('}'))
+}
+
+/// `hash-iter`: see module docs. Applies to library sources only — the
+/// solver/evaluator/dataset-generation surface.
+pub fn hash_iter(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.spec.category != CrateCategory::Library || ctx.spec.kind != FileKind::Lib {
+        return;
+    }
+    let code = &ctx.code;
+    let tracked = hash_typed_names(code);
+    if tracked.is_empty() {
+        return;
+    }
+
+    for i in 0..code.len() {
+        let t = &code[i];
+        if ctx.in_test_region(t.line) {
+            continue;
+        }
+        // `name.iter()` / `name.values_mut()` / `set.difference(…)` …
+        // A receiver reached through a projection (`other.name.iter()`) is a
+        // different place than the tracked binding unless the base is
+        // `self` (struct fields are tracked from their declarations).
+        let own_place = i == 0
+            || !code[i - 1].is_punct('.')
+            || (i >= 2 && code[i - 2].is_ident("self"));
+        if t.kind == TokKind::Ident
+            && own_place
+            && tracked.iter().any(|n| n == &t.text)
+            && i + 3 < code.len()
+            && code[i + 1].is_punct('.')
+            && code[i + 2].kind == TokKind::Ident
+            && ITER_METHODS.contains(&code[i + 2].text.as_str())
+            && code[i + 3].is_punct('(')
+        {
+            if collected_and_sorted(code, i) {
+                continue;
+            }
+            let m = &code[i + 2].text;
+            ctx.emit(
+                out,
+                "hash-iter",
+                t.line,
+                t.col,
+                format!(
+                    "iteration (`.{m}()`) over hash container `{}` is \
+                     order-nondeterministic; collect-and-sort the result, use a \
+                     BTree container, or annotate `// phocus-lint: allow(hash-iter) \
+                     — <why order cannot affect results>`",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        // `for pat in [&]name { … }` over a bare tracked place expression.
+        if t.is_ident("for") {
+            if let Some((line, col, name)) = for_over_tracked(code, i, &tracked) {
+                if !ctx.in_test_region(line) {
+                    ctx.emit(
+                        out,
+                        "hash-iter",
+                        line,
+                        col,
+                        format!(
+                            "`for` loop over hash container `{name}` is \
+                             order-nondeterministic; collect-and-sort first or \
+                             annotate `// phocus-lint: allow(hash-iter) — <why>`"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Collects identifiers whose declared type (annotation or constructor)
+/// is `HashMap`/`HashSet`, anywhere in the file: `let`/field/parameter
+/// annotations `name: [&mut] [path::]Hash{Map,Set}<…>` and constructor
+/// bindings `let [mut] name = [path::]Hash{Map,Set}::…`.
+fn hash_typed_names(code: &[Tok]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut track = |n: &str| {
+        if !names.iter().any(|x| x == n) {
+            names.push(n.to_string());
+        }
+    };
+    for i in 0..code.len() {
+        // `name :` in type position (not `name ::`).
+        if code[i].kind == TokKind::Ident
+            && i + 2 < code.len()
+            && code[i + 1].is_punct(':')
+            && !code[i + 2].is_punct(':')
+        {
+            let mut j = i + 2;
+            while j < code.len()
+                && (code[j].is_punct('&')
+                    || code[j].is_ident("mut")
+                    || code[j].kind == TokKind::Lifetime)
+            {
+                j += 1;
+            }
+            if j < code.len() && code[j].kind == TokKind::Ident {
+                // Follow a `::`-separated path to its last segment.
+                let mut last = j;
+                while last + 3 < code.len()
+                    && code[last + 1].is_punct(':')
+                    && code[last + 2].is_punct(':')
+                    && code[last + 3].kind == TokKind::Ident
+                {
+                    last += 3;
+                }
+                if code[last].is_ident("HashMap") || code[last].is_ident("HashSet") {
+                    track(&code[i].text);
+                }
+            }
+        }
+        // `let [mut] name = … Hash{Map,Set} :: …` within the statement.
+        if code[i].is_ident("let") {
+            let mut j = i + 1;
+            if j < code.len() && code[j].is_ident("mut") {
+                j += 1;
+            }
+            if j < code.len() && code[j].kind == TokKind::Ident {
+                let name = j;
+                let mut k = j + 1;
+                // Only the constructor form: skip annotated lets (handled
+                // above) by requiring `=` immediately after the name.
+                if k < code.len() && code[k].is_punct('=') {
+                    while k < code.len() && !code[k].is_punct(';') {
+                        if (code[k].is_ident("HashMap") || code[k].is_ident("HashSet"))
+                            && k + 2 < code.len()
+                            && code[k + 1].is_punct(':')
+                            && code[k + 2].is_punct(':')
+                        {
+                            track(&code[name].text);
+                            break;
+                        }
+                        k += 1;
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// The collect-then-sort idiom: the flagged statement binds `let [mut] X …=`
+/// and either contains a sort itself or is immediately followed by
+/// `X.sort…(…)`. Order nondeterminism cannot survive the sort, so the site
+/// is exempt without a pragma.
+fn collected_and_sorted(code: &[Tok], at: usize) -> bool {
+    // Statement start: last `;` / `{` / `}` before `at`.
+    let mut s = at;
+    while s > 0 {
+        let t = &code[s - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        s -= 1;
+    }
+    // Must be a `let` binding so the sorted variable is nameable.
+    let mut j = s;
+    if j >= code.len() || !code[j].is_ident("let") {
+        return false;
+    }
+    j += 1;
+    if j < code.len() && code[j].is_ident("mut") {
+        j += 1;
+    }
+    if j >= code.len() || code[j].kind != TokKind::Ident {
+        return false;
+    }
+    let bind = code[j].text.clone();
+    // Statement end: first `;` after the flagged token.
+    let mut e = at;
+    while e < code.len() && !code[e].is_punct(';') {
+        e += 1;
+    }
+    // Sort inside the statement chain itself?
+    if code[s..e]
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && SORT_METHODS.contains(&t.text.as_str()))
+    {
+        return true;
+    }
+    // `bind . sort…(` as the next statement?
+    e + 2 < code.len()
+        && code[e + 1].is_ident(&bind)
+        && code[e + 2].is_punct('.')
+        && code
+            .get(e + 3)
+            .is_some_and(|t| SORT_METHODS.contains(&t.text.as_str()))
+}
+
+/// Detects `for pat in [&][mut] path { … }` where the final path segment is
+/// a tracked hash container. Method-call iterations (`in m.keys()`) are
+/// handled by the call matcher; this catches direct place-expression loops
+/// like `for (k, v) in map {`.
+fn for_over_tracked(code: &[Tok], at: usize, tracked: &[String]) -> Option<(u32, u32, String)> {
+    // Find `in` at bracket depth 0 (the pattern may contain `(…)`/`[…]`).
+    let mut depth = 0i32;
+    let mut j = at + 1;
+    while j < code.len() {
+        let t = &code[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_ident("in") {
+            break;
+        } else if t.is_punct('{') || t.is_punct(';') {
+            return None;
+        }
+        j += 1;
+    }
+    if j >= code.len() {
+        return None;
+    }
+    // Expression tokens until the body `{` (struct literals are not legal
+    // in a `for` head, so the first depth-0 `{` is the body).
+    let mut k = j + 1;
+    let mut expr: Vec<&Tok> = Vec::new();
+    while k < code.len() && !code[k].is_punct('{') {
+        expr.push(&code[k]);
+        k += 1;
+    }
+    // Only plain place expressions: `&`, `mut`, idents, and `.`.
+    let plain = expr.iter().all(|t| {
+        t.is_punct('&') || t.is_punct('.') || t.kind == TokKind::Ident
+    });
+    if !plain || expr.is_empty() {
+        return None;
+    }
+    let last = expr.iter().rev().find(|t| t.kind == TokKind::Ident)?;
+    if tracked.iter().any(|n| n == &last.text) {
+        Some((last.line, last.col, last.text.clone()))
+    } else {
+        None
+    }
+}
+
+/// `wall-clock`: see module docs.
+pub fn wall_clock(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.spec.category != CrateCategory::Library
+        || !matches!(ctx.spec.kind, FileKind::Lib | FileKind::Bin)
+        || ctx.spec.crate_name == "par-study"
+    {
+        return;
+    }
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        let t = &code[i];
+        if ctx.in_test_region(t.line) {
+            continue;
+        }
+        let instant_now = t.is_ident("Instant")
+            && i + 3 < code.len()
+            && code[i + 1].is_punct(':')
+            && code[i + 2].is_punct(':')
+            && code[i + 3].is_ident("now");
+        let system_time = t.is_ident("SystemTime");
+        if instant_now || system_time {
+            ctx.emit(
+                out,
+                "wall-clock",
+                t.line,
+                t.col,
+                "wall-clock reads are confined to par-bench/par-study and \
+                 annotated solver timing-struct fills; results must never \
+                 depend on time (`// phocus-lint: allow(wall-clock) — <timing \
+                 struct>` for sanctioned instrumentation)"
+                    .to_string(),
+            );
+        }
+    }
+}

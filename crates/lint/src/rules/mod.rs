@@ -1,0 +1,49 @@
+//! The rule registry and the per-file dispatch.
+//!
+//! Three families, mirroring DESIGN.md §12:
+//!
+//! * **determinism** — [`determinism::float_ord`], [`determinism::hash_iter`],
+//!   [`determinism::wall_clock`]: protect the bit-identical solver
+//!   transcripts (PR 1/3 goldens) and the `total_cmp` discipline (PR 4).
+//! * **architecture** — [`architecture::check_dag`],
+//!   [`architecture::parallel_cfg`]: keep the crate DAG acyclic and layered,
+//!   and the `parallel` feature confined to `par-exec` (PR 1).
+//! * **hygiene** — [`hygiene::no_print`], [`hygiene::no_unsafe`],
+//!   [`ci::check_ci`]: no stray output or panicking placeholders in library
+//!   code, no `unsafe` outside the vendored shims, and a CI panic-freedom
+//!   gate that cannot silently skip a crate.
+
+pub mod architecture;
+pub mod ci;
+pub mod determinism;
+pub mod hygiene;
+
+use crate::context::FileContext;
+use crate::diag::Diagnostic;
+
+/// Every rule id, for pragma validation and `--help`.
+pub const RULES: &[&str] = &[
+    "float-ord",
+    "hash-iter",
+    "wall-clock",
+    "crate-dag",
+    "parallel-cfg",
+    "no-print",
+    "no-unsafe",
+    "ci-gate",
+    "lint-meta",
+];
+
+/// Runs every file-scoped rule over one lexed file and returns the
+/// surviving (non-suppressed) diagnostics, pragma-syntax findings included.
+pub fn run_file_rules(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    determinism::float_ord(ctx, &mut out);
+    determinism::hash_iter(ctx, &mut out);
+    determinism::wall_clock(ctx, &mut out);
+    architecture::parallel_cfg(ctx, &mut out);
+    hygiene::no_print(ctx, &mut out);
+    hygiene::no_unsafe(ctx, &mut out);
+    out.extend(ctx.meta_diags.iter().cloned());
+    out
+}

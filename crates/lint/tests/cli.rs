@@ -1,0 +1,110 @@
+//! End-to-end CLI tests: exit codes and the `--json` schema, exercised
+//! through the real `phocus-lint` binary.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn phocus_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_phocus-lint"))
+        .args(args)
+        .output()
+        .expect("binary must run")
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let root = workspace_root();
+    let out = phocus_lint(&["--root", root.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn gate_crates_prints_the_sorted_list() {
+    let root = workspace_root();
+    let out = phocus_lint(&["gate-crates", "--root", root.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let names: Vec<&str> = std::str::from_utf8(&out.stdout)
+        .expect("utf-8 output")
+        .lines()
+        .collect();
+    assert!(names.contains(&"par-core"), "{names:?}");
+    assert!(names.contains(&"par-lint"), "{names:?}");
+    assert!(!names.contains(&"par-bench"), "{names:?}");
+}
+
+#[test]
+fn usage_error_exits_two() {
+    let out = phocus_lint(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = phocus_lint(&["--help"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn unreadable_root_exits_three() {
+    let out = phocus_lint(&["--root", "/no/such/workspace/anywhere"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+}
+
+/// A deliberately violating single-crate workspace, written under the
+/// build's target directory so nothing outside the repo is touched.
+fn violating_workspace() -> PathBuf {
+    let dir = workspace_root().join("target/lint-cli-fixture-ws");
+    let crate_dir = dir.join("crates/badcrate/src");
+    fs::create_dir_all(&crate_dir).expect("create fixture workspace");
+    fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\n    \"crates/badcrate\",\n]\n",
+    )
+    .expect("write root manifest");
+    fs::write(
+        dir.join("crates/badcrate/Cargo.toml"),
+        "[package]\nname = \"par-badcrate\"\nversion = \"0.1.0\"\nedition = \"2021\"\n",
+    )
+    .expect("write crate manifest");
+    fs::write(
+        crate_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn close(a: f64, b: f64) -> bool {\n    \
+         a.partial_cmp(&b).is_some()\n}\n",
+    )
+    .expect("write crate source");
+    dir
+}
+
+#[test]
+fn violations_exit_one_with_spanned_human_output() {
+    let dir = violating_workspace();
+    let out = phocus_lint(&["--root", dir.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/badcrate/src/lib.rs:3:") && stdout.contains("[float-ord]"),
+        "expected a spanned float-ord diagnostic:\n{stdout}"
+    );
+}
+
+#[test]
+fn json_output_follows_the_stable_schema() {
+    let dir = violating_workspace();
+    let out = phocus_lint(&["--json", "--root", dir.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("{\"version\":1,"), "{stdout}");
+    assert!(stdout.contains("\"rule\":\"float-ord\""), "{stdout}");
+    assert!(stdout.contains("\"line\":3"), "{stdout}");
+    // ci.sh is absent from the fixture workspace, so the gate rule fires too.
+    assert!(stdout.contains("\"rule\":\"ci-gate\""), "{stdout}");
+}

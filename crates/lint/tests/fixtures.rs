@@ -1,0 +1,133 @@
+//! Fixture-corpus tests: every rule fires on its violation fixture and
+//! stays silent on the suppressed variant, so a rule (or the suppression
+//! machinery) cannot silently stop working.
+
+use par_lint::{lint_source, CrateCategory, FileKind, FileSpec};
+
+/// Lints a fixture as ordinary library code of a non-exempt crate.
+fn lint(src: &str) -> Vec<par_lint::Diagnostic> {
+    lint_source(
+        FileSpec {
+            path: "crates/fixture/src/code.rs",
+            crate_name: "par-fixture",
+            category: CrateCategory::Library,
+            kind: FileKind::Lib,
+        },
+        src,
+    )
+}
+
+fn rules(diags: &[par_lint::Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn float_ord_fires_and_suppresses() {
+    let hits = lint(include_str!("../fixtures/float_ord_violation.rs"));
+    assert_eq!(rules(&hits), ["float-ord"], "{hits:#?}");
+    assert_eq!(hits[0].line, 6);
+    let clean = lint(include_str!("../fixtures/float_ord_suppressed.rs"));
+    assert!(clean.is_empty(), "{clean:#?}");
+}
+
+#[test]
+fn hash_iter_fires_on_both_shapes_and_suppresses() {
+    let hits = lint(include_str!("../fixtures/hash_iter_violation.rs"));
+    assert_eq!(rules(&hits), ["hash-iter", "hash-iter"], "{hits:#?}");
+    let clean = lint(include_str!("../fixtures/hash_iter_suppressed.rs"));
+    assert!(clean.is_empty(), "{clean:#?}");
+}
+
+#[test]
+fn wall_clock_fires_and_suppresses() {
+    let hits = lint(include_str!("../fixtures/wall_clock_violation.rs"));
+    assert_eq!(rules(&hits), ["wall-clock"], "{hits:#?}");
+    let clean = lint(include_str!("../fixtures/wall_clock_suppressed.rs"));
+    assert!(clean.is_empty(), "{clean:#?}");
+}
+
+#[test]
+fn parallel_cfg_fires_and_suppresses() {
+    let hits = lint(include_str!("../fixtures/parallel_cfg_violation.rs"));
+    assert_eq!(rules(&hits), ["parallel-cfg"], "{hits:#?}");
+    let clean = lint(include_str!("../fixtures/parallel_cfg_suppressed.rs"));
+    assert!(clean.is_empty(), "{clean:#?}");
+}
+
+#[test]
+fn parallel_cfg_is_exempt_in_par_exec() {
+    let hits = lint_source(
+        FileSpec {
+            path: "crates/exec/src/pool.rs",
+            crate_name: "par-exec",
+            category: CrateCategory::Library,
+            kind: FileKind::Lib,
+        },
+        include_str!("../fixtures/parallel_cfg_violation.rs"),
+    );
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn no_print_fires_on_output_and_placeholders_and_suppresses() {
+    let hits = lint(include_str!("../fixtures/no_print_violation.rs"));
+    assert_eq!(rules(&hits), ["no-print", "no-print"], "{hits:#?}");
+    assert!(hits[1].message.contains("placeholder"), "{hits:#?}");
+    let clean = lint(include_str!("../fixtures/no_print_suppressed.rs"));
+    assert!(clean.is_empty(), "{clean:#?}");
+}
+
+#[test]
+fn no_print_is_exempt_in_bin_sources() {
+    let hits = lint_source(
+        FileSpec {
+            path: "crates/fixture/src/bin/cli.rs",
+            crate_name: "par-fixture",
+            category: CrateCategory::Library,
+            kind: FileKind::Bin,
+        },
+        include_str!("../fixtures/no_print_violation.rs"),
+    );
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn no_unsafe_fires_and_suppresses() {
+    let hits = lint(include_str!("../fixtures/no_unsafe_violation.rs"));
+    assert_eq!(rules(&hits), ["no-unsafe"], "{hits:#?}");
+    let clean = lint(include_str!("../fixtures/no_unsafe_suppressed.rs"));
+    assert!(clean.is_empty(), "{clean:#?}");
+}
+
+#[test]
+fn crate_root_without_forbid_attr_is_flagged() {
+    let spec = |src| {
+        lint_source(
+            FileSpec {
+                path: "crates/fixture/src/lib.rs",
+                crate_name: "par-fixture",
+                category: CrateCategory::Library,
+                kind: FileKind::Lib,
+            },
+            src,
+        )
+    };
+    let bare = spec("pub fn f() {}\n");
+    assert_eq!(rules(&bare), ["no-unsafe"], "{bare:#?}");
+    assert!(bare[0].message.contains("forbid(unsafe_code)"));
+    let guarded = spec("#![forbid(unsafe_code)]\npub fn f() {}\n");
+    assert!(guarded.is_empty(), "{guarded:#?}");
+}
+
+#[test]
+fn unknown_rule_in_pragma_is_reported() {
+    let hits = lint(include_str!("../fixtures/lint_meta_violation.rs"));
+    assert_eq!(rules(&hits), ["lint-meta"], "{hits:#?}");
+    assert!(hits[0].message.contains("no-such-rule"), "{hits:#?}");
+}
+
+#[test]
+fn clean_fixture_produces_nothing() {
+    let hits = lint(include_str!("../fixtures/clean.rs"));
+    assert!(hits.is_empty(), "{hits:#?}");
+}

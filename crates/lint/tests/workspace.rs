@@ -1,0 +1,35 @@
+//! The workspace itself must lint clean — the same invariant ci.sh
+//! enforces, kept inside `cargo test` so a violation fails both gates.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let report = par_lint::run(&workspace_root()).expect("workspace must be readable");
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has lint violations:\n{:#?}",
+        report.diagnostics
+    );
+    assert!(report.files_scanned > 100, "suspiciously few files scanned");
+    assert!(report.crates >= 15, "suspiciously few crates discovered");
+}
+
+#[test]
+fn gate_crates_cover_the_library_surface() {
+    let gates = par_lint::gate_crates(&workspace_root()).expect("workspace must be readable");
+    for must in ["par-core", "par-algo", "phocus", "par-lint"] {
+        assert!(gates.iter().any(|g| g == must), "{must} missing: {gates:?}");
+    }
+    for exempt in ["par-bench", "rand", "proptest", "criterion", "integration-tests"] {
+        assert!(!gates.iter().any(|g| g == exempt), "{exempt} must be exempt");
+    }
+    assert!(
+        gates.windows(2).all(|w| w[0] < w[1]),
+        "gate list must be sorted and duplicate-free: {gates:?}"
+    );
+}

@@ -15,6 +15,8 @@
 //! * [`similar_pairs`] — the end-to-end convenience pipeline: plan → hash →
 //!   bucket → verify with exact cosine.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod error;

@@ -63,6 +63,7 @@ impl LshIndex {
     pub fn for_candidate_pairs(&self, mut f: impl FnMut(u32, u32)) {
         let mut keys: Vec<u64> = Vec::new();
         for table in &self.tables {
+            // phocus-lint: allow(hash-iter) — pair keys are sort-deduped below, so bucket order cannot reach the caller
             for bucket in table.values() {
                 if bucket.len() < 2 {
                     continue;

@@ -19,6 +19,8 @@
 //! harness in `par-bench`. The `phocus` binary exposes all of it on the
 //! command line.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod compression;

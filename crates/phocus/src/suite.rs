@@ -3,6 +3,8 @@
 //! contextual instance), regardless of which simplified view each baseline
 //! used for selection.
 
+// phocus-lint: allow-file(wall-clock) — the suite reports wall time for every algorithm it runs
+
 use crate::error::Result;
 use crate::representation::{non_contextual_view, represent, RepresentationConfig, Sparsification};
 use par_algo::{baselines, lazy_greedy, main_algorithm_with, GreedyRule};

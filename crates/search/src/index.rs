@@ -26,10 +26,12 @@ impl InvertedIndex {
             for t in tokens {
                 *tf.entry(t).or_insert(0) += 1;
             }
+            // phocus-lint: allow(hash-iter) — each term lands in its own postings list, re-sorted by doc below
             for (term, count) in tf {
                 postings.entry(term).or_default().push((doc as u32, count));
             }
         }
+        // phocus-lint: allow(hash-iter) — each list is sorted independently; visit order is immaterial
         for list in postings.values_mut() {
             list.sort_unstable_by_key(|&(doc, _)| doc);
         }

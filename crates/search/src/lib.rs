@@ -14,6 +14,8 @@
 //!   queries, obtain `(doc, score)` lists that PHOcus converts into subsets
 //!   and relevance scores.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod bm25;

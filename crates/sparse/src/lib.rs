@@ -14,6 +14,8 @@
 //!    sparsified instance forfeits at most a `1/(1+α)` fraction of the
 //!    optimum.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod bmc;

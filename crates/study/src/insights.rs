@@ -60,16 +60,23 @@ fn describe(inst: &Instance, p: PhotoId) -> Insight {
 }
 
 /// Produces the insight report for a (solver, manual) selection pair.
+///
+/// The hash sets are used for membership tests only; every iteration walks
+/// the caller's slices in their given order, so the agreed-core evaluator
+/// accumulation and the tie order of the sorted insight lists are
+/// deterministic across processes.
 pub fn analyze(inst: &Instance, solver: &[PhotoId], manual: &[PhotoId]) -> InsightReport {
     let solver_set: HashSet<PhotoId> = solver.iter().copied().collect();
     let manual_set: HashSet<PhotoId> = manual.iter().copied().collect();
 
-    let mut solver_only: Vec<Insight> = solver_set
-        .difference(&manual_set)
+    let mut solver_only: Vec<Insight> = solver
+        .iter()
+        .filter(|p| !manual_set.contains(p))
         .map(|&p| describe(inst, p))
         .collect();
-    let mut manual_only: Vec<Insight> = manual_set
-        .difference(&solver_set)
+    let mut manual_only: Vec<Insight> = manual
+        .iter()
+        .filter(|p| !solver_set.contains(p))
         .map(|&p| describe(inst, p))
         .collect();
     let order = |a: &Insight, b: &Insight| {
@@ -97,8 +104,15 @@ pub fn analyze(inst: &Instance, solver: &[PhotoId], manual: &[PhotoId]) -> Insig
     };
 
     // Marginal value of each side's unique picks on top of the agreed core.
+    // Float accumulation in `Evaluator::add` is order-sensitive, so the
+    // agreed photos are added in solver-slice order, not hash-set order.
+    let agreed: Vec<PhotoId> = solver
+        .iter()
+        .copied()
+        .filter(|p| manual_set.contains(p))
+        .collect();
     let mut base = par_core::Evaluator::new(inst);
-    for &p in solver_set.intersection(&manual_set) {
+    for &p in &agreed {
         base.add(p);
     }
     let mean_gain = |picks: &[Insight]| {
@@ -118,7 +132,7 @@ pub fn analyze(inst: &Instance, solver: &[PhotoId], manual: &[PhotoId]) -> Insig
     };
 
     InsightReport {
-        agreed: solver_set.intersection(&manual_set).count(),
+        agreed: agreed.len(),
         solver_only,
         manual_only,
         reuse_ratio,

@@ -25,6 +25,8 @@
 //! overwhelming preference) and every piece of system code they exercise are
 //! reproduced faithfully.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod analyst;

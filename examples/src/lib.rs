@@ -11,3 +11,5 @@
 //!   Theorem 4.8 certificates.
 //!
 //! Run with `cargo run -p par-examples --release --bin <name>`.
+
+#![forbid(unsafe_code)]

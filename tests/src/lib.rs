@@ -1,1 +1,3 @@
 //! Cross-crate integration tests live in `tests/tests/`.
+
+#![forbid(unsafe_code)]
