@@ -54,6 +54,9 @@ CRITERION_QUICK=1 cargo bench -p par-bench --bench layout
 echo "==> component-sharded solver bench (quick mode, smoke)"
 CRITERION_QUICK=1 cargo bench -p par-bench --bench shard
 
+echo "==> multi-tenant fleet bench (quick mode, smoke + engine/naive equivalence assert)"
+CRITERION_QUICK=1 cargo bench -p par-bench --bench fleet
+
 echo "==> bench guard (recorded BENCH_*.json baselines)"
 cargo run --release -q -p par-bench --bin bench_guard
 

@@ -63,9 +63,12 @@ pub use celf::{eager_greedy, lazy_greedy, lazy_greedy_from, GreedyRule};
 pub use curve::{quality_curve, CurvePoint};
 pub use error::SolveError;
 pub use local_search::{swap_local_search, LocalSearchConfig};
-pub use main_alg::{main_algorithm, main_algorithm_sharded, main_algorithm_with, MainOutcome};
+pub use main_alg::{
+    main_algorithm, main_algorithm_scratch, main_algorithm_sharded, main_algorithm_with,
+    MainOutcome,
+};
 pub use online_bound::{online_bound, OnlineBound};
-pub use sharded::{sharded_lazy_greedy, sharded_lazy_greedy_from, ShardedSolver};
+pub use sharded::{sharded_lazy_greedy, sharded_lazy_greedy_from, ShardedSolver, SolveScratch};
 pub use streaming::{density_sieve, sieve_streaming};
 pub use sviridenko::{sviridenko, SviridenkoConfig};
 pub use types::{GreedyOutcome, RunStats};

@@ -8,7 +8,7 @@
 //! provably optimal for uniform costs.
 
 use crate::celf::{lazy_greedy, GreedyRule};
-use crate::sharded::ShardedSolver;
+use crate::sharded::{ShardedSolver, SolveScratch};
 use crate::types::{GreedyOutcome, RunStats};
 use par_core::Instance;
 
@@ -50,6 +50,19 @@ pub fn main_algorithm_sharded(inst: &Instance) -> MainOutcome {
     let solver = ShardedSolver::new(inst);
     let uc = solver.solve(GreedyRule::UnitCost);
     let cb = solver.solve(GreedyRule::CostBenefit);
+    pick_winner(uc, cb)
+}
+
+/// [`main_algorithm_sharded`] drawing every prepare- and solve-time buffer
+/// from `scratch` (and returning the capacity there afterwards): the fleet
+/// engine's per-tenant entry point. Bit-identical to `main_algorithm_sharded`
+/// regardless of what the scratch previously held — see
+/// [`SolveScratch`](crate::SolveScratch).
+pub fn main_algorithm_scratch(inst: &Instance, scratch: &mut SolveScratch) -> MainOutcome {
+    let solver = ShardedSolver::new_in(inst, scratch);
+    let uc = solver.solve_scratch(GreedyRule::UnitCost, scratch);
+    let cb = solver.solve_scratch(GreedyRule::CostBenefit, scratch);
+    solver.recycle(scratch);
     pick_winner(uc, cb)
 }
 

@@ -73,10 +73,43 @@ use crate::celf::Entry;
 use crate::types::{GreedyOutcome, RunStats};
 use crate::GreedyRule;
 use par_core::components::{decompose, Decomposition};
-use par_core::{ContextSim, EvalStats, Evaluator, Instance, PhotoId, SubsetId};
+use par_core::{ContextSim, EvalArena, EvalStats, Evaluator, Instance, PhotoId, SubsetId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
+
+/// Reusable solver buffers for multi-tenant (fleet) runs: the evaluator
+/// arenas, per-shard stream entry buffers, staleness stamps, and the
+/// change-tracking list that [`ShardedSolver`] otherwise allocates fresh on
+/// every prepare + solve.
+///
+/// One `SolveScratch` serves any sequence of tenants: buffers grow to the
+/// largest instance seen and are reused (cleared, then fully rewritten) for
+/// each subsequent one. Like [`EvalArena`], the scratch holds *capacity
+/// only*, so [`ShardedSolver::solve_scratch`] is bit-identical to
+/// [`ShardedSolver::solve`] no matter what ran in the scratch before — the
+/// invariant the fleet determinism tests pin.
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    /// Capacity for the prepared solver's base (post-`S₀`) evaluator.
+    base_eval: EvalArena,
+    /// Capacity for the per-solve evaluator clone.
+    solve_eval: EvalArena,
+    /// Recycled per-shard stream entry buffers (heap backing stores and
+    /// frozen pool vectors alike).
+    entries: Vec<Vec<Entry>>,
+    /// Per-photo staleness versions.
+    ver: Vec<u32>,
+    /// Coverage-change report buffer for `add_tracked`.
+    changed: Vec<(SubsetId, u32)>,
+}
+
+impl SolveScratch {
+    /// An empty scratch; buffers are allocated on first use and kept.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 
 /// One per-component lazy stream: a CELF heap over the shard's photos
@@ -243,8 +276,19 @@ impl<'a> ShardedSolver<'a> {
     /// post-`S₀` state: the evaluator arena and the seed-gain sweep (one
     /// parallel batch through `par-exec`).
     pub fn new(inst: &'a Instance) -> Self {
+        Self::build(inst, &mut EvalArena::new())
+    }
+
+    /// [`new`](Self::new) drawing the base evaluator's buffers from
+    /// `scratch`. Bit-identical preparation; pair with
+    /// [`recycle`](Self::recycle) to return the buffers afterwards.
+    pub fn new_in(inst: &'a Instance, scratch: &mut SolveScratch) -> Self {
+        Self::build(inst, &mut scratch.base_eval)
+    }
+
+    fn build(inst: &'a Instance, arena: &mut EvalArena) -> Self {
         let dec = decompose(inst);
-        let mut base = Evaluator::new(inst);
+        let mut base = Evaluator::new_in(inst, arena);
         for &p in inst.required() {
             base.add(p);
         }
@@ -301,12 +345,38 @@ impl<'a> ShardedSolver<'a> {
         self.solve_with(Some(initial), rule)
     }
 
+    /// [`solve`](Self::solve) drawing every per-solve allocation (evaluator
+    /// clone, stream entry buffers, staleness stamps, change list) from
+    /// `scratch`, and returning the capacity there afterwards. Bit-identical
+    /// to `solve` — see [`SolveScratch`].
+    pub fn solve_scratch(&self, rule: GreedyRule, scratch: &mut SolveScratch) -> GreedyOutcome {
+        self.solve_inner(None, rule, Some(scratch))
+    }
+
+    /// Returns the prepared base evaluator's buffers to `scratch` for the
+    /// next tenant. Call after the last solve against this solver.
+    pub fn recycle(self, scratch: &mut SolveScratch) {
+        self.base.recycle(&mut scratch.base_eval);
+    }
+
     fn solve_with(&self, initial: Option<&[PhotoId]>, rule: GreedyRule) -> GreedyOutcome {
+        self.solve_inner(initial, rule, None)
+    }
+
+    fn solve_inner(
+        &self,
+        initial: Option<&[PhotoId]>,
+        rule: GreedyRule,
+        mut scratch: Option<&mut SolveScratch>,
+    ) -> GreedyOutcome {
         let start = Instant::now(); // phocus-lint: allow(wall-clock) — fills the reported timing field only
         let inst = self.inst;
         let dec = &self.dec;
         let budget = inst.budget();
-        let mut ev = self.base.clone();
+        let mut ev = match scratch.as_deref_mut() {
+            Some(sc) => self.base.clone_in(&mut sc.solve_eval),
+            None => self.base.clone(),
+        };
 
         // The per-shard seed gains: the prepared sweep for a cold solve, or
         // a fresh sweep at the warm-started state. Either way the entries
@@ -329,57 +399,74 @@ impl<'a> ShardedSolver<'a> {
         });
         let seeds = warm_seeds.as_ref().unwrap_or(&self.seed_by_shard);
 
-        // Build the per-shard streams through par-exec: keying the cached
-        // gains and heapifying are independent across shards. Pop order is
-        // fully determined by the entry ordering, so the serial fallback is
-        // transcript-identical.
+        // Build the per-shard streams. `make_stream` writes into a caller-
+        // provided buffer (empty on the fresh-allocation path, recycled on
+        // the scratch path) with identical entry values either way; with a
+        // scratch the shards are built serially so the recycled buffers can
+        // rotate through, without one they fan out through par-exec. Pop
+        // order is fully determined by the entry ordering, so all three
+        // paths are transcript-identical.
         let pool = dec.singleton_pool();
-        let mut streams: Vec<ShardStream> = par_exec::par_map_indexed(dec.num_shards(), |s| {
+        let make_stream = |s: usize, mut buf: Vec<Entry>| -> ShardStream {
+            buf.clear();
             if Some(s) == pool {
                 // Frozen pool stream: reuse the pre-sorted entries on the
                 // cold path; a warm start re-keys at the warm state (pool
                 // keys are frozen from the seed sweep on, whatever the
                 // initial selection) and sorts into pop order.
-                let entries = match (&self.pool_sorted, initial.is_none()) {
-                    (Some(per_rule), true) => per_rule[rule_index(rule)].clone(),
-                    _ => {
-                        let mut entries: Vec<Entry> = seeds[s]
-                            .iter()
-                            .map(|&(p, delta)| Entry {
-                                key: rule.key(delta, inst.cost(p)),
-                                photo: p,
-                                epoch: 0,
-                            })
-                            .collect();
-                        entries.sort_unstable_by(|a, b| b.cmp(a));
-                        entries
+                match (&self.pool_sorted, initial.is_none()) {
+                    (Some(per_rule), true) => {
+                        buf.extend_from_slice(&per_rule[rule_index(rule)]);
                     }
-                };
+                    _ => {
+                        buf.extend(seeds[s].iter().map(|&(p, delta)| Entry {
+                            key: rule.key(delta, inst.cost(p)),
+                            photo: p,
+                            epoch: 0,
+                        }));
+                        buf.sort_unstable_by(|a, b| b.cmp(a));
+                    }
+                }
                 return ShardStream {
-                    state: StreamState::Frozen { entries, cursor: 0 },
+                    state: StreamState::Frozen {
+                        entries: buf,
+                        cursor: 0,
+                    },
                     candidate: None,
                     pq_pops: 0,
                 };
             }
-            let entries: Vec<Entry> = seeds[s]
-                .iter()
-                .map(|&(p, delta)| Entry {
-                    key: rule.key(delta, inst.cost(p)),
-                    photo: p,
-                    epoch: 0,
-                })
-                .collect();
+            buf.extend(seeds[s].iter().map(|&(p, delta)| Entry {
+                key: rule.key(delta, inst.cost(p)),
+                photo: p,
+                epoch: 0,
+            }));
             ShardStream {
-                state: StreamState::Heap(BinaryHeap::from(entries)),
+                state: StreamState::Heap(BinaryHeap::from(buf)),
                 candidate: None,
                 pq_pops: 0,
             }
-        });
+        };
+        let mut streams: Vec<ShardStream> = match scratch.as_deref_mut() {
+            Some(sc) => (0..dec.num_shards())
+                .map(|s| make_stream(s, sc.entries.pop().unwrap_or_default()))
+                .collect(),
+            None => par_exec::par_map_indexed(dec.num_shards(), |s| make_stream(s, Vec::new())),
+        };
 
         // Per-photo staleness versions; all zero, matching the epoch-0 seed
         // entries.
-        let mut ver: Vec<u32> = vec![0; inst.num_photos()];
-        let mut changed: Vec<(SubsetId, u32)> = Vec::new();
+        let (mut ver, mut changed) = match scratch.as_deref_mut() {
+            Some(sc) => {
+                let mut ver = std::mem::take(&mut sc.ver);
+                ver.clear();
+                ver.resize(inst.num_photos(), 0);
+                let mut changed = std::mem::take(&mut sc.changed);
+                changed.clear();
+                (ver, changed)
+            }
+            None => (vec![0u32; inst.num_photos()], Vec::new()),
+        };
 
         // The merged frontier: at most one settled candidate per shard.
         let mut merge: BinaryHeap<MergeEntry> = BinaryHeap::new();
@@ -475,7 +562,7 @@ impl<'a> ShardedSolver<'a> {
 
         let st = ev.stats();
         let pq_pops = merge_pops + streams.iter().map(|s| s.pq_pops).sum::<u64>();
-        GreedyOutcome {
+        let outcome = GreedyOutcome {
             score: ev.score(),
             cost: ev.cost(),
             selected: ev.selected_ids().to_vec(),
@@ -488,7 +575,20 @@ impl<'a> ShardedSolver<'a> {
                 lazy_accepts,
                 elapsed: start.elapsed(),
             },
+        };
+        if let Some(sc) = scratch {
+            ev.recycle(&mut sc.solve_eval);
+            sc.ver = ver;
+            sc.changed = changed;
+            for stream in streams {
+                let buf = match stream.state {
+                    StreamState::Heap(heap) => heap.into_vec(),
+                    StreamState::Frozen { entries, .. } => entries,
+                };
+                sc.entries.push(buf);
+            }
         }
+        outcome
     }
 }
 
@@ -575,6 +675,59 @@ mod tests {
             let sharded = sharded_lazy_greedy_from(&inst, &initial, rule);
             assert_eq!(sharded.selected, global.selected);
             assert_eq!(sharded.score.to_bits(), global.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_solve_is_bit_identical_across_reused_tenants() {
+        // One scratch, several differently shaped "tenants" in sequence:
+        // each prepare + solve through the dirty scratch must match the
+        // fresh-allocation path bit for bit.
+        let mut scratch = SolveScratch::new();
+        let tenants = [
+            random_instance(3, &RandomInstanceConfig::default()),
+            random_instance(
+                9,
+                &RandomInstanceConfig {
+                    photos: 40,
+                    subsets: 8,
+                    budget_fraction: 0.3,
+                    ..Default::default()
+                },
+            )
+            .sparsify(0.8),
+            figure1_instance(3 * MB),
+        ];
+        for inst in &tenants {
+            for rule in [GreedyRule::UnitCost, GreedyRule::CostBenefit] {
+                let fresh_solver = ShardedSolver::new(inst);
+                let fresh = fresh_solver.solve(rule);
+                let solver = ShardedSolver::new_in(inst, &mut scratch);
+                let reused = solver.solve_scratch(rule, &mut scratch);
+                solver.recycle(&mut scratch);
+                assert_eq!(reused.selected, fresh.selected, "selection ({rule:?})");
+                assert_eq!(reused.score.to_bits(), fresh.score.to_bits());
+                assert_eq!(reused.cost, fresh.cost);
+                assert_eq!(reused.stats.gain_evals, fresh.stats.gain_evals);
+                assert_eq!(reused.stats.pq_pops, fresh.stats.pq_pops);
+            }
+        }
+        assert!(
+            !scratch.entries.is_empty(),
+            "solve_scratch must return entry buffers for reuse"
+        );
+    }
+
+    #[test]
+    fn main_algorithm_scratch_matches_sharded() {
+        let mut scratch = SolveScratch::new();
+        for seed in 0..3 {
+            let inst = random_instance(seed, &RandomInstanceConfig::default()).sparsify(0.85);
+            let fresh = crate::main_algorithm_sharded(&inst);
+            let reused = crate::main_algorithm_scratch(&inst, &mut scratch);
+            assert_eq!(reused.best.selected, fresh.best.selected);
+            assert_eq!(reused.best.score.to_bits(), fresh.best.score.to_bits());
+            assert_eq!(reused.winner, fresh.winner);
         }
     }
 

@@ -4,7 +4,10 @@
 //! benchmark row per line after the leading meta line) and fails — exit
 //! code 1, offenders listed — if any row records a `speedup_mean` below 1.0
 //! without an accompanying `"known_regression"` note in the same row. Rows
-//! without a `speedup_mean` field (meta, prepare, scaling) are ignored.
+//! without a `speedup_mean` field (meta, prepare, latency) are ignored, and
+//! thread-scaling rows (`"threads": N` with `N > 1`) are skipped with a
+//! logged note when the runner itself reports a single core — a 1-core host
+//! cannot distinguish a scaling regression from dispatch overhead.
 //!
 //! The parsing is deliberately a dumb string scan: the files are
 //! machine-written one-row-per-line by the bench harness, and the guard
@@ -13,15 +16,24 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Extracts the number following `"speedup_mean":` in `line`, if any.
-fn speedup_mean(line: &str) -> Option<f64> {
-    let key = "\"speedup_mean\":";
-    let at = line.find(key)? + key.len();
+/// Extracts the number following `"<key>":` in `line`, if any.
+fn field(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
     let rest = line[at..].trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+fn speedup_mean(line: &str) -> Option<f64> {
+    field(line, "speedup_mean")
+}
+
+/// The worker-thread count a row was measured at, if it is a scaling row.
+fn row_threads(line: &str) -> Option<usize> {
+    field(line, "threads").map(|t| t as usize)
 }
 
 /// The repo root: the workspace directory two levels above this crate.
@@ -52,7 +64,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let cores = par_exec::available_threads();
     let mut rows = 0usize;
+    let mut skipped = 0usize;
     let mut offenders = Vec::new();
     for path in &files {
         let text = std::fs::read_to_string(path).expect("readable bench file");
@@ -60,6 +74,20 @@ fn main() -> ExitCode {
             let Some(mean) = speedup_mean(line) else {
                 continue;
             };
+            if cores == 1 {
+                if let Some(threads) = row_threads(line) {
+                    if threads > 1 {
+                        eprintln!(
+                            "bench_guard: note: skipping thread-scaling row {}:{} \
+                             (threads={threads}) — runner reports 1 core",
+                            path.file_name().unwrap().to_str().unwrap(),
+                            lineno + 1,
+                        );
+                        skipped += 1;
+                        continue;
+                    }
+                }
+            }
             rows += 1;
             if mean < 1.0 && !line.contains("known_regression") {
                 offenders.push(format!(
@@ -74,9 +102,10 @@ fn main() -> ExitCode {
 
     if offenders.is_empty() {
         println!(
-            "bench_guard: OK ({} speedup rows across {} files)",
+            "bench_guard: OK ({} speedup rows across {} files, {} scaling rows skipped)",
             rows,
-            files.len()
+            files.len(),
+            skipped
         );
         ExitCode::SUCCESS
     } else {

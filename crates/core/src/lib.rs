@@ -80,7 +80,7 @@ pub use components::{decompose, ComponentView, Decomposition};
 pub use error::{ModelError, Result};
 pub use ids::{PhotoId, SubsetId};
 pub use instance::{Instance, InstanceBuilder, Membership};
-pub use objective::{exact_score, exact_subset_score, EvalStats, Evaluator};
+pub use objective::{exact_score, exact_subset_score, EvalArena, EvalStats, Evaluator};
 pub use photo::Photo;
 pub use sim::{ContextSim, DenseSim, FnSimilarity, SimilarityProvider, SparseSim, UnitSimilarity};
 pub use solution::{CoverageStats, Solution};

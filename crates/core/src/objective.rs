@@ -233,13 +233,53 @@ impl Clone for Evaluator<'_> {
 /// Sentinel for "no selected member covers this one yet".
 const NO_PROVIDER: u32 = u32::MAX;
 
+/// Recycled buffer capacity for [`Evaluator`] construction and cloning.
+///
+/// A fleet run builds one evaluator (plus per-shard clones) per tenant;
+/// allocating the `best`/`provider`/`wr` arenas fresh each time puts the
+/// allocator on the per-tenant hot path. An `EvalArena` keeps those buffers
+/// alive between tenants: [`Evaluator::new_in`] / [`Evaluator::clone_in`]
+/// take the capacity out, and [`Evaluator::recycle`] puts it back.
+///
+/// **Reuse is invisible in the output.** The arena holds *capacity only* —
+/// every buffer is `clear()`ed and then fully rewritten by the same
+/// arithmetic `Evaluator::new` / `Clone::clone` perform, so an evaluator
+/// built in an arena is bit-identical to a freshly allocated one no matter
+/// what the arena held before.
+#[derive(Debug, Default)]
+pub struct EvalArena {
+    selected: Vec<bool>,
+    selected_ids: Vec<PhotoId>,
+    off: Vec<u32>,
+    wr: Vec<f64>,
+    best: Vec<f64>,
+    provider: Vec<u32>,
+}
+
+impl EvalArena {
+    /// An empty arena (buffers grow to the largest tenant seen and stay).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl<'a> Evaluator<'a> {
     /// Creates an evaluator with an empty solution.
     pub fn new(inst: &'a Instance) -> Self {
+        Self::new_in(inst, &mut EvalArena::new())
+    }
+
+    /// [`new`](Self::new) drawing buffer capacity from `arena` instead of
+    /// the allocator. Bit-identical to `new` (see [`EvalArena`]).
+    pub fn new_in(inst: &'a Instance, arena: &mut EvalArena) -> Self {
         let total: usize = inst.subsets().iter().map(|q| q.members.len()).sum();
-        let mut off = Vec::with_capacity(inst.num_subsets() + 1);
+        let mut off = std::mem::take(&mut arena.off);
+        off.clear();
+        off.reserve(inst.num_subsets() + 1);
         off.push(0u32);
-        let mut wr = Vec::with_capacity(total);
+        let mut wr = std::mem::take(&mut arena.wr);
+        wr.clear();
+        wr.reserve(total);
         for q in inst.subsets() {
             let w = q.weight;
             for &r in &q.relevance {
@@ -247,17 +287,75 @@ impl<'a> Evaluator<'a> {
             }
             off.push(wr.len() as u32);
         }
+        let mut selected = std::mem::take(&mut arena.selected);
+        selected.clear();
+        selected.resize(inst.num_photos(), false);
+        let mut selected_ids = std::mem::take(&mut arena.selected_ids);
+        selected_ids.clear();
+        let mut best = std::mem::take(&mut arena.best);
+        best.clear();
+        best.resize(total, 0.0);
+        let mut provider = std::mem::take(&mut arena.provider);
+        provider.clear();
+        provider.resize(total, NO_PROVIDER);
         Evaluator {
             inst,
-            selected: vec![false; inst.num_photos()],
-            selected_ids: Vec::new(),
+            selected,
+            selected_ids,
             layout: Arc::new(MemberLayout { off, wr }),
-            best: vec![0.0; total],
-            provider: vec![NO_PROVIDER; total],
+            best,
+            provider,
             score: 0.0,
             cost: 0,
             gain_evals: AtomicU64::new(0),
             sim_ops: AtomicU64::new(0),
+        }
+    }
+
+    /// [`Clone::clone`] drawing buffer capacity from `arena`. The immutable
+    /// layout stays shared behind its `Arc` exactly as in `clone`; only the
+    /// mutable arenas are copied, into recycled buffers. Bit-identical to
+    /// `clone` (see [`EvalArena`]).
+    pub fn clone_in(&self, arena: &mut EvalArena) -> Evaluator<'a> {
+        let mut selected = std::mem::take(&mut arena.selected);
+        selected.clear();
+        selected.extend_from_slice(&self.selected);
+        let mut selected_ids = std::mem::take(&mut arena.selected_ids);
+        selected_ids.clear();
+        selected_ids.extend_from_slice(&self.selected_ids);
+        let mut best = std::mem::take(&mut arena.best);
+        best.clear();
+        best.extend_from_slice(&self.best);
+        let mut provider = std::mem::take(&mut arena.provider);
+        provider.clear();
+        provider.extend_from_slice(&self.provider);
+        Evaluator {
+            inst: self.inst,
+            selected,
+            selected_ids,
+            layout: Arc::clone(&self.layout),
+            best,
+            provider,
+            score: self.score,
+            cost: self.cost,
+            gain_evals: AtomicU64::new(self.gain_evals.load(Ordering::Relaxed)),
+            sim_ops: AtomicU64::new(self.sim_ops.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Returns this evaluator's buffers to `arena` for the next tenant.
+    ///
+    /// The layout arrays come back too when this was the last evaluator
+    /// sharing them (clones still alive keep the `Arc` and the arrays are
+    /// simply dropped with the last clone).
+    pub fn recycle(self, arena: &mut EvalArena) {
+        arena.selected = self.selected;
+        arena.selected_ids = self.selected_ids;
+        arena.best = self.best;
+        arena.provider = self.provider;
+        if let Ok(layout) = Arc::try_unwrap(self.layout) {
+            arena.off = layout.off;
+            arena.wr = layout.wr;
         }
     }
 
@@ -772,6 +870,52 @@ mod tests {
         assert_eq!(ev.subset_score(SubsetId(2)), 0.0);
         ev.add(PhotoId(5)); // p6 covers q3 entirely.
         assert!((ev.subset_score(SubsetId(2)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical_to_fresh_allocation() {
+        let inst = figure1_instance(u64::MAX);
+        let mut arena = EvalArena::new();
+        // Dirty the arena with a full build + run, then recycle.
+        let mut warm = Evaluator::new_in(&inst, &mut arena);
+        for p in 0..inst.num_photos() {
+            warm.add(PhotoId(p as u32));
+        }
+        warm.recycle(&mut arena);
+        assert!(arena.best.capacity() > 0, "recycle must return capacity");
+
+        // Rebuild in the dirty arena and replay a schedule against a fresh
+        // evaluator; every intermediate f64 must match bit for bit.
+        let mut reused = Evaluator::new_in(&inst, &mut arena);
+        let mut fresh = Evaluator::new(&inst);
+        for &p in &[2u32, 5, 0, 6, 3] {
+            let a = reused.add(PhotoId(p));
+            let b = fresh.add(PhotoId(p));
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(reused.score().to_bits(), fresh.score().to_bits());
+        }
+        assert_eq!(reused.selected_ids(), fresh.selected_ids());
+
+        // clone_in matches clone the same way.
+        let c1 = reused.clone_in(&mut EvalArena::new());
+        let c2 = fresh.clone();
+        assert_eq!(c1.score().to_bits(), c2.score().to_bits());
+        assert_eq!(c1.gain(PhotoId(1)).to_bits(), c2.gain(PhotoId(1)).to_bits());
+        assert!(Arc::ptr_eq(&c1.layout, &reused.layout));
+    }
+
+    #[test]
+    fn recycle_reclaims_layout_only_when_unshared() {
+        let inst = figure1_instance(u64::MAX);
+        let mut arena = EvalArena::new();
+        let ev = Evaluator::new(&inst);
+        let clone = ev.clone();
+        // Clone still holds the layout Arc: off/wr stay with it.
+        ev.recycle(&mut arena);
+        assert!(arena.off.is_empty() && arena.wr.is_empty());
+        // Last holder: the layout arrays come back.
+        clone.recycle(&mut arena);
+        assert!(!arena.off.is_empty() && !arena.wr.is_empty());
     }
 
     #[test]

@@ -89,14 +89,28 @@ impl DenseSim {
         subset: &Subset,
         provider: &P,
     ) -> Result<Self> {
-        let n = subset.members.len();
+        Self::from_local_fn(subset.id, subset.members.len(), |i, j| {
+            provider.similarity(subset, subset.members[i], subset.members[j])
+        })
+    }
+
+    /// Materializes all pairwise similarities over `n` members from a pair
+    /// function of *local* member positions `(i, j)` with `i > j`. Validation
+    /// and fill order match [`from_provider`](Self::from_provider) exactly;
+    /// callers with precomputed per-member state (e.g. hoisted norm terms)
+    /// use this to skip per-pair provider dispatch.
+    pub fn from_local_fn(
+        subset_id: SubsetId,
+        n: usize,
+        pair: impl Fn(usize, usize) -> f64,
+    ) -> Result<Self> {
         let mut tri = Vec::with_capacity(n * n.saturating_sub(1) / 2);
         for i in 1..n {
             for j in 0..i {
-                let s = provider.similarity(subset, subset.members[i], subset.members[j]);
+                let s = pair(i, j);
                 if !(0.0..=1.0).contains(&s) || s.is_nan() {
                     return Err(ModelError::InvalidSimilarity {
-                        subset: subset.id,
+                        subset: subset_id,
                         value: s,
                     });
                 }

@@ -1,0 +1,319 @@
+//! Multi-tenant fleet generator: one photo library per user, Zipf-heavy
+//! library sizes, one **shared** label vocabulary.
+//!
+//! Real photo platforms host one library per user, and library sizes are
+//! heavy-tailed: most users keep a few dozen photos, a few keep tens of
+//! thousands (the Haystack observation the ROADMAP's "million user
+//! libraries" item builds on). This generator produces such a fleet for the
+//! multi-tenant engine and its benches:
+//!
+//! * **Sizes** are Zipf: tenant sizes are `min_photos · (r + 1)` for a
+//!   Zipf-drawn rank `r`, capped at `max_photos` — most tenants land at the
+//!   minimum, a heavy tail approaches the cap.
+//! * **Labels** come from one fleet-wide vocabulary with Zipf popularity:
+//!   `label-0007` names the same concept in every library, and the
+//!   [`par_embed::SpecEmbedder`] prototypes behind the embeddings are shared
+//!   too, so cross-tenant photos of the same label are genuinely similar.
+//! * **Determinism**: everything derives from `FleetConfig::seed`; a
+//!   per-tenant RNG is split off the master seed so any tenant's library is
+//!   reproducible independently of how many tenants are generated.
+//!
+//! Per-tenant universes are ordinary [`Universe`] values — each one round-
+//! trips through [`crate::io::to_text`] for the `phocus serve-batch` CLI and
+//! solves like any single-library instance.
+
+use crate::openimages::{lognormal_cost, sample_count};
+use crate::universe::{SubsetDef, Universe};
+use crate::zipf::Zipf;
+use par_embed::{ImageSpec, SpecEmbedder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Configuration for [`generate_fleet`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Fleet name; tenant `t` is named `{name}/t{t:05}`.
+    pub name: String,
+    /// Number of tenant libraries.
+    pub tenants: usize,
+    /// Zipf exponent of the library-size distribution.
+    pub size_zipf_s: f64,
+    /// Smallest library (photos).
+    pub min_photos: usize,
+    /// Largest library (photos); the Zipf tail is capped here.
+    pub max_photos: usize,
+    /// Size of the shared label vocabulary.
+    pub label_vocab: usize,
+    /// Zipf exponent of label popularity within the shared vocabulary.
+    pub label_zipf_s: f64,
+    /// Mean secondary labels per photo (primary label always present).
+    pub extra_labels: f64,
+    /// Embedding dimensionality.
+    pub embed_dim: usize,
+    /// Fraction of each tenant's photos marked policy-required (`S₀`).
+    pub required_fraction: f64,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            name: "fleet".into(),
+            tenants: 64,
+            size_zipf_s: 1.1,
+            min_photos: 24,
+            max_photos: 1_500,
+            label_vocab: 48,
+            label_zipf_s: 1.0,
+            extra_labels: 1.5,
+            embed_dim: 32,
+            required_fraction: 0.02,
+            seed: 0,
+        }
+    }
+}
+
+/// Splits a per-tenant seed off the master seed (SplitMix64-style odd
+/// multiplier keeps distinct tenants decorrelated).
+fn tenant_seed(master: u64, t: usize) -> u64 {
+    master ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Generates the tenant libraries of a fleet, in tenant order.
+pub fn generate_fleet(cfg: &FleetConfig) -> Vec<Universe> {
+    assert!(cfg.tenants > 0, "fleet needs at least one tenant");
+    assert!(
+        cfg.min_photos > 0 && cfg.max_photos >= cfg.min_photos,
+        "photo range must be nonempty"
+    );
+    assert!(cfg.label_vocab > 0, "shared vocabulary must be nonempty");
+    let size_ranks = (cfg.max_photos / cfg.min_photos).max(1);
+    let size_zipf = Zipf::new(size_ranks, cfg.size_zipf_s)
+        .unwrap_or_else(|e| unreachable!("ranks ≥ 1 and finite exponent: {e}"));
+    let label_zipf = Zipf::new(cfg.label_vocab, cfg.label_zipf_s)
+        .unwrap_or_else(|e| unreachable!("vocab ≥ 1 and finite exponent: {e}"));
+
+    // One embedder + prototype cache for the whole fleet: a label's
+    // prototype is fleet-wide, so same-label photos are similar across
+    // tenants, not just within one.
+    let mut embedder = SpecEmbedder::new(cfg.embed_dim, cfg.seed ^ 0xE5EED);
+    embedder.attr_scale = 0.7;
+    embedder.noise_scale = 0.3;
+    let mut proto_cache: HashMap<u32, Vec<f32>> = HashMap::new();
+
+    let mut size_rng = StdRng::seed_from_u64(cfg.seed ^ 0x517E_517E);
+    (0..cfg.tenants)
+        .map(|t| {
+            let rank = size_zipf.sample(&mut size_rng);
+            let photos = (cfg.min_photos * (rank + 1)).min(cfg.max_photos);
+            generate_tenant(cfg, t, photos, &label_zipf, &mut embedder, &mut proto_cache)
+        })
+        .collect()
+}
+
+fn generate_tenant(
+    cfg: &FleetConfig,
+    t: usize,
+    photos: usize,
+    label_zipf: &Zipf,
+    embedder: &mut SpecEmbedder,
+    proto_cache: &mut HashMap<u32, Vec<f32>>,
+) -> Universe {
+    let seed = tenant_seed(cfg.seed, t);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tenant_name = format!("{}/t{t:05}", cfg.name);
+
+    let mut names = Vec::with_capacity(photos);
+    let mut costs = Vec::with_capacity(photos);
+    let mut embeddings = Vec::with_capacity(photos);
+    let mut label_members: HashMap<u32, (Vec<u32>, Vec<f64>)> = HashMap::new();
+    let mut label_freq: HashMap<u32, u64> = HashMap::new();
+
+    for i in 0..photos {
+        let primary = label_zipf.sample(&mut rng) as u32;
+        let attributes = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+        let spec = ImageSpec::new(primary, attributes, seed ^ (i as u64) << 1);
+        names.push(format!("t{t:05}/img_{i:06}.jpg"));
+        costs.push(lognormal_cost(&mut rng));
+        embeddings.push(embedder.embed_cached(&spec, proto_cache));
+
+        let conf = 0.85 + 0.15 * rng.gen::<f64>();
+        let entry = label_members.entry(primary).or_default();
+        entry.0.push(i as u32);
+        entry.1.push(conf);
+        *label_freq.entry(primary).or_insert(0) += 1;
+
+        let extra = sample_count(&mut rng, cfg.extra_labels);
+        let mut seen = vec![primary];
+        for _ in 0..extra {
+            let l = label_zipf.sample(&mut rng) as u32;
+            if seen.contains(&l) {
+                continue;
+            }
+            seen.push(l);
+            let conf = 0.5 + 0.35 * rng.gen::<f64>();
+            let entry = label_members.entry(l).or_default();
+            entry.0.push(i as u32);
+            entry.1.push(conf);
+            *label_freq.entry(l).or_insert(0) += 1;
+        }
+    }
+
+    // One subset per observed label, weighted by in-library frequency;
+    // label ids name the shared vocabulary, so `label-0007` is the same
+    // concept in every tenant.
+    let mut labels: Vec<u32> = label_members.keys().copied().collect();
+    labels.sort_unstable();
+    let mut subsets = Vec::with_capacity(labels.len());
+    for l in labels {
+        let Some((members, relevance)) = label_members.remove(&l) else {
+            unreachable!("label {l} came from label_members' own key set");
+        };
+        subsets.push(SubsetDef {
+            label: format!("label-{l:04}"),
+            weight: label_freq[&l] as f64,
+            members,
+            relevance,
+        });
+    }
+
+    let mut required = Vec::new();
+    if cfg.required_fraction > 0.0 {
+        for i in 0..photos as u32 {
+            if rng.gen::<f64>() < cfg.required_fraction {
+                required.push(i);
+            }
+        }
+    }
+
+    let universe = Universe {
+        name: tenant_name,
+        names,
+        costs,
+        embeddings,
+        exif: None,
+        subsets,
+        required,
+    };
+    debug_assert!(
+        universe.validate().is_ok(),
+        "generated tenant is valid by construction"
+    );
+    universe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fleet() -> FleetConfig {
+        FleetConfig {
+            tenants: 24,
+            min_photos: 10,
+            max_photos: 300,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_fleet(&small_fleet());
+        let b = generate_fleet(&small_fleet());
+        assert_eq!(a.len(), b.len());
+        for (ua, ub) in a.iter().zip(&b) {
+            assert_eq!(ua.name, ub.name);
+            assert_eq!(ua.costs, ub.costs);
+            assert_eq!(ua.required, ub.required);
+            assert_eq!(ua.subsets.len(), ub.subsets.len());
+        }
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed_and_bounded() {
+        let cfg = FleetConfig {
+            tenants: 200,
+            ..small_fleet()
+        };
+        let fleet = generate_fleet(&cfg);
+        let mut sizes: Vec<usize> = fleet.iter().map(|u| u.num_photos()).collect();
+        assert!(sizes
+            .iter()
+            .all(|&n| (cfg.min_photos..=cfg.max_photos).contains(&n)));
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2];
+        let max = sizes[sizes.len() - 1];
+        assert!(
+            max >= 4 * median,
+            "expected a heavy tail: median {median}, max {max}"
+        );
+        // The minimum size is the mode (Zipf rank 0 dominates): no other
+        // single size bucket is more populated, and it holds a clear
+        // plurality of tenants.
+        let at_min = sizes.iter().filter(|&&n| n == cfg.min_photos).count();
+        assert!(at_min * 5 >= cfg.tenants, "{at_min}/{} at min", cfg.tenants);
+        let mut bucket_counts: HashMap<usize, usize> = HashMap::new();
+        for &n in &sizes {
+            *bucket_counts.entry(n).or_insert(0) += 1;
+        }
+        assert!(bucket_counts.values().all(|&c| c <= at_min));
+    }
+
+    #[test]
+    fn tenants_share_the_label_vocabulary() {
+        let fleet = generate_fleet(&small_fleet());
+        // Every subset label names a vocabulary entry.
+        let vocab = small_fleet().label_vocab;
+        let mut seen_in: HashMap<String, usize> = HashMap::new();
+        for u in &fleet {
+            for s in &u.subsets {
+                let id: usize = s.label.trim_start_matches("label-").parse().unwrap();
+                assert!(id < vocab, "label {id} outside the shared vocabulary");
+                *seen_in.entry(s.label.clone()).or_insert(0) += 1;
+            }
+        }
+        // The popular labels appear in (nearly) every tenant.
+        let max_seen = seen_in.values().copied().max().unwrap();
+        assert!(
+            max_seen >= fleet.len() - 2,
+            "top label in {max_seen}/{} tenants",
+            fleet.len()
+        );
+    }
+
+    #[test]
+    fn tenants_are_valid_and_round_trip_io() {
+        let fleet = generate_fleet(&FleetConfig {
+            tenants: 6,
+            ..small_fleet()
+        });
+        for u in &fleet {
+            u.validate().expect("valid universe");
+            let text = crate::io::to_text(u);
+            let back = crate::io::from_text(&text).expect("round trip");
+            assert_eq!(back.name, u.name);
+            assert_eq!(back.costs, u.costs);
+            assert_eq!(back.subsets.len(), u.subsets.len());
+        }
+    }
+
+    #[test]
+    fn tenant_libraries_are_independent_of_fleet_size() {
+        // Tenant t's library depends only on (seed, t) and the shared
+        // vocabulary — not on how many tenants were generated after it.
+        let small = generate_fleet(&FleetConfig {
+            tenants: 3,
+            ..small_fleet()
+        });
+        let large = generate_fleet(&FleetConfig {
+            tenants: 10,
+            ..small_fleet()
+        });
+        for (a, b) in small.iter().zip(&large) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.costs, b.costs);
+        }
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod ecommerce;
 pub mod error;
+pub mod fleet;
 pub mod io;
 pub mod openimages;
 pub mod table2;
@@ -36,6 +37,7 @@ pub mod zipf;
 
 pub use ecommerce::{generate_ecommerce, EcConfig, EcDomain};
 pub use error::DatasetError;
+pub use fleet::{generate_fleet, FleetConfig};
 pub use io::{from_text, to_text, ParseError};
 pub use openimages::{generate_openimages, OpenImagesConfig, PublicScale};
 pub use table2::{table2_rows, Table2Row};

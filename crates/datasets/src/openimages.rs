@@ -273,7 +273,8 @@ pub fn generate_openimages(cfg: &OpenImagesConfig) -> Universe {
 }
 
 /// Lognormal photo cost around ~45 KB, clamped to `[8 KB, 400 KB]`.
-fn lognormal_cost<R: Rng>(rng: &mut R) -> u64 {
+/// Shared with the fleet generator in [`crate::fleet`].
+pub(crate) fn lognormal_cost<R: Rng>(rng: &mut R) -> u64 {
     let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
     let u2: f64 = rng.gen();
     let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
@@ -282,7 +283,8 @@ fn lognormal_cost<R: Rng>(rng: &mut R) -> u64 {
 }
 
 /// Draws a small nonnegative count with the given mean (geometric-like).
-fn sample_count<R: Rng>(rng: &mut R, mean: f64) -> usize {
+/// Shared with the fleet generator in [`crate::fleet`].
+pub(crate) fn sample_count<R: Rng>(rng: &mut R, mean: f64) -> usize {
     let p = mean / (1.0 + mean);
     let mut k = 0;
     while k < 7 && rng.gen::<f64>() < p {

@@ -100,6 +100,75 @@ impl ContextVector {
             (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0)
         }
     }
+
+    /// The batch-materialization kernel of this context at a fixed blend:
+    /// squared effective weights, hoisted out of the pairwise loop.
+    pub fn kernel(&self, blend: f32) -> ContextKernel {
+        let w2 = (0..self.weights.len())
+            .map(|i| {
+                let w = self.effective(i, blend) as f64;
+                w * w
+            })
+            .collect();
+        ContextKernel { w2 }
+    }
+}
+
+/// Precomputed squared attention weights of one context at one blend — the
+/// hoisted-invariant form of [`ContextVector::contextual_cosine`].
+///
+/// The fused cosine loop accumulates three *independent* sums over
+/// dimensions: the weighted dot product and the two weighted self-norms. The
+/// self-norm of a photo depends only on the context, yet an all-pairs
+/// materialization recomputes it for every partner — `n − 1` times per
+/// member — and recomputes the effective weights per pair on top. The kernel
+/// hoists both: squared weights once per context, one [`norm_term`] per
+/// member, leaving only the [`dot_term`] per pair. Every hoisted sum runs
+/// over dimensions in the same order with the same operations as the fused
+/// loop, so the reassembled cosine is bit-identical to `contextual_cosine`
+/// (asserted by the `kernel_cosine_is_bit_identical` test).
+///
+/// [`norm_term`]: ContextKernel::norm_term
+/// [`dot_term`]: ContextKernel::dot_term
+#[derive(Debug, Clone)]
+pub struct ContextKernel {
+    w2: Vec<f64>,
+}
+
+impl ContextKernel {
+    /// `Σ wᵢ²·xᵢ²` over dimensions — the `na`/`nb` accumulator of
+    /// [`ContextVector::contextual_cosine`], computable once per member.
+    pub fn norm_term(&self, e: &Embedding) -> f64 {
+        let mut n = 0.0f64;
+        for (i, &w2) in self.w2.iter().enumerate() {
+            let x = e.as_slice()[i] as f64;
+            n += w2 * x * x;
+        }
+        n
+    }
+
+    /// `Σ wᵢ²·xᵢ·yᵢ` over dimensions — the `dot` accumulator, the only sum
+    /// still paid per pair.
+    pub fn dot_term(&self, a: &Embedding, b: &Embedding) -> f64 {
+        let mut dot = 0.0f64;
+        for (i, &w2) in self.w2.iter().enumerate() {
+            let x = a.as_slice()[i] as f64;
+            let y = b.as_slice()[i] as f64;
+            dot += w2 * x * y;
+        }
+        dot
+    }
+
+    /// Reassembles the cosine from precomputed accumulators — the tail of
+    /// [`ContextVector::contextual_cosine`], including its zero-norm guard
+    /// and clamp.
+    pub fn cosine_from_terms(dot: f64, na: f64, nb: f64) -> f64 {
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0)
+        }
+    }
 }
 
 /// The contextualized similarity provider used by PHOcus.
@@ -150,6 +219,61 @@ impl ContextualSimilarity {
             self.blend,
         );
         cos.max(0.0)
+    }
+
+    /// Prepares one subset for all-pairs materialization: computes the
+    /// context's [`ContextKernel`] and every member's norm term once, so the
+    /// `O(|q|²)` pair loop pays only the dot accumulation. Similarities (EXIF
+    /// mixing included) are bit-identical to calling
+    /// [`SimilarityProvider::similarity`] pair by pair.
+    pub fn prepare<'a>(&'a self, subset: &'a Subset) -> PreparedContext<'a> {
+        let kernel = self.contexts[subset.id.index()].kernel(self.blend);
+        let norms = subset
+            .members
+            .iter()
+            .map(|&p| kernel.norm_term(&self.embeddings[p.index()]))
+            .collect();
+        PreparedContext {
+            provider: self,
+            subset,
+            kernel,
+            norms,
+        }
+    }
+}
+
+/// One subset of a [`ContextualSimilarity`] provider, prepared for all-pairs
+/// materialization: the context kernel plus per-member norm terms, computed
+/// once. See [`ContextualSimilarity::prepare`].
+pub struct PreparedContext<'a> {
+    provider: &'a ContextualSimilarity,
+    subset: &'a Subset,
+    kernel: ContextKernel,
+    /// Norm terms indexed by local member position.
+    norms: Vec<f64>,
+}
+
+impl PreparedContext<'_> {
+    /// `SIM(q, members[i], members[j])` by local member positions —
+    /// bit-identical to the parent provider's
+    /// [`SimilarityProvider::similarity`] on the same pair.
+    pub fn similarity_local(&self, i: usize, j: usize) -> f64 {
+        let (a, b) = (self.subset.members[i], self.subset.members[j]);
+        if a == b {
+            return 1.0;
+        }
+        let dot = self.kernel.dot_term(
+            &self.provider.embeddings[a.index()],
+            &self.provider.embeddings[b.index()],
+        );
+        let vis = ContextKernel::cosine_from_terms(dot, self.norms[i], self.norms[j]).max(0.0);
+        match (&self.provider.exif, self.provider.exif_weight) {
+            (Some(exif), g) if g > 0.0 => {
+                let ctx_sim = 1.0 - exif[a.index()].context_distance(&exif[b.index()]);
+                (1.0 - g) * vis + g * ctx_sim
+            }
+            _ => vis,
+        }
     }
 }
 
@@ -308,6 +432,71 @@ mod tests {
             .contextual_embedding(&embs[0], 0.3)
             .cosine(&ctx.contextual_embedding(&embs[1], 0.3));
         assert!((direct - via_embed).abs() < 1e-5);
+    }
+
+    #[test]
+    fn kernel_cosine_is_bit_identical() {
+        let embs = embeddings();
+        for seed in [1u64, 8, 42] {
+            let ctx = ContextVector::from_seed(32, seed);
+            for blend in [0.0f32, 0.3, 0.7, 1.0] {
+                let kernel = ctx.kernel(blend);
+                for a in &embs {
+                    for b in &embs {
+                        let fused = ctx.contextual_cosine(a, b, blend);
+                        let hoisted = ContextKernel::cosine_from_terms(
+                            kernel.dot_term(a, b),
+                            kernel.norm_term(a),
+                            kernel.norm_term(b),
+                        );
+                        assert_eq!(
+                            fused.to_bits(),
+                            hoisted.to_bits(),
+                            "seed={seed} blend={blend}: {fused} vs {hoisted}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_context_is_bit_identical_to_provider() {
+        let embs = embeddings();
+        let ctxs = vec![ContextVector::from_label(32, "red shirts")];
+        let exif = vec![
+            ExifData::synthesize(1, 1),
+            ExifData::synthesize(1, 2),
+            ExifData::synthesize(99, 3),
+        ];
+        let plain = ContextualSimilarity::new(embs.clone(), ctxs.clone());
+        let mixed = ContextualSimilarity::new(embs, ctxs).with_exif(exif, 0.4);
+        let q = subset(0, vec![PhotoId(0), PhotoId(1), PhotoId(2)]);
+        for provider in [&plain, &mixed] {
+            let prepared = provider.prepare(&q);
+            for i in 0..3 {
+                for j in 0..3 {
+                    let direct = provider.similarity(&q, q.members[i], q.members[j]);
+                    let fast = prepared.similarity_local(i, j);
+                    assert_eq!(direct.to_bits(), fast.to_bits(), "pair ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_norm_pairs_keep_their_guard() {
+        let zero = Embedding::new(vec![0.0; 4]);
+        let one = Embedding::new(vec![1.0; 4]);
+        let ctx = ContextVector::from_seed(4, 9);
+        let kernel = ctx.kernel(0.3);
+        let hoisted = ContextKernel::cosine_from_terms(
+            kernel.dot_term(&zero, &one),
+            kernel.norm_term(&zero),
+            kernel.norm_term(&one),
+        );
+        assert_eq!(hoisted, 0.0);
+        assert_eq!(ctx.contextual_cosine(&zero, &one, 0.3), 0.0);
     }
 
     #[test]

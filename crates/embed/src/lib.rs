@@ -39,7 +39,9 @@ pub mod image;
 pub mod quality;
 
 pub use codebook::{Codebook, KMeansConfig};
-pub use contextual::{ContextVector, ContextualSimilarity, NonContextualSimilarity};
+pub use contextual::{
+    ContextKernel, ContextVector, ContextualSimilarity, NonContextualSimilarity, PreparedContext,
+};
 pub use embedding::{Embedding, FeatureEmbedder, SpecEmbedder};
 pub use exif::ExifData;
 pub use features::{color_histogram, gradient_descriptors, FeatureVector};

@@ -12,6 +12,9 @@ use crate::diag::Diagnostic;
 use crate::manifest::CrateManifest;
 
 /// Offline dependency shims under `crates/vendor/`, allowed everywhere.
+/// (`scoped-pool` is deliberately *not* here: the worker-pool backend is an
+/// explicit par-exec-only edge in the DAG, mirroring how
+/// `cfg(feature = "parallel")` is confined to par-exec.)
 pub const VENDOR_SHIMS: &[&str] = &["rand", "proptest", "criterion"];
 
 const ALL_LIBS: &[&str] = &[
@@ -33,8 +36,11 @@ const ALL_LIBS: &[&str] = &[
 pub fn declared_deps(name: &str) -> Option<&'static [&'static str]> {
     Some(match name {
         // Leaves.
-        "par-exec" | "par-search" | "par-lint" => &[],
-        "rand" | "proptest" | "criterion" => &[],
+        "par-search" | "par-lint" => &[],
+        "rand" | "proptest" | "criterion" | "scoped-pool" => &[],
+        // The one crate allowed to hold the worker-pool backend (and the
+        // `parallel` feature gate).
+        "par-exec" => &["scoped-pool"],
         // Model and substrates.
         "par-core" => &["par-exec"],
         "par-embed" => &["par-core"],

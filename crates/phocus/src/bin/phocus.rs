@@ -5,6 +5,7 @@
 //! phocus table2 [--full]               # Table 2 dataset statistics
 //! phocus solve --dataset p1k --budget-mb 10 [--tau 0.6] [--ns] [--seed 42]
 //! phocus suite --dataset ec-fashion --budget-mb 100 [--seed 42]
+//! phocus serve-batch --list tenants.txt --budget-frac 0.25 [--out-dir sols/]
 //! ```
 //!
 //! Every failure exits with a diagnostic on stderr and a documented nonzero
@@ -12,7 +13,10 @@
 //!
 //! * `2` — usage error (unknown command/dataset, malformed flag value);
 //! * `3` — invalid input data (parse error, model violation, bad parameter);
-//! * `4` — I/O failure (unreadable dataset file, unwritable output).
+//! * `4` — I/O failure (unreadable dataset file, unwritable output);
+//! * `5` — partial failure (`serve-batch`: one or more tenants failed while
+//!   the batch itself completed — each failed tenant gets a `fail` status
+//!   line; healthy tenants still solve and their solutions are written).
 
 use par_core::fixtures::figure1_instance;
 use par_datasets::{
@@ -21,7 +25,8 @@ use par_datasets::{
 };
 use phocus::{
     render_report, representation::RepresentationConfig, representation::Sparsification, run_suite,
-    Parallelism, Phocus, PhocusConfig, PhocusError, SuiteConfig,
+    FleetEngine, FleetEngineConfig, FleetTenant, Parallelism, Phocus, PhocusConfig, PhocusError,
+    SuiteConfig,
 };
 use std::process::ExitCode;
 
@@ -31,6 +36,13 @@ enum CliError {
     Usage(String),
     /// A typed error from the PHOcus pipeline (parse, model, I/O, …).
     Pipeline(PhocusError),
+    /// `serve-batch` completed but some tenants failed (exit code 5).
+    PartialFailure {
+        /// Tenants that failed to load or solve.
+        failed: usize,
+        /// Tenants in the batch.
+        total: usize,
+    },
 }
 
 impl From<PhocusError> for CliError {
@@ -44,12 +56,14 @@ impl CliError {
         CliError::Usage(msg.into())
     }
 
-    /// Documented exit codes: 2 usage, 3 invalid data, 4 I/O.
+    /// Documented exit codes: 2 usage, 3 invalid data, 4 I/O, 5 partial
+    /// batch failure.
     fn exit_code(&self) -> ExitCode {
         match self {
             CliError::Usage(_) => ExitCode::from(2),
             CliError::Pipeline(PhocusError::Io { .. }) => ExitCode::from(4),
             CliError::Pipeline(_) => ExitCode::from(3),
+            CliError::PartialFailure { .. } => ExitCode::from(5),
         }
     }
 }
@@ -59,6 +73,9 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Pipeline(e) => write!(f, "{e}"),
+            CliError::PartialFailure { failed, total } => {
+                write!(f, "{failed} of {total} tenants failed")
+            }
         }
     }
 }
@@ -78,6 +95,7 @@ fn main() -> ExitCode {
         "compress" => cmd_compress(rest),
         "export" => cmd_export(rest),
         "plan" => cmd_plan(rest),
+        "serve-batch" => cmd_serve_batch(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -105,11 +123,22 @@ USAGE:
   phocus compress --dataset <NAME> --budget-mb <MB> [--seed N]
   phocus export --dataset <NAME> --out <FILE> [--seed N]
   phocus plan --dataset <NAME> --target <FRACTION> [--seed N]
+  phocus serve-batch --list <FILE|-> [--budget-frac F | --budget-mb MB]
+               [--tau T] [--ns] [--threads N] [--fresh-arenas] [--out-dir DIR]
 
 DATASETS: p1k p5k p10k p50k p100k ec-fashion ec-electronics ec-home file:<path>
   (EC datasets use the scaled-down generator; pass --paper-scale for full size)
 
-EXIT CODES: 0 success, 2 usage error, 3 invalid input data, 4 I/O failure";
+SERVE-BATCH: --list names a file with one tenant universe path per line
+  (`-` reads the list from stdin; blank lines and `#` comments are skipped).
+  Each tenant gets --budget-frac of its own archive (default 0.25) unless
+  --budget-mb fixes an absolute budget. One status line per tenant:
+  `ok <name> ...` or `fail <path>: <reason>`. A malformed tenant fails that
+  tenant only; the rest of the batch still solves. --out-dir writes one
+  retained-set TSV per solved tenant.
+
+EXIT CODES: 0 success, 2 usage error, 3 invalid input data, 4 I/O failure,
+  5 partial failure (serve-batch: some tenants failed, batch completed)";
 
 fn flag(rest: &[String], name: &str) -> bool {
     rest.iter().any(|a| a == name)
@@ -338,6 +367,149 @@ fn cmd_plan(rest: &[String]) -> Result<(), CliError> {
         100.0 * plan.achieved_fraction,
         plan.probes
     );
+    Ok(())
+}
+
+/// `serve-batch`: stream tenant universe files in, solutions out, one status
+/// line and one exit status per tenant. A tenant that fails to load or solve
+/// gets a `fail` line; the batch continues and exits 5 if any tenant failed.
+fn cmd_serve_batch(rest: &[String]) -> Result<(), CliError> {
+    let list = opt(rest, "--list").ok_or_else(|| {
+        CliError::usage("missing --list (file of tenant universe paths, `-` for stdin)")
+    })?;
+    let budget_frac: f64 = parse(rest, "--budget-frac", 0.25)?;
+    let budget_mb: f64 = parse(rest, "--budget-mb", 0.0)?;
+    let tau: f64 = parse(rest, "--tau", 0.6)?;
+    let seed: u64 = parse(rest, "--seed", 42)?;
+    let threads: usize = parse(rest, "--threads", 0)?;
+    let out_dir = opt(rest, "--out-dir");
+    if !(0.0..=1.0).contains(&budget_frac) || budget_frac.is_nan() {
+        return Err(CliError::usage(format!(
+            "--budget-frac must be in [0, 1], got {budget_frac}"
+        )));
+    }
+
+    let list_text = if list == "-" {
+        use std::io::Read;
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| PhocusError::Io {
+                path: "<stdin>".into(),
+                message: e.to_string(),
+            })?;
+        s
+    } else {
+        read_file(&list)?
+    };
+    let paths: Vec<&str> = list_text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    if paths.is_empty() {
+        return Err(CliError::usage("tenant list is empty"));
+    }
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| PhocusError::Io {
+            path: dir.clone(),
+            message: e.to_string(),
+        })?;
+    }
+
+    let representation = if flag(rest, "--ns") {
+        RepresentationConfig::phocus_ns()
+    } else {
+        RepresentationConfig {
+            sparsification: Sparsification::Lsh {
+                tau,
+                target_recall: 0.95,
+                seed,
+            },
+            ..Default::default()
+        }
+    };
+
+    // Load every tenant up front; a tenant whose file is unreadable or
+    // malformed fails *that tenant*, never the batch.
+    let mut loaded: Vec<Result<FleetTenant, PhocusError>> = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let tenant = read_file(path).and_then(|text| {
+            let universe = par_datasets::from_text(&text).map_err(PhocusError::Dataset)?;
+            let budget = if budget_mb > 0.0 {
+                (budget_mb * 1e6) as u64
+            } else {
+                ((universe.total_cost() as f64 * budget_frac) as u64).max(1)
+            };
+            Ok(FleetTenant { universe, budget })
+        });
+        loaded.push(tenant);
+    }
+    let solvable: Vec<FleetTenant> = loaded.iter().filter_map(|t| t.as_ref().ok()).cloned().collect();
+
+    let t0 = std::time::Instant::now(); // phocus-lint: allow(wall-clock) — fills the reported batch throughput line only
+    let engine = FleetEngine::new(FleetEngineConfig {
+        representation,
+        parallelism: Parallelism::with_threads(threads),
+        reuse_arenas: !flag(rest, "--fresh-arenas"),
+    });
+    let outcomes = engine.run(&solvable);
+    let batch_secs = t0.elapsed().as_secs_f64();
+
+    // Report in input order, interleaving load failures with solve outcomes.
+    let mut failed = 0usize;
+    let mut next_outcome = outcomes.into_iter();
+    for (i, (path, tenant)) in paths.iter().zip(&loaded).enumerate() {
+        match tenant {
+            Err(e) => {
+                failed += 1;
+                println!("fail\t{path}: {e}");
+            }
+            Ok(_) => {
+                let Some(outcome) = next_outcome.next() else {
+                    // One engine outcome per loaded tenant, by construction.
+                    unreachable!("engine returned fewer outcomes than tenants")
+                };
+                match &outcome.result {
+                    Err(e) => {
+                        failed += 1;
+                        println!("fail\t{path}: {e}");
+                    }
+                    Ok(report) => {
+                        println!(
+                            "ok\t{}\tphotos={}\tretained={}\tcost_mb={:.2}\tscore={:.3}\tms={:.1}",
+                            outcome.name,
+                            outcome.photos,
+                            report.selected.len(),
+                            report.cost as f64 / 1e6,
+                            report.score,
+                            outcome.latency.as_secs_f64() * 1e3
+                        );
+                        if let Some(dir) = &out_dir {
+                            let file = format!(
+                                "{dir}/{i:05}_{}.tsv",
+                                outcome.name.replace(['/', '\\'], "_")
+                            );
+                            let mut text = String::new();
+                            for &p in &report.selected {
+                                text.push_str(&format!("{}\n", p.0));
+                            }
+                            write_file(&file, &text)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let total = paths.len();
+    println!(
+        "batch\ttenants={total}\tok={}\tfailed={failed}\tinst_per_sec={:.2}",
+        total - failed,
+        (total - failed) as f64 / batch_secs.max(1e-9)
+    );
+    if failed > 0 {
+        return Err(CliError::PartialFailure { failed, total });
+    }
     Ok(())
 }
 

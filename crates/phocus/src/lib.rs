@@ -16,8 +16,11 @@
 //!
 //! [`suite`] orchestrates PHOcus against every baseline of Section 5.2 under
 //! a common true-objective evaluation — the engine behind the experiment
-//! harness in `par-bench`. The `phocus` binary exposes all of it on the
-//! command line.
+//! harness in `par-bench`. [`fleet`] scales the pipeline from one library to
+//! many: a multi-tenant engine that schedules tenant solves largest-first
+//! across the persistent worker pool and reuses solver arenas between
+//! tenants (`phocus serve-batch`). The `phocus` binary exposes all of it on
+//! the command line.
 
 #![forbid(unsafe_code)]
 
@@ -25,6 +28,7 @@
 
 pub mod compression;
 pub mod error;
+pub mod fleet;
 pub mod planner;
 pub mod report;
 pub mod representation;
@@ -36,6 +40,9 @@ pub use compression::{
     CompressionComparison, CompressionLevel, VariantMap, DEFAULT_LADDER,
 };
 pub use error::{PhocusError, Result};
+pub use fleet::{
+    budget_by_fraction, FleetEngine, FleetEngineConfig, FleetTenant, TenantOutcome, TenantReport,
+};
 pub use par_exec::Parallelism;
 pub use planner::{minimal_budget, minimal_budget_with, BudgetPlan};
 pub use report::render_report;

@@ -16,9 +16,10 @@
 
 use crate::error::{PhocusError, Result};
 use par_core::{
-    ContextSim, DenseSim, Instance, InstanceBuilder, PhotoId, SimilarityProvider, SparseSim,
-    Subset, SubsetId,
+    ContextSim, DenseSim, Instance, InstanceBuilder, PhotoId, SparseSim, Subset, SubsetId,
 };
+#[cfg(test)]
+use par_core::SimilarityProvider;
 use par_datasets::Universe;
 use par_embed::{ContextVector, ContextualSimilarity, NonContextualSimilarity};
 
@@ -144,22 +145,22 @@ fn contextual_provider(universe: &Universe, cfg: &RepresentationConfig) -> Conte
     provider
 }
 
-/// Builds a dense store for one subset, optionally applying per-context
-/// max-distance normalization.
-fn dense_store<P: SimilarityProvider>(
-    subset: &Subset,
-    provider: &P,
+/// Builds a dense store for one subset from a local pair function,
+/// optionally applying per-context max-distance normalization.
+fn dense_store_from_fn(
+    subset_id: SubsetId,
+    n: usize,
+    pair: impl Fn(usize, usize) -> f64,
     normalize: bool,
 ) -> par_core::Result<DenseSim> {
     if !normalize {
-        return DenseSim::from_provider(subset, provider);
+        return DenseSim::from_local_fn(subset_id, n, pair);
     }
-    let n = subset.members.len();
     let mut matrix = vec![1.0f64; n * n];
     let mut max_dist = 0.0f64;
     for i in 0..n {
         for j in 0..i {
-            let s = provider.similarity(subset, subset.members[i], subset.members[j]);
+            let s = pair(i, j);
             matrix[i * n + j] = s;
             matrix[j * n + i] = s;
             max_dist = max_dist.max(1.0 - s);
@@ -175,7 +176,44 @@ fn dense_store<P: SimilarityProvider>(
             }
         }
     }
-    DenseSim::from_matrix(subset.id, n, &matrix)
+    DenseSim::from_matrix(subset_id, n, &matrix)
+}
+
+/// Builds a dense store for one subset, optionally applying per-context
+/// max-distance normalization. Generic over the provider; costs one
+/// `similarity` call per pair. Retained as the reference implementation the
+/// kernelized fast path is differentially tested against.
+#[cfg(test)]
+fn dense_store<P: SimilarityProvider>(
+    subset: &Subset,
+    provider: &P,
+    normalize: bool,
+) -> par_core::Result<DenseSim> {
+    dense_store_from_fn(
+        subset.id,
+        subset.members.len(),
+        |i, j| provider.similarity(subset, subset.members[i], subset.members[j]),
+        normalize,
+    )
+}
+
+/// The contextual-provider fast path: prepares the subset once (squared
+/// attention weights + per-member norm terms hoisted out of the pair loop)
+/// so each pair pays only a dot accumulation. Bit-identical to
+/// [`dense_store`] with the same provider — asserted by
+/// `kernelized_dense_build_is_bit_identical`.
+fn dense_store_contextual(
+    subset: &Subset,
+    provider: &ContextualSimilarity,
+    normalize: bool,
+) -> par_core::Result<DenseSim> {
+    let prepared = provider.prepare(subset);
+    dense_store_from_fn(
+        subset.id,
+        subset.members.len(),
+        |i, j| prepared.similarity_local(i, j),
+        normalize,
+    )
 }
 
 /// Materializes one store per subset, fanning the independent per-subset
@@ -206,7 +244,9 @@ pub fn represent(universe: &Universe, budget: u64, cfg: &RepresentationConfig) -
             let subsets = reconstruct_subsets(universe);
             let normalize = cfg.normalize_per_context;
             let sims = map_sims_parallel(&subsets, cfg.threads, |q| {
-                Ok(ContextSim::Dense(dense_store(q, &provider, normalize)?))
+                Ok(ContextSim::Dense(dense_store_contextual(
+                    q, &provider, normalize,
+                )?))
             })?;
             Ok(builder.build_with_sims(sims)?)
         }
@@ -215,7 +255,7 @@ pub fn represent(universe: &Universe, budget: u64, cfg: &RepresentationConfig) -
             let subsets = reconstruct_subsets(universe);
             let normalize = cfg.normalize_per_context;
             let sims = map_sims_parallel(&subsets, cfg.threads, |q| {
-                let dense = dense_store(q, &provider, normalize)?;
+                let dense = dense_store_contextual(q, &provider, normalize)?;
                 Ok(ContextSim::Sparse(dense.sparsify(tau)))
             })?;
             Ok(builder.build_with_sims(sims)?)
@@ -259,12 +299,23 @@ pub fn represent(universe: &Universe, budget: u64, cfg: &RepresentationConfig) -
                 let n = q.members.len();
                 let mut pairs: Vec<(u32, u32, f64)> = Vec::new();
                 if n <= EXACT_CUTOFF {
+                    // Hoisted-invariant exact comparison: squared weights and
+                    // per-member norms once, dot per pair — bit-identical to
+                    // `contextual_cosine` on each pair.
+                    let kernel = ctx.kernel(cfg.blend);
+                    let norms: Vec<f64> = q
+                        .members
+                        .iter()
+                        .map(|&p| kernel.norm_term(&universe.embeddings[p.index()]))
+                        .collect();
                     for i in 0..n {
                         for j in 0..i {
-                            let c = ctx.contextual_cosine(
+                            let dot = kernel.dot_term(
                                 &universe.embeddings[q.members[i].index()],
                                 &universe.embeddings[q.members[j].index()],
-                                cfg.blend,
+                            );
+                            let c = par_embed::ContextKernel::cosine_from_terms(
+                                dot, norms[i], norms[j],
                             );
                             if c >= tau {
                                 pairs.push((j as u32, i as u32, c));
@@ -471,6 +522,39 @@ mod tests {
             assert!(b <= a + 1e-9, "normalization must not raise similarity");
         }
         assert!(any_diff);
+    }
+
+    #[test]
+    fn kernelized_dense_build_is_bit_identical() {
+        // The hoisted-invariant contextual build must reproduce the generic
+        // per-pair provider build bit for bit, normalized or not, with and
+        // without EXIF mixing.
+        let mut u = small_universe(7);
+        u.exif = Some(
+            (0..u.num_photos())
+                .map(|i| par_embed::ExifData::synthesize((i % 9) as u64, i as u64))
+                .collect(),
+        );
+        for exif_weight in [0.0, 0.35] {
+            for normalize in [false, true] {
+                let cfg = RepresentationConfig {
+                    exif_weight,
+                    normalize_per_context: normalize,
+                    ..Default::default()
+                };
+                let provider = contextual_provider(&u, &cfg);
+                for q in &reconstruct_subsets(&u) {
+                    let generic = dense_store(q, &provider, normalize).unwrap();
+                    let fast = dense_store_contextual(q, &provider, normalize).unwrap();
+                    assert_eq!(
+                        generic.raw_tri(),
+                        fast.raw_tri(),
+                        "subset {:?} γ={exif_weight} normalize={normalize}",
+                        q.id
+                    );
+                }
+            }
+        }
     }
 
     #[test]

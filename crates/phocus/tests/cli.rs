@@ -202,6 +202,135 @@ fn solve_writes_retained_list() {
     std::fs::remove_file(&out_path).ok();
 }
 
+/// Exports two small universes and writes a serve-batch list file naming
+/// them (plus any extra raw lines the caller appends).
+fn write_batch_fixture(tag: &str, extra_lines: &[&str]) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("phocus_cli_batch_{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut list = String::new();
+    for (i, seed) in [3u64, 9].into_iter().enumerate() {
+        let path = dir.join(format!("tenant{i}.universe"));
+        let out = phocus(&[
+            "export",
+            "--dataset",
+            "tiny",
+            "--seed",
+            &seed.to_string(),
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success());
+        list.push_str(&format!("{}\n", path.display()));
+    }
+    for line in extra_lines {
+        list.push_str(line);
+        list.push('\n');
+    }
+    let list_path = dir.join("tenants.txt");
+    std::fs::write(&list_path, list).unwrap();
+    list_path
+}
+
+#[test]
+fn serve_batch_solves_every_tenant_and_writes_solutions() {
+    let list = write_batch_fixture("ok", &["# a comment", ""]);
+    let out_dir = list.parent().unwrap().join("solutions");
+    let out = phocus(&[
+        "serve-batch",
+        "--list",
+        list.to_str().unwrap(),
+        "--budget-frac",
+        "0.3",
+        "--out-dir",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.matches("ok\t").count(), 2, "one ok line per tenant: {text}");
+    assert!(text.contains("inst_per_sec="), "throughput summary: {text}");
+    assert!(text.contains("failed=0"), "no failures: {text}");
+    // One retained-set file per solved tenant, one photo id per line.
+    let mut files: Vec<_> = std::fs::read_dir(&out_dir).unwrap().collect();
+    assert_eq!(files.len(), 2);
+    let first = files.pop().unwrap().unwrap();
+    let content = std::fs::read_to_string(first.path()).unwrap();
+    assert!(content.lines().all(|l| l.parse::<u32>().is_ok()));
+    std::fs::remove_dir_all(list.parent().unwrap()).ok();
+}
+
+#[test]
+fn serve_batch_malformed_tenant_fails_that_tenant_not_the_batch() {
+    let dir = std::env::temp_dir().join("phocus_cli_batch_partial");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("broken.universe");
+    std::fs::write(&bad, "photo\t0\tnot-a-number\tbroken\n").unwrap();
+    let missing = dir.join("does_not_exist.universe");
+    let list = write_batch_fixture(
+        "partial",
+        &[bad.to_str().unwrap(), missing.to_str().unwrap()],
+    );
+    let out = phocus(&["serve-batch", "--list", list.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(5), "partial failure exits 5");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.matches("ok\t").count(), 2, "healthy tenants solve: {text}");
+    assert_eq!(text.matches("fail\t").count(), 2, "both bad tenants fail: {text}");
+    assert!(text.contains("broken.universe"), "names the bad file: {text}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("2 of 4 tenants failed"),
+        "stderr summary: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(list.parent().unwrap()).ok();
+}
+
+#[test]
+fn serve_batch_without_list_is_a_usage_error() {
+    let out = phocus(&["serve-batch"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--list"));
+}
+
+#[test]
+fn serve_batch_missing_list_file_is_an_io_error() {
+    let out = phocus(&["serve-batch", "--list", "/nonexistent/tenants.txt"]);
+    assert_eq!(out.status.code(), Some(4), "unreadable batch list exits 4");
+}
+
+#[test]
+fn serve_batch_fresh_arenas_matches_reused_arenas() {
+    let list = write_batch_fixture("arenas", &[]);
+    let run = |extra: &[&str]| {
+        let mut args = vec!["serve-batch", "--list", list.to_str().unwrap(), "--seed", "5"];
+        args.extend_from_slice(extra);
+        let out = phocus(&args);
+        assert!(out.status.success());
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        // Strip the timing columns — only the solution columns must match.
+        stdout
+            .lines()
+            .filter(|l| l.starts_with("ok\t"))
+            .map(|l| l.rsplit_once("\tms=").unwrap().0.to_string())
+            .collect::<Vec<_>>()
+    };
+    let reused = run(&[]);
+    let fresh = run(&["--fresh-arenas"]);
+    assert_eq!(reused, fresh, "arena reuse must not change solutions");
+    std::fs::remove_dir_all(list.parent().unwrap()).ok();
+}
+
+#[test]
+fn usage_documents_serve_batch_exit_code() {
+    let out = phocus(&["--help"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("serve-batch"));
+    assert!(text.contains("5 partial failure"));
+}
+
 #[test]
 fn export_then_solve_from_file() {
     let path = std::env::temp_dir().join("phocus_cli_export.universe");

@@ -1,0 +1,412 @@
+//! Offline shim of a scoped thread pool: a fixed set of persistent, parked
+//! worker threads that can run *borrowed* (non-`'static`) closures.
+//!
+//! The workspace's parallel kernels are called millions of times per fleet
+//! run; spawning and joining OS threads per call (as `std::thread::scope`
+//! does) taxes every invocation. This shim keeps workers resident: they park
+//! on a condvar-guarded queue and wake only to run dispatched tasks, so a
+//! `scoped` round trip is two mutex operations per task instead of a thread
+//! spawn + join.
+//!
+//! # Safety
+//!
+//! Running borrowed closures on threads that outlive the borrow is not
+//! expressible in safe Rust; every scoped-pool crate (rayon,
+//! `scoped_threadpool`, crossbeam's scope) performs the same lifetime
+//! erasure this shim does. The workspace's no-unsafe policy routes that
+//! unavoidable `unsafe` here, into a vendored shim with the invariants
+//! written down:
+//!
+//! * **Single erasure site.** The only `unsafe` in the crate is one
+//!   `transmute` in [`Scope::execute`] that widens a task's lifetime from
+//!   `'scope` to `'static` so it can cross the channel to a worker.
+//! * **The scope outlives every task.** [`Pool::scoped`] does not return —
+//!   even when the scope body unwinds — until every dispatched task has
+//!   finished running. A drop guard performs the wait, so unwinding cannot
+//!   skip it. Therefore no task can observe its borrows after they expire,
+//!   which is exactly the property the transmute asserts.
+//! * **`'scope` is pinned by the caller.** The scope body is bounded by
+//!   `'scope` (mirroring `std::thread::scope` / rayon), so borrowck proves
+//!   every capture lives at least as long as the `scoped` call itself.
+//! * **Panics don't leak tasks.** Workers run each task under
+//!   `catch_unwind`; completion is signalled from a drop-safe path, and the
+//!   first captured payload is re-raised on the caller once all tasks are
+//!   accounted for.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// A task after lifetime erasure, as the queue stores it.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is one of a [`Pool`]'s worker threads.
+///
+/// Callers use this to break potential deadlocks: a task that itself tries
+/// to fan work out through the pool could block waiting for workers that are
+/// all busy (possibly on *it*). Checking this flag and falling back to a
+/// serial path keeps workers from ever blocking on pool capacity.
+pub fn current_thread_is_worker() -> bool {
+    IS_POOL_WORKER.with(Cell::get)
+}
+
+/// Recovers the guard from a poisoned mutex.
+///
+/// Workers run tasks under `catch_unwind`, so the queue mutex is never held
+/// across user code and poisoning is practically unreachable; if it does
+/// happen, the queue's state (a `VecDeque` of boxed closures) is valid after
+/// any partial operation, so continuing is sound.
+fn lock_queue(m: &Mutex<QueueState>) -> MutexGuard<'_, QueueState> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct QueueState {
+    tasks: VecDeque<Task>,
+}
+
+struct Queue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+impl Queue {
+    fn push(&self, task: Task) {
+        lock_queue(&self.state).tasks.push_back(task);
+        self.available.notify_one();
+    }
+
+    /// Blocks (parking the calling worker) until a task is available.
+    fn pop(&self) -> Task {
+        let mut guard = lock_queue(&self.state);
+        loop {
+            if let Some(task) = guard.tasks.pop_front() {
+                return task;
+            }
+            guard = self
+                .available
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// Tracks the in-flight tasks of one `scoped` call and the first panic
+/// payload any of them produced.
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn task_started(&self) {
+        *self
+            .pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+    }
+
+    fn task_finished(&self, payload: Option<Box<dyn std::any::Any + Send>>) {
+        if let Some(p) = payload {
+            let mut slot = self
+                .panic
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+        }
+        let mut pending = self
+            .pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every dispatched task of this scope has finished.
+    fn wait_all(&self) {
+        let mut pending = self
+            .pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *pending > 0 {
+            pending = self
+                .done
+                .wait(pending)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.panic
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+}
+
+/// Waits for all of a scope's tasks even if the scope body unwinds.
+///
+/// This guard is the soundness linchpin: `Scope::execute`'s lifetime erasure
+/// is only valid because *nothing* — including a panic in the scope body —
+/// can return control past this wait while tasks still run on borrows.
+struct WaitGuard<'a>(&'a ScopeState);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait_all();
+    }
+}
+
+/// Dispatch handle passed to the body of [`Pool::scoped`].
+///
+/// `'scope` is invariant (via the `*mut` marker) so the compiler cannot
+/// shrink it below the region the caller's borrows require — the same trick
+/// `std::thread::Scope` uses.
+pub struct Scope<'pool, 'scope> {
+    pool: &'pool Pool,
+    state: Arc<ScopeState>,
+    _invariant: PhantomData<*mut &'scope ()>,
+}
+
+impl<'scope> Scope<'_, 'scope> {
+    /// Dispatches `f` to a pool worker. Returns immediately; the enclosing
+    /// [`Pool::scoped`] call waits for completion.
+    ///
+    /// If the pool has no workers (spawn failure at construction), `f` runs
+    /// inline on the caller so the scope still makes progress.
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        if self.pool.workers == 0 {
+            f();
+            return;
+        }
+        let erased: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: this widens the closure's lifetime from `'scope` to
+        // `'static` so it can be queued for a persistent worker. The
+        // enclosing `Pool::scoped` call is bounded by `'scope` and cannot
+        // return (normally or by unwind — see `WaitGuard`) until
+        // `ScopeState::wait_all` observes this task finished, so the closure
+        // never runs, and is dropped, after any of its borrows expire.
+        let erased: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(
+                erased,
+            )
+        };
+        self.state.task_started();
+        let state = Arc::clone(&self.state);
+        self.pool.queue.push(Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(erased));
+            state.task_finished(result.err());
+        }));
+    }
+}
+
+/// A fixed-size pool of persistent, parked worker threads.
+///
+/// Workers are spawned once at construction and never exit; they park on a
+/// condvar when the queue is empty. The pool is meant to be stored in a
+/// process-wide `OnceLock` and shared by reference.
+pub struct Pool {
+    queue: Arc<Queue>,
+    workers: usize,
+}
+
+impl Pool {
+    /// Spawns `workers` parked worker threads.
+    ///
+    /// If the OS refuses some spawns the pool holds however many succeeded
+    /// (possibly zero — `scoped` then degrades to inline execution).
+    pub fn new(workers: usize) -> Pool {
+        let queue = Arc::new(Queue {
+            state: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+            }),
+            available: Condvar::new(),
+        });
+        let mut spawned = 0;
+        for k in 0..workers {
+            let q = Arc::clone(&queue);
+            let spawn = std::thread::Builder::new()
+                .name(format!("scoped-pool-{k}"))
+                .spawn(move || {
+                    IS_POOL_WORKER.with(|f| f.set(true));
+                    loop {
+                        let task = q.pop();
+                        task();
+                    }
+                });
+            if spawn.is_ok() {
+                spawned += 1;
+            }
+        }
+        Pool {
+            queue,
+            workers: spawned,
+        }
+    }
+
+    /// The number of live worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `body` with a [`Scope`] that can dispatch borrowed closures to
+    /// the pool, and waits for every dispatched task before returning.
+    ///
+    /// If any task panicked, the first payload is re-raised here after all
+    /// tasks finish (mirroring `std::thread::scope`). If `body` itself
+    /// panics, the wait still happens — see [`WaitGuard`] — and `body`'s
+    /// panic wins.
+    pub fn scoped<'pool, 'scope, F, R>(&'pool self, body: F) -> R
+    where
+        F: FnOnce(&Scope<'pool, 'scope>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState::new()),
+            _invariant: PhantomData,
+        };
+        let ret = {
+            let _guard = WaitGuard(&scope.state);
+            body(&scope)
+            // `_guard` drops here: blocks until all dispatched tasks are
+            // done, whether `body` returned or is unwinding.
+        };
+        if let Some(payload) = scope.state.take_panic() {
+            resume_unwind(payload);
+        }
+        ret
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_borrowed_closures() {
+        let pool = Pool::new(2);
+        let mut data = vec![0u32; 8];
+        pool.scoped(|scope| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                scope.execute(move || *slot = i as u32 * 10);
+            }
+        });
+        assert_eq!(data, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn reuse_across_many_scopes() {
+        let pool = Pool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..500 {
+            pool.scoped(|scope| {
+                scope.execute(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+                scope.execute(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn worker_flag_is_set_on_workers_only() {
+        let pool = Pool::new(1);
+        assert!(!current_thread_is_worker());
+        let mut on_worker = false;
+        pool.scoped(|scope| {
+            scope.execute(|| on_worker = current_thread_is_worker());
+        });
+        assert!(on_worker);
+        assert!(!current_thread_is_worker());
+    }
+
+    #[test]
+    fn task_panic_propagates_after_all_tasks_finish() {
+        let pool = Pool::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.execute(|| panic!("task boom"));
+                for _ in 0..8 {
+                    scope.execute(|| {
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "task panic must surface on the caller");
+        assert_eq!(finished.load(Ordering::Relaxed), 8);
+        // The pool must survive a panicked task.
+        let mut x = 0;
+        pool.scoped(|scope| scope.execute(|| x = 7));
+        assert_eq!(x, 7);
+    }
+
+    #[test]
+    fn body_panic_still_waits_for_tasks() {
+        let pool = Pool::new(1);
+        let data = Mutex::new(Vec::new());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.execute(|| {
+                    data.lock().unwrap().push(1u8);
+                });
+                panic!("body boom");
+            });
+        }));
+        assert!(result.is_err());
+        // The task referenced `data`, a local of this frame; reaching this
+        // line with the push visible proves the scope waited before unwind
+        // crossed the borrow.
+        assert_eq!(*data.lock().unwrap(), vec![1u8]);
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = Pool {
+            queue: Arc::new(Queue {
+                state: Mutex::new(QueueState {
+                    tasks: VecDeque::new(),
+                }),
+                available: Condvar::new(),
+            }),
+            workers: 0,
+        };
+        let mut x = 0;
+        pool.scoped(|scope| scope.execute(|| x = 42));
+        assert_eq!(x, 42);
+    }
+}

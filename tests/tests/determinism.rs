@@ -201,6 +201,31 @@ fn results_are_bit_identical_serial_and_parallel() {
     );
 }
 
+/// The persistent worker pool must be invisible in results at *every* thread
+/// count: the same pinned goldens come out under the serial fallback and
+/// under pools of 2 and 8 parked workers. Running all counts in one process
+/// also exercises pool reconfiguration (grow/shrink between installs) — the
+/// chunk-assignment arithmetic, not the worker count, determines the bytes.
+#[test]
+fn pool_thread_counts_share_the_goldens() {
+    for threads in [1usize, 2, 8] {
+        let prev = Parallelism::with_threads(threads).install_global();
+        for (k, (seed, cfg)) in fixture_configs().iter().enumerate() {
+            assert_eq!(
+                transcript_hash(*seed, cfg),
+                GOLDEN[k],
+                "fixture {k}: transcript drifted under pool threads={threads}"
+            );
+            assert_eq!(
+                evaluator_transcript_hash(*seed, cfg),
+                EVALUATOR_GOLDEN[k],
+                "fixture {k}: evaluator transcript drifted under pool threads={threads}"
+            );
+        }
+        prev.install_global();
+    }
+}
+
 #[test]
 fn evaluator_kernels_are_bit_identical_serial_and_parallel() {
     let mut hashes = Vec::new();
