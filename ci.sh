@@ -57,6 +57,22 @@ CRITERION_QUICK=1 cargo bench -p par-bench --bench shard
 echo "==> multi-tenant fleet bench (quick mode, smoke + engine/naive equivalence assert)"
 CRITERION_QUICK=1 cargo bench -p par-bench --bench fleet
 
+echo "==> incremental archiver bench (quick mode, smoke + per-epoch bit-identity assert)"
+CRITERION_QUICK=1 cargo bench -p par-bench --bench incremental
+
+# Churn-replay determinism gate: the same epoch session, replayed twice with
+# --check (every epoch verified bit-identical to a from-scratch solve
+# in-process), must print byte-identical reports apart from the wall-clock
+# ms= field. Catches nondeterminism that only shows up across process runs
+# (hash-iteration order, uninitialized reuse) which the in-process goldens
+# cannot see.
+echo "==> churn-replay determinism gate (phocus epochs --check, two runs)"
+EPOCH_ARGS=(epochs --dataset p1k --budget-mb 1 --epochs 6 --churn 0.02 --check)
+cargo run --release -q -p phocus -- "${EPOCH_ARGS[@]}" | sed 's/\tms=[0-9.]*//' > /tmp/phocus_epochs_a.txt
+cargo run --release -q -p phocus -- "${EPOCH_ARGS[@]}" | sed 's/\tms=[0-9.]*//' > /tmp/phocus_epochs_b.txt
+diff /tmp/phocus_epochs_a.txt /tmp/phocus_epochs_b.txt
+grep -q '^session.*failed=0$' /tmp/phocus_epochs_a.txt
+
 echo "==> bench guard (recorded BENCH_*.json baselines)"
 cargo run --release -q -p par-bench --bin bench_guard
 

@@ -9,7 +9,8 @@
 //! evaluations, at a quality loss of a few percent (bounded empirically by
 //! the tests).
 
-use crate::celf::{lazy_greedy, GreedyRule};
+use crate::celf::GreedyRule;
+use crate::sharded::ShardedSolver;
 use par_core::{Evaluator, Instance, PhotoId};
 
 /// One point of a quality-vs-budget curve.
@@ -49,10 +50,15 @@ pub fn quality_curve(inst: &Instance, budgets: &[u64]) -> Vec<CurvePoint> {
         unreachable!("budgets checked non-empty above");
     };
     let max_budget = raw_max.max(floor);
-    let reference = inst
-        .with_budget(max_budget)
-        .unwrap_or_else(|e| unreachable!("max budget is clamped to cover S₀: {e}"));
-    let order: Vec<PhotoId> = lazy_greedy(&reference, GreedyRule::CostBenefit).selected;
+    // One budget-independent preparation (decomposition, S₀ replay, seed
+    // sweep) serves the whole sweep: the reference order comes from
+    // [`ShardedSolver::solve_with_budget`] at the largest budget — bit-
+    // identical to a global `lazy_greedy` on `inst.with_budget(max_budget)`,
+    // without cloning the instance or re-preparing anything per budget.
+    let solver = ShardedSolver::new(inst);
+    let order: Vec<PhotoId> = solver
+        .solve_with_budget(GreedyRule::CostBenefit, max_budget)
+        .selected;
 
     // Ascending budget sweep; ties and the input order are restored at the
     // end via the index permutation.
@@ -109,6 +115,7 @@ pub fn quality_curve(inst: &Instance, budgets: &[u64]) -> Vec<CurvePoint> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::celf::lazy_greedy;
     use crate::main_algorithm;
     use par_core::fixtures::{random_instance, RandomInstanceConfig};
 

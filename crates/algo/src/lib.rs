@@ -11,6 +11,10 @@
 //! * [`sharded`] — a component-sharded CELF driver: one lazy stream per
 //!   connected component of the photo–query graph, merged by a budget-aware
 //!   coordinator, with a bit-identical transcript to [`lazy_greedy`];
+//! * [`incremental`] — an epoch-resident solver that applies
+//!   [`par_core::delta`] epoch deltas and replays the cached CELF stream
+//!   transcripts of clean components, bit-identical to a from-scratch
+//!   sharded solve of the post-delta instance;
 //! * [`sviridenko()`](sviridenko::sviridenko) — partial-enumeration greedy with the optimal
 //!   `(1 − 1/e)` guarantee (Theorem 4.6), exponential in the seed size and
 //!   practical only for small instances;
@@ -49,6 +53,7 @@ pub mod brute_force;
 pub mod celf;
 pub mod curve;
 pub mod error;
+pub mod incremental;
 pub mod local_search;
 pub mod main_alg;
 pub mod online_bound;
@@ -62,6 +67,7 @@ pub use brute_force::{brute_force, brute_force_anytime, BruteForceConfig};
 pub use celf::{eager_greedy, lazy_greedy, lazy_greedy_from, GreedyRule};
 pub use curve::{quality_curve, CurvePoint};
 pub use error::SolveError;
+pub use incremental::{DeltaStats, EpochReport, IncrementalSolver};
 pub use local_search::{swap_local_search, LocalSearchConfig};
 pub use main_alg::{
     main_algorithm, main_algorithm_scratch, main_algorithm_sharded, main_algorithm_with,

@@ -77,8 +77,10 @@ pub fn main_algorithm_with(inst: &Instance, sharding: bool) -> MainOutcome {
 }
 
 /// `argmax(res1, res2)` — ties go to CB, which is also the paper's
-/// empirically dominant sub-algorithm.
-fn pick_winner(uc: GreedyOutcome, cb: GreedyOutcome) -> MainOutcome {
+/// empirically dominant sub-algorithm. Shared with the epoch-resident
+/// solver in [`crate::incremental`], which must reproduce Algorithm 1's
+/// winner selection exactly.
+pub(crate) fn pick_winner(uc: GreedyOutcome, cb: GreedyOutcome) -> MainOutcome {
     let (winner, best) = if uc.score > cb.score {
         (GreedyRule::UnitCost, uc.clone())
     } else {

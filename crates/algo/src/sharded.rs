@@ -210,11 +210,12 @@ impl ShardStream {
 
 /// A coordinator heap entry: a shard's settled top, keyed for the merged
 /// argmax with the same ordering as the global CELF heap (max key, ties to
-/// the smaller photo id).
-struct MergeEntry {
-    key: f64,
-    photo: PhotoId,
-    shard: u32,
+/// the smaller photo id). Shared with the epoch-replay coordinator in
+/// [`crate::incremental`].
+pub(crate) struct MergeEntry {
+    pub(crate) key: f64,
+    pub(crate) photo: PhotoId,
+    pub(crate) shard: u32,
 }
 
 impl PartialEq for MergeEntry {
@@ -262,9 +263,10 @@ pub struct ShardedSolver<'a> {
     pool_sorted: Option<[Vec<Entry>; 2]>,
 }
 
-/// Index of `rule` into per-rule caches ([`ShardedSolver::pool_sorted`]).
+/// Index of `rule` into per-rule caches ([`ShardedSolver::pool_sorted`],
+/// the epoch layer's transcript caches).
 #[inline]
-fn rule_index(rule: GreedyRule) -> usize {
+pub(crate) fn rule_index(rule: GreedyRule) -> usize {
     match rule {
         GreedyRule::UnitCost => 0,
         GreedyRule::CostBenefit => 1,
@@ -292,10 +294,15 @@ impl<'a> ShardedSolver<'a> {
         for &p in inst.required() {
             base.add(p);
         }
-        let budget = inst.budget();
+        // The seed sweep covers *every* unselected photo, not just the ones
+        // affordable under the instance budget: affordability is applied at
+        // stream-build time against the budget of each individual solve, so
+        // one prepared solver serves a whole budget sweep
+        // ([`solve_with_budget`](Self::solve_with_budget)) and the epoch
+        // layer's replay caches stay valid across budget changes.
         let candidates: Vec<PhotoId> = (0..inst.num_photos() as u32)
             .map(PhotoId)
-            .filter(|&p| !base.is_selected(p) && base.fits(p, budget))
+            .filter(|&p| !base.is_selected(p))
             .collect();
         let gains = base.batch_gains(&candidates);
         let mut seed_by_shard: Vec<Vec<(PhotoId, f64)>> = vec![Vec::new(); dec.num_shards()];
@@ -334,7 +341,17 @@ impl<'a> ShardedSolver<'a> {
 
     /// Sharded equivalent of [`lazy_greedy`](crate::lazy_greedy).
     pub fn solve(&self, rule: GreedyRule) -> GreedyOutcome {
-        self.solve_with(None, rule)
+        self.solve_inner(None, rule, None, self.inst.budget())
+    }
+
+    /// [`solve`](Self::solve) under an arbitrary budget `B'` instead of the
+    /// instance's own: bit-identical to solving `inst.with_budget(B')` from
+    /// scratch, but reusing this solver's decomposition, `S₀` replay and
+    /// seed sweep (all budget-independent). This is what lets a sorted
+    /// budget sweep — [`quality_curve`](crate::quality_curve) — prepare the
+    /// sharded decomposition once.
+    pub fn solve_with_budget(&self, rule: GreedyRule, budget: u64) -> GreedyOutcome {
+        self.solve_inner(None, rule, None, budget)
     }
 
     /// Sharded equivalent of [`lazy_greedy_from`](crate::lazy_greedy_from):
@@ -342,7 +359,7 @@ impl<'a> ShardedSolver<'a> {
     /// not apply to a warm start (they were computed at the post-`S₀` state),
     /// so this path pays its own seed sweep, like the global solver.
     pub fn solve_from(&self, initial: &[PhotoId], rule: GreedyRule) -> GreedyOutcome {
-        self.solve_with(Some(initial), rule)
+        self.solve_inner(Some(initial), rule, None, self.inst.budget())
     }
 
     /// [`solve`](Self::solve) drawing every per-solve allocation (evaluator
@@ -350,7 +367,7 @@ impl<'a> ShardedSolver<'a> {
     /// `scratch`, and returning the capacity there afterwards. Bit-identical
     /// to `solve` — see [`SolveScratch`].
     pub fn solve_scratch(&self, rule: GreedyRule, scratch: &mut SolveScratch) -> GreedyOutcome {
-        self.solve_inner(None, rule, Some(scratch))
+        self.solve_inner(None, rule, Some(scratch), self.inst.budget())
     }
 
     /// Returns the prepared base evaluator's buffers to `scratch` for the
@@ -359,20 +376,16 @@ impl<'a> ShardedSolver<'a> {
         self.base.recycle(&mut scratch.base_eval);
     }
 
-    fn solve_with(&self, initial: Option<&[PhotoId]>, rule: GreedyRule) -> GreedyOutcome {
-        self.solve_inner(initial, rule, None)
-    }
-
     fn solve_inner(
         &self,
         initial: Option<&[PhotoId]>,
         rule: GreedyRule,
         mut scratch: Option<&mut SolveScratch>,
+        budget: u64,
     ) -> GreedyOutcome {
         let start = Instant::now(); // phocus-lint: allow(wall-clock) — fills the reported timing field only
         let inst = self.inst;
         let dec = &self.dec;
-        let budget = inst.budget();
         let mut ev = match scratch.as_deref_mut() {
             Some(sc) => self.base.clone_in(&mut sc.solve_eval),
             None => self.base.clone(),
@@ -407,22 +420,36 @@ impl<'a> ShardedSolver<'a> {
         // order is fully determined by the entry ordering, so all three
         // paths are transcript-identical.
         let pool = dec.singleton_pool();
+        // The prepared seeds cover every unselected photo; affordability is
+        // applied here against *this solve's* budget. At stream-build time
+        // the evaluator holds exactly the state the seeds were swept at
+        // (post-`S₀`, or the warm start), so `ev.fits` reproduces the filter
+        // the global seeding applies, for any budget.
+        let seed_ref = &ev;
         let make_stream = |s: usize, mut buf: Vec<Entry>| -> ShardStream {
             buf.clear();
             if Some(s) == pool {
                 // Frozen pool stream: reuse the pre-sorted entries on the
                 // cold path; a warm start re-keys at the warm state (pool
                 // keys are frozen from the seed sweep on, whatever the
-                // initial selection) and sorts into pop order.
+                // initial selection) and sorts into pop order. Filtering the
+                // pre-sorted entries preserves their pop order.
                 match (&self.pool_sorted, initial.is_none()) {
                     (Some(per_rule), true) => {
-                        buf.extend_from_slice(&per_rule[rule_index(rule)]);
+                        buf.extend(
+                            per_rule[rule_index(rule)]
+                                .iter()
+                                .filter(|e| seed_ref.fits(e.photo, budget))
+                                .copied(),
+                        );
                     }
                     _ => {
-                        buf.extend(seeds[s].iter().map(|&(p, delta)| Entry {
-                            key: rule.key(delta, inst.cost(p)),
-                            photo: p,
-                            epoch: 0,
+                        buf.extend(seeds[s].iter().filter_map(|&(p, delta)| {
+                            seed_ref.fits(p, budget).then_some(Entry {
+                                key: rule.key(delta, inst.cost(p)),
+                                photo: p,
+                                epoch: 0,
+                            })
                         }));
                         buf.sort_unstable_by(|a, b| b.cmp(a));
                     }
@@ -436,10 +463,12 @@ impl<'a> ShardedSolver<'a> {
                     pq_pops: 0,
                 };
             }
-            buf.extend(seeds[s].iter().map(|&(p, delta)| Entry {
-                key: rule.key(delta, inst.cost(p)),
-                photo: p,
-                epoch: 0,
+            buf.extend(seeds[s].iter().filter_map(|&(p, delta)| {
+                seed_ref.fits(p, budget).then_some(Entry {
+                    key: rule.key(delta, inst.cost(p)),
+                    photo: p,
+                    epoch: 0,
+                })
             }));
             ShardStream {
                 state: StreamState::Heap(BinaryHeap::from(buf)),
@@ -496,56 +525,10 @@ impl<'a> ShardedSolver<'a> {
                     ev.add(top.photo);
                 } else {
                     // Accept, then bump the version of every photo whose
-                    // gain read-set the add touched. Reported coverage
-                    // changes arrive grouped by subset; per group the
-                    // cheaper propagation wins: walk the changed members'
-                    // stored rows — a gain reads exactly its own and its
-                    // stored neighbors' coverage — or, when those rows are
-                    // longer than the context (or the context is
-                    // dense/unit, where one change dirties every member),
-                    // bump every member once. Both mark a superset of the
-                    // affected photos, so invalidation never costs more
-                    // than O(|q|) per changed context.
+                    // gain read-set the add touched.
                     changed.clear();
                     ev.add_tracked(top.photo, |q, j| changed.push((q, j)));
-                    let mut i = 0;
-                    while i < changed.len() {
-                        let q = changed[i].0;
-                        let mut end = i + 1;
-                        while end < changed.len() && changed[end].0 == q {
-                            end += 1;
-                        }
-                        let group = &changed[i..end];
-                        let members = &inst.subset(q).members;
-                        let precise = match inst.sim(q) {
-                            ContextSim::Sparse(sp) => {
-                                let walk: usize = group
-                                    .iter()
-                                    .map(|&(_, j)| sp.neighbors(j as usize).0.len() + 1)
-                                    .sum();
-                                (walk < members.len()).then_some(sp)
-                            }
-                            _ => None,
-                        };
-                        match precise {
-                            Some(sp) => {
-                                for &(_, j) in group {
-                                    let m = members[j as usize].index();
-                                    ver[m] = ver[m].wrapping_add(1);
-                                    for &k in sp.neighbors(j as usize).0 {
-                                        let n = members[k as usize].index();
-                                        ver[n] = ver[n].wrapping_add(1);
-                                    }
-                                }
-                            }
-                            None => {
-                                for &m in members {
-                                    ver[m.index()] = ver[m.index()].wrapping_add(1);
-                                }
-                            }
-                        }
-                        i = end;
-                    }
+                    propagate_changes(inst, &changed, &mut ver);
                 }
             }
             // Otherwise: parked before the budget tightened; global CELF
@@ -589,6 +572,59 @@ impl<'a> ShardedSolver<'a> {
             }
         }
         outcome
+    }
+}
+
+/// Bumps the staleness version of every photo whose gain read-set an accept
+/// touched, given the coverage changes [`Evaluator::add_tracked`] reported
+/// (grouped by subset, in report order).
+///
+/// Per changed subset the cheaper propagation wins: walk the changed
+/// members' stored rows — a gain reads exactly its own and its stored
+/// neighbors' coverage — or, when those rows are longer than the context
+/// (or the context is dense/unit, where one change dirties every member),
+/// bump every member once. Both mark a superset of the affected photos, so
+/// invalidation never costs more than O(|q|) per changed context. Shared by
+/// the prepared solver and the epoch-replay coordinator in
+/// [`crate::incremental`].
+pub(crate) fn propagate_changes(inst: &Instance, changed: &[(SubsetId, u32)], ver: &mut [u32]) {
+    let mut i = 0;
+    while i < changed.len() {
+        let q = changed[i].0;
+        let mut end = i + 1;
+        while end < changed.len() && changed[end].0 == q {
+            end += 1;
+        }
+        let group = &changed[i..end];
+        let members = &inst.subset(q).members;
+        let precise = match inst.sim(q) {
+            ContextSim::Sparse(sp) => {
+                let walk: usize = group
+                    .iter()
+                    .map(|&(_, j)| sp.neighbors(j as usize).0.len() + 1)
+                    .sum();
+                (walk < members.len()).then_some(sp)
+            }
+            _ => None,
+        };
+        match precise {
+            Some(sp) => {
+                for &(_, j) in group {
+                    let m = members[j as usize].index();
+                    ver[m] = ver[m].wrapping_add(1);
+                    for &k in sp.neighbors(j as usize).0 {
+                        let n = members[k as usize].index();
+                        ver[n] = ver[n].wrapping_add(1);
+                    }
+                }
+            }
+            None => {
+                for &m in members {
+                    ver[m.index()] = ver[m.index()].wrapping_add(1);
+                }
+            }
+        }
+        i = end;
     }
 }
 
@@ -728,6 +764,28 @@ mod tests {
             assert_eq!(reused.best.selected, fresh.best.selected);
             assert_eq!(reused.best.score.to_bits(), fresh.best.score.to_bits());
             assert_eq!(reused.winner, fresh.winner);
+        }
+    }
+
+    #[test]
+    fn solve_with_budget_matches_rebuilt_solver() {
+        // One prepared solver swept over many budgets must match a solver
+        // prepared per budget (and hence, transitively, the global CELF).
+        let inst = random_instance(17, &RandomInstanceConfig::default()).sparsify(0.8);
+        let solver = ShardedSolver::new(&inst);
+        let lo = inst.required_cost();
+        let hi = inst.total_cost();
+        for step in 0..6u64 {
+            let budget = lo + (hi - lo) * step / 5;
+            let scoped = inst.with_budget(budget).unwrap();
+            let fresh_solver = ShardedSolver::new(&scoped);
+            for rule in [GreedyRule::UnitCost, GreedyRule::CostBenefit] {
+                let swept = solver.solve_with_budget(rule, budget);
+                let fresh = fresh_solver.solve(rule);
+                assert_eq!(swept.selected, fresh.selected, "budget {budget} ({rule:?})");
+                assert_eq!(swept.score.to_bits(), fresh.score.to_bits());
+                assert_eq!(swept.cost, fresh.cost);
+            }
         }
     }
 

@@ -2,38 +2,216 @@
 //!
 //! Scans every `BENCH_*.json` at the repo root (newline-delimited JSON, one
 //! benchmark row per line after the leading meta line) and fails — exit
-//! code 1, offenders listed — if any row records a `speedup_mean` below 1.0
-//! without an accompanying `"known_regression"` note in the same row. Rows
-//! without a `speedup_mean` field (meta, prepare, latency) are ignored, and
-//! thread-scaling rows (`"threads": N` with `N > 1`) are skipped with a
-//! logged note when the runner itself reports a single core — a 1-core host
-//! cannot distinguish a scaling regression from dispatch overhead.
+//! code 1, offenders listed — when a recorded row breaks its contract:
 //!
-//! The parsing is deliberately a dumb string scan: the files are
-//! machine-written one-row-per-line by the bench harness, and the guard
-//! must not drag a JSON dependency into the workspace.
+//! * a `speedup_mean` below 1.0 needs a `known_regression` marker in the
+//!   row's own `note` field (a mention anywhere else on the line does not
+//!   excuse it);
+//! * a row carrying a `floor` field must record `speedup_mean >= floor` —
+//!   the mechanism behind hard perf acceptance criteria, e.g. the
+//!   incremental archiver's ≥3× re-solve floor;
+//! * `BENCH_incremental.json`, when present, must contain at least one
+//!   floor row measured at ≤1% churn with `floor >= 3.0` — so the headline
+//!   claim cannot silently rot out of the recorded baselines.
+//!
+//! Rows without a `speedup_mean` field (meta, prepare, latency) are
+//! ignored, and thread-scaling rows (`"threads": N` with `N > 1`) are
+//! skipped with a logged note when the runner itself reports a single
+//! core — a 1-core host cannot distinguish a scaling regression from
+//! dispatch overhead.
+//!
+//! Each row is parsed with a minimal flat-JSON field scanner (strings with
+//! escapes, numbers, booleans, null; nested arrays/objects are skipped
+//! balanced): the files are machine-written one object per line by the
+//! bench harness, and the guard must not drag a JSON dependency into the
+//! workspace.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Extracts the number following `"<key>":` in `line`, if any.
-fn field(line: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let at = line.find(&needle)? + needle.len();
-    let rest = line[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
+/// One top-level field value of a row. Nested containers are skipped during
+/// parsing and never materialize as values.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Null,
 }
 
-fn speedup_mean(line: &str) -> Option<f64> {
-    field(line, "speedup_mean")
+/// Parses one newline-delimited-JSON row into its top-level fields.
+///
+/// Returns `None` when the line is not a flat JSON object the scanner
+/// understands — the caller treats such lines as non-rows (the guard's
+/// inputs are machine-written, so a malformed line simply carries no
+/// checkable fields).
+fn parse_row(line: &str) -> Option<Vec<(String, Value)>> {
+    let bytes = line.trim().as_bytes();
+    if bytes.first() != Some(&b'{') || bytes.last() != Some(&b'}') {
+        return None;
+    }
+    let mut fields = Vec::new();
+    let mut i = 1usize;
+    let end = bytes.len() - 1;
+    loop {
+        i = skip_ws(bytes, i);
+        if i >= end {
+            break;
+        }
+        let (key, after_key) = parse_string(bytes, i)?;
+        i = skip_ws(bytes, after_key);
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i = skip_ws(bytes, i + 1);
+        let (value, after_value) = parse_value(bytes, i)?;
+        if let Some(v) = value {
+            fields.push((key, v));
+        }
+        i = skip_ws(bytes, after_value);
+        match bytes.get(i) {
+            Some(&b',') => i += 1,
+            _ => break,
+        }
+    }
+    Some(fields)
 }
 
-/// The worker-thread count a row was measured at, if it is a scaling row.
-fn row_threads(line: &str) -> Option<usize> {
-    field(line, "threads").map(|t| t as usize)
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while bytes.get(i).is_some_and(|b| b.is_ascii_whitespace()) {
+        i += 1;
+    }
+    i
+}
+
+/// Parses a JSON string starting at `bytes[i] == b'"'`, handling escapes.
+/// Returns the decoded text and the index just past the closing quote.
+fn parse_string(bytes: &[u8], i: usize) -> Option<(String, usize)> {
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    let mut out = String::new();
+    let mut j = i + 1;
+    while let Some(&b) = bytes.get(j) {
+        match b {
+            b'"' => return Some((out, j + 1)),
+            b'\\' => {
+                let esc = *bytes.get(j + 1)?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes.get(j + 2..j + 6)?;
+                        let code =
+                            u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        j += 4;
+                    }
+                    _ => return None,
+                }
+                j += 2;
+            }
+            _ => {
+                // Multi-byte UTF-8 sequences pass through verbatim.
+                let s = std::str::from_utf8(bytes.get(j..)?).ok()?;
+                let c = s.chars().next()?;
+                out.push(c);
+                j += c.len_utf8();
+            }
+        }
+    }
+    None
+}
+
+/// Parses one JSON value at `bytes[i]`. Scalars come back as `Some(Value)`;
+/// nested arrays/objects are skipped balanced (string-aware) and come back
+/// as `None` so they never shadow a scalar field.
+#[allow(clippy::type_complexity)]
+fn parse_value(bytes: &[u8], i: usize) -> Option<(Option<Value>, usize)> {
+    match bytes.get(i)? {
+        b'"' => {
+            let (s, j) = parse_string(bytes, i)?;
+            Some((Some(Value::Str(s)), j))
+        }
+        b't' => bytes
+            .get(i..i + 4)
+            .filter(|s| *s == b"true")
+            .map(|_| (Some(Value::Bool(true)), i + 4)),
+        b'f' => bytes
+            .get(i..i + 5)
+            .filter(|s| *s == b"false")
+            .map(|_| (Some(Value::Bool(false)), i + 5)),
+        b'n' => bytes
+            .get(i..i + 4)
+            .filter(|s| *s == b"null")
+            .map(|_| (Some(Value::Null), i + 4)),
+        b'[' | b'{' => {
+            let mut depth = 0usize;
+            let mut j = i;
+            while let Some(&b) = bytes.get(j) {
+                match b {
+                    b'[' | b'{' => {
+                        depth += 1;
+                        j += 1;
+                    }
+                    b']' | b'}' => {
+                        depth -= 1;
+                        j += 1;
+                        if depth == 0 {
+                            return Some((None, j));
+                        }
+                    }
+                    b'"' => {
+                        let (_, next) = parse_string(bytes, j)?;
+                        j = next;
+                    }
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        _ => {
+            let mut j = i;
+            while bytes.get(j).is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'.' | b'-' | b'+' | b'e' | b'E')
+            }) {
+                j += 1;
+            }
+            let text = std::str::from_utf8(&bytes[i..j]).ok()?;
+            text.parse().ok().map(|n| (Some(Value::Num(n)), j))
+        }
+    }
+}
+
+/// A parsed row plus the field accessors the guard's rules need.
+struct Row {
+    fields: Vec<(String, Value)>,
+}
+
+impl Row {
+    fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn num(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn note(&self) -> &str {
+        match self.get("note") {
+            Some(Value::Str(s)) => s,
+            _ => "",
+        }
+    }
 }
 
 /// The repo root: the workspace directory two levels above this crate.
@@ -69,18 +247,23 @@ fn main() -> ExitCode {
     let mut skipped = 0usize;
     let mut offenders = Vec::new();
     for path in &files {
+        let name = path.file_name().unwrap().to_str().unwrap();
         let text = std::fs::read_to_string(path).expect("readable bench file");
+        let mut incremental_floor_rows = 0usize;
         for (lineno, line) in text.lines().enumerate() {
-            let Some(mean) = speedup_mean(line) else {
+            let Some(fields) = parse_row(line) else {
+                continue;
+            };
+            let row = Row { fields };
+            let Some(mean) = row.num("speedup_mean") else {
                 continue;
             };
             if cores == 1 {
-                if let Some(threads) = row_threads(line) {
-                    if threads > 1 {
+                if let Some(threads) = row.num("threads") {
+                    if threads > 1.0 {
                         eprintln!(
-                            "bench_guard: note: skipping thread-scaling row {}:{} \
+                            "bench_guard: note: skipping thread-scaling row {name}:{} \
                              (threads={threads}) — runner reports 1 core",
-                            path.file_name().unwrap().to_str().unwrap(),
                             lineno + 1,
                         );
                         skipped += 1;
@@ -89,14 +272,32 @@ fn main() -> ExitCode {
                 }
             }
             rows += 1;
-            if mean < 1.0 && !line.contains("known_regression") {
+            if mean < 1.0 && !row.note().contains("known_regression") {
                 offenders.push(format!(
-                    "{}:{}: speedup_mean {} < 1.0 without a known_regression note",
-                    path.file_name().unwrap().to_str().unwrap(),
+                    "{name}:{}: speedup_mean {mean} < 1.0 without a known_regression note",
                     lineno + 1,
-                    mean
                 ));
             }
+            if let Some(floor) = row.num("floor") {
+                if mean < floor {
+                    offenders.push(format!(
+                        "{name}:{}: speedup_mean {mean} below its recorded floor {floor}",
+                        lineno + 1,
+                    ));
+                }
+                if name == "BENCH_incremental.json"
+                    && row.num("churn").is_some_and(|c| c <= 0.01)
+                    && floor >= 3.0
+                {
+                    incremental_floor_rows += 1;
+                }
+            }
+        }
+        if name == "BENCH_incremental.json" && incremental_floor_rows == 0 {
+            offenders.push(format!(
+                "{name}: needs at least one row with churn <= 0.01 and floor >= 3.0 \
+                 — the incremental archiver's headline acceptance criterion",
+            ));
         }
     }
 
@@ -113,5 +314,64 @@ fn main() -> ExitCode {
             eprintln!("bench_guard: {o}");
         }
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_rows() {
+        let row = parse_row(
+            r#"{"name":"a/b","speedup_mean":2.5,"ok":true,"nothing":null,"threads":4}"#,
+        )
+        .unwrap();
+        let row = Row { fields: row };
+        assert_eq!(row.num("speedup_mean"), Some(2.5));
+        assert_eq!(row.num("threads"), Some(4.0));
+        assert_eq!(row.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(row.get("nothing"), Some(&Value::Null));
+        assert_eq!(row.get("name"), Some(&Value::Str("a/b".into())));
+    }
+
+    #[test]
+    fn decodes_string_escapes() {
+        let row = parse_row(r#"{"note":"tab\there \"quoted\" µs"}"#).unwrap();
+        let row = Row { fields: row };
+        assert_eq!(row.note(), "tab\there \"quoted\" µs");
+    }
+
+    #[test]
+    fn skips_nested_containers_balanced() {
+        let row = parse_row(
+            r#"{"samples":[1,2,{"x":"}"}],"meta":{"a":[1]},"speedup_mean":1.25}"#,
+        )
+        .unwrap();
+        let row = Row { fields: row };
+        assert_eq!(row.num("speedup_mean"), Some(1.25));
+        assert!(row.get("samples").is_none());
+        assert!(row.get("meta").is_none());
+    }
+
+    #[test]
+    fn known_regression_must_live_in_the_note_field() {
+        let excused =
+            parse_row(r#"{"speedup_mean":0.9,"note":"known_regression: arena reuse"}"#).unwrap();
+        let excused = Row { fields: excused };
+        assert!(excused.note().contains("known_regression"));
+
+        // The phrase appearing in any *other* field must not excuse the row.
+        let smuggled =
+            parse_row(r#"{"speedup_mean":0.9,"name":"known_regression","note":"fast"}"#).unwrap();
+        let smuggled = Row { fields: smuggled };
+        assert!(!smuggled.note().contains("known_regression"));
+    }
+
+    #[test]
+    fn rejects_non_objects() {
+        assert!(parse_row("not json").is_none());
+        assert!(parse_row("[1,2,3]").is_none());
+        assert!(parse_row("").is_none());
     }
 }

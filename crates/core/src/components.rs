@@ -55,18 +55,75 @@ pub struct ComponentView {
     pub subsets: Vec<SubsetId>,
 }
 
+/// The labeling part of a component decomposition: which shard every photo
+/// belongs to, without the materialized per-shard sub-instances.
+///
+/// This is the state the epoch-delta layer ([`crate::delta`]) maintains
+/// incrementally: applying a delta re-labels only the *dirty* components and
+/// copies clean labels through, and the result must equal a from-scratch
+/// [`shard_labels`] of the post-delta instance exactly — same partition,
+/// same shard numbers (pinned by proptests in the integration suite).
+/// Derives `PartialEq`/`Eq` so that equality check is a one-liner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLabels {
+    /// `photo_shard[p]` = shard index of photo `p`'s component.
+    photo_shard: Vec<u32>,
+    /// Number of shards (≥ 1 for any non-empty instance).
+    num_shards: usize,
+    /// Index of the merged singleton shard, if one was formed.
+    singleton_pool: Option<usize>,
+}
+
+impl ShardLabels {
+    /// Number of shards (≥ 1 for any non-empty instance).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard index of a global photo.
+    #[inline]
+    pub fn shard_of(&self, p: PhotoId) -> usize {
+        self.photo_shard[p.index()] as usize
+    }
+
+    /// Per-photo shard indices, indexed by [`PhotoId`].
+    #[inline]
+    pub fn photo_shards(&self) -> &[u32] {
+        &self.photo_shard
+    }
+
+    /// The shard holding all merged single-photo components, if any.
+    #[inline]
+    pub fn singleton_pool(&self) -> Option<usize> {
+        self.singleton_pool
+    }
+
+    /// Assembles labels from raw parts (used by the incremental maintenance
+    /// in [`crate::delta`]).
+    pub(crate) fn from_parts(
+        photo_shard: Vec<u32>,
+        num_shards: usize,
+        singleton_pool: Option<usize>,
+    ) -> Self {
+        ShardLabels {
+            photo_shard,
+            num_shards,
+            singleton_pool,
+        }
+    }
+}
+
 /// The full component decomposition of an instance: a true partition of the
 /// photos plus per-photo shard/local lookup tables.
 #[derive(Debug)]
 pub struct Decomposition {
     /// The component sub-views, ordered by their smallest global photo id.
     pub shards: Vec<ComponentView>,
-    /// `photo_shard[p]` = index into `shards` of photo `p`'s component.
-    photo_shard: Vec<u32>,
+    /// The shard labeling (shared with the lighter [`shard_labels`] path).
+    labels: ShardLabels,
     /// `photo_local[p]` = photo `p`'s local index within its shard.
     photo_local: Vec<u32>,
-    /// Index of the merged singleton shard, if one was formed.
-    singleton_pool: Option<usize>,
 }
 
 impl Decomposition {
@@ -79,7 +136,7 @@ impl Decomposition {
     /// The shard index of a global photo.
     #[inline]
     pub fn shard_of(&self, p: PhotoId) -> usize {
-        self.photo_shard[p.index()] as usize
+        self.labels.shard_of(p)
     }
 
     /// The shard-local id of a global photo.
@@ -91,25 +148,34 @@ impl Decomposition {
     /// The shard holding all merged single-photo components, if any.
     #[inline]
     pub fn singleton_pool(&self) -> Option<usize> {
-        self.singleton_pool
+        self.labels.singleton_pool()
+    }
+
+    /// The shard labeling underlying this decomposition.
+    #[inline]
+    pub fn labels(&self) -> &ShardLabels {
+        &self.labels
     }
 }
 
 /// Union-find over photo ids with path halving and union by size.
-struct Dsu {
+///
+/// Crate-visible so the epoch-delta layer ([`crate::delta`]) can reuse it to
+/// re-cluster dirty photos with identical union semantics.
+pub(crate) struct Dsu {
     parent: Vec<u32>,
-    size: Vec<u32>,
+    pub(crate) size: Vec<u32>,
 }
 
 impl Dsu {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Dsu {
             parent: (0..n as u32).collect(),
             size: vec![1; n],
         }
     }
 
-    fn find(&mut self, mut x: u32) -> u32 {
+    pub(crate) fn find(&mut self, mut x: u32) -> u32 {
         while self.parent[x as usize] != x {
             let grand = self.parent[self.parent[x as usize] as usize];
             self.parent[x as usize] = grand;
@@ -118,7 +184,7 @@ impl Dsu {
         x
     }
 
-    fn union(&mut self, a: u32, b: u32) {
+    pub(crate) fn union(&mut self, a: u32, b: u32) {
         let (ra, rb) = (self.find(a), self.find(b));
         if ra == rb {
             return;
@@ -133,16 +199,11 @@ impl Dsu {
     }
 }
 
-/// Computes the connected components of `inst`'s photo-interaction graph and
-/// materializes one [`ComponentView`] per component (singletons pooled).
+/// Runs the interaction-graph union pass for `inst` into `dsu`.
 ///
-/// The decomposition is a true partition: every photo lands in exactly one
-/// shard, every query fragment lies wholly inside one shard, the fragments
-/// of a query partition its members, and no stored similarity edge crosses
-/// shards. Runs in `O(n + Σ_q E_q · α)` time.
-pub fn decompose(inst: &Instance) -> Decomposition {
-    let n = inst.num_photos();
-    let mut dsu = Dsu::new(n);
+/// Shared by the full [`shard_labels`] pass and the delta layer (which runs
+/// it over the post-delta instance restricted to dirty photos).
+pub(crate) fn union_interactions(inst: &Instance, dsu: &mut Dsu) {
     for q in inst.subsets() {
         match inst.sim(q.id) {
             ContextSim::Sparse(sp) => {
@@ -163,10 +224,21 @@ pub fn decompose(inst: &Instance) -> Decomposition {
             }
         }
     }
+}
 
-    // Shard numbering: components in first-seen order by ascending photo id,
-    // with all single-photo components collapsed onto one pool shard (when
-    // there are at least two of them).
+/// Computes the shard labeling of `inst` — the component partition plus the
+/// deterministic shard numbering — without materializing sub-instances.
+///
+/// Numbering: components in first-seen order by ascending photo id, with all
+/// single-photo components collapsed onto one pool shard (when there are at
+/// least two of them). This is the cheap prefix of [`decompose`] and the
+/// ground truth the incremental relabeling in [`crate::delta`] must
+/// reproduce exactly.
+pub fn shard_labels(inst: &Instance) -> ShardLabels {
+    let n = inst.num_photos();
+    let mut dsu = Dsu::new(n);
+    union_interactions(inst, &mut dsu);
+
     let mut singletons = 0usize;
     for p in 0..n as u32 {
         let root = dsu.find(p) as usize;
@@ -197,7 +269,25 @@ pub fn decompose(inst: &Instance) -> Decomposition {
         photo_shard[p as usize] = shard;
     }
 
-    let num_shards = next as usize;
+    ShardLabels::from_parts(
+        photo_shard,
+        next as usize,
+        (pool_shard != u32::MAX).then_some(pool_shard as usize),
+    )
+}
+
+/// Computes the connected components of `inst`'s photo-interaction graph and
+/// materializes one [`ComponentView`] per component (singletons pooled).
+///
+/// The decomposition is a true partition: every photo lands in exactly one
+/// shard, every query fragment lies wholly inside one shard, the fragments
+/// of a query partition its members, and no stored similarity edge crosses
+/// shards. Runs in `O(n + Σ_q E_q · α)` time.
+pub fn decompose(inst: &Instance) -> Decomposition {
+    let n = inst.num_photos();
+    let labels = shard_labels(inst);
+    let photo_shard = labels.photo_shards();
+    let num_shards = labels.num_shards();
     let mut photo_local = vec![0u32; n];
     let mut shard_globals: Vec<Vec<PhotoId>> = vec![Vec::new(); num_shards];
     for p in 0..n {
@@ -307,9 +397,8 @@ pub fn decompose(inst: &Instance) -> Decomposition {
 
     Decomposition {
         shards,
-        photo_shard,
+        labels,
         photo_local,
-        singleton_pool: (pool_shard != u32::MAX).then_some(pool_shard as usize),
     }
 }
 

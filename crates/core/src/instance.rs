@@ -34,8 +34,13 @@ struct Core {
     required_ids: Vec<PhotoId>,
     required_cost: u64,
     subsets: Vec<Subset>,
-    /// `memberships[p]` lists every (subset, local index) containing photo p.
-    memberships: Vec<Vec<Membership>>,
+    /// CSR reverse index: photo `p`'s memberships are
+    /// `membership_data[membership_offsets[p] .. membership_offsets[p + 1]]`.
+    /// Flat storage keeps the per-epoch instance rebuild of
+    /// [`crate::delta`] to two allocations and the hot coverage loops of
+    /// [`crate::objective`] on one contiguous buffer.
+    membership_offsets: Vec<u32>,
+    membership_data: Vec<Membership>,
     total_cost: u64,
 }
 
@@ -150,7 +155,9 @@ impl Instance {
     /// Every (subset, local index) membership of photo `p`.
     #[inline]
     pub fn memberships(&self, p: PhotoId) -> &[Membership] {
-        &self.core.memberships[p.index()]
+        let lo = self.core.membership_offsets[p.index()] as usize;
+        let hi = self.core.membership_offsets[p.index() + 1] as usize;
+        &self.core.membership_data[lo..hi]
     }
 
     /// The maximum attainable objective value `Σ_q W(q)`, achieved by
@@ -240,13 +247,36 @@ impl Instance {
         sims: Vec<Arc<ContextSim>>,
     ) -> Instance {
         let n = photos.len();
-        let mut memberships: Vec<Vec<Membership>> = vec![Vec::new(); n];
+        // Two-pass CSR build: count per-photo degrees, prefix-sum into
+        // offsets, then scatter (restoring offsets afterwards). Subset order
+        // within a photo's slice matches the old per-photo push order
+        // because subsets are visited ascending both times.
+        let mut membership_offsets = vec![0u32; n + 1];
+        for q in &subsets {
+            for &m in &q.members {
+                membership_offsets[m.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            membership_offsets[i + 1] += membership_offsets[i];
+        }
+        let total_members = membership_offsets[n] as usize;
+        let mut membership_data = vec![
+            Membership {
+                subset: SubsetId(0),
+                local: 0,
+            };
+            total_members
+        ];
+        let mut cursor = membership_offsets.clone();
         for q in &subsets {
             for (local, &m) in q.members.iter().enumerate() {
-                memberships[m.index()].push(Membership {
+                let slot = cursor[m.index()] as usize;
+                cursor[m.index()] += 1;
+                membership_data[slot] = Membership {
                     subset: q.id,
                     local: local as u32,
-                });
+                };
             }
         }
         let mut required_flags = vec![false; n];
@@ -262,7 +292,8 @@ impl Instance {
                 required_ids: required,
                 required_cost,
                 subsets,
-                memberships,
+                membership_offsets,
+                membership_data,
                 total_cost,
             }),
             sims: Arc::new(sims),
@@ -295,7 +326,7 @@ impl InstanceBuilder {
 
     /// Adds a photo with the given human-readable name and byte cost,
     /// returning its id.
-    pub fn add_photo(&mut self, name: impl Into<String>, cost: u64) -> PhotoId {
+    pub fn add_photo(&mut self, name: impl Into<Arc<str>>, cost: u64) -> PhotoId {
         let id = PhotoId(self.photos.len() as u32);
         self.photos.push(Photo::new(id, name, cost));
         id
@@ -316,7 +347,7 @@ impl InstanceBuilder {
     /// [`build`]: InstanceBuilder::build_with_provider
     pub fn add_subset(
         &mut self,
-        label: impl Into<String>,
+        label: impl Into<Arc<str>>,
         weight: f64,
         members: Vec<PhotoId>,
         relevance: Vec<f64>,
@@ -332,7 +363,7 @@ impl InstanceBuilder {
             label: label.into(),
             weight,
             members,
-            relevance,
+            relevance: relevance.into(),
         });
         id
     }
@@ -417,7 +448,7 @@ impl InstanceBuilder {
                 seen[m.index()] = true;
             }
             let mut sum = 0.0;
-            for &r in &q.relevance {
+            for &r in q.relevance.iter() {
                 if !r.is_finite() || r <= 0.0 {
                     return Err(ModelError::InvalidRelevance {
                         subset: q.id,
@@ -427,9 +458,7 @@ impl InstanceBuilder {
                 sum += r;
             }
             // Normalize so Σ_{p∈q} R(q,p) = 1 (Section 3.1).
-            for r in &mut q.relevance {
-                *r /= sum;
-            }
+            q.relevance = q.relevance.iter().map(|r| r / sum).collect();
         }
         Ok((self.photos, self.required, self.subsets, self.budget))
     }

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod components;
+pub mod delta;
 pub mod error;
 pub mod fixtures;
 pub mod ids;
@@ -76,7 +77,8 @@ pub mod solution;
 pub mod stats;
 pub mod subset;
 
-pub use components::{decompose, ComponentView, Decomposition};
+pub use components::{decompose, shard_labels, ComponentView, Decomposition, ShardLabels};
+pub use delta::{apply_delta, AppliedDelta, EpochDelta, MemberRef, PhotoAdd, QueryAdd};
 pub use error::{ModelError, Result};
 pub use ids::{PhotoId, SubsetId};
 pub use instance::{Instance, InstanceBuilder, Membership};

@@ -282,7 +282,7 @@ impl<'a> Evaluator<'a> {
         wr.reserve(total);
         for q in inst.subsets() {
             let w = q.weight;
-            for &r in &q.relevance {
+            for &r in q.relevance.iter() {
                 wr.push(w * r);
             }
             off.push(wr.len() as u32);
@@ -632,7 +632,7 @@ fn exact_subset_score_flags(inst: &Instance, qid: SubsetId, selected: &[bool]) -
     let sim = inst.sim(qid);
     let mut total = 0.0;
     let mut ops = 0u64;
-    for (i, (&p, &r)) in q.members.iter().zip(&q.relevance).enumerate() {
+    for (i, (&p, &r)) in q.members.iter().zip(q.relevance.iter()).enumerate() {
         let mut best = 0.0;
         if selected[p.index()] {
             best = 1.0;

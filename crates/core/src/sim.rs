@@ -576,7 +576,7 @@ mod tests {
             label: "t".into(),
             weight: 1.0,
             members: vec![PhotoId(0), PhotoId(1), PhotoId(2)],
-            relevance: vec![0.4, 0.3, 0.3],
+            relevance: vec![0.4, 0.3, 0.3].into(),
         }
     }
 
@@ -586,7 +586,7 @@ mod tests {
             label: "e".into(),
             weight: 1.0,
             members: vec![],
-            relevance: vec![],
+            relevance: Vec::new().into(),
         }
     }
 

@@ -2,6 +2,7 @@
 //! weight `W(q)` and normalized relevance scores `R(q, ·)`.
 
 use crate::{PhotoId, SubsetId};
+use std::sync::Arc;
 
 /// A pre-defined subset of photos (a landing page, album, label group, or
 /// query result set), together with its importance weight and the relevance
@@ -18,13 +19,18 @@ pub struct Subset {
     /// Dense identifier of this subset within its instance.
     pub id: SubsetId,
     /// Human-readable label (query text, album title, product-category name).
-    pub label: String,
+    /// Shared (`Arc<str>`) so per-epoch subset compaction in
+    /// [`crate::delta`] aliases surviving labels instead of copying them.
+    pub label: Arc<str>,
     /// Importance weight `W(q)`.
     pub weight: f64,
     /// Member photos, in the order their relevance scores are stored.
     pub members: Vec<PhotoId>,
     /// Normalized relevance `R(q, p)` parallel to `members`; sums to 1.
-    pub relevance: Vec<f64>,
+    /// Shared (`Arc<[f64]>`) because relevance bits survive epoch deltas and
+    /// component splits verbatim — intact subsets alias the same storage
+    /// across [`crate::delta`] rebuilds instead of copying it.
+    pub relevance: Arc<[f64]>,
 }
 
 impl Subset {
@@ -67,7 +73,7 @@ mod tests {
             label: "Bikes".into(),
             weight: 9.0,
             members: vec![PhotoId(0), PhotoId(1), PhotoId(2)],
-            relevance: vec![0.5, 0.3, 0.2],
+            relevance: vec![0.5, 0.3, 0.2].into(),
         }
     }
 

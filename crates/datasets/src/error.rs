@@ -28,6 +28,10 @@ pub enum DatasetError {
         /// The offending cumulative value.
         value: f64,
     },
+    /// A churn-trace operation references a photo name or query label that
+    /// does not resolve against the live instance (unknown, ambiguous, or
+    /// duplicated within one epoch). See [`crate::churn::resolve_epoch`].
+    TraceResolve(String),
 }
 
 impl fmt::Display for DatasetError {
@@ -42,6 +46,7 @@ impl fmt::Display for DatasetError {
                 f,
                 "Zipf CDF is not finite and strictly increasing at rank {index} (value {value})"
             ),
+            DatasetError::TraceResolve(msg) => write!(f, "trace resolution: {msg}"),
         }
     }
 }

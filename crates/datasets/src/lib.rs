@@ -20,12 +20,17 @@
 //!   [`Universe`] into a solvable [`par_core::Instance`] (dense or
 //!   LSH-sparsified);
 //! * [`zipf`] — a seeded Zipf sampler used by both generators;
-//! * [`table2`] — reproduces Table 2's dataset-statistics rows.
+//! * [`table2`] — reproduces Table 2's dataset-statistics rows;
+//! * [`churn`] — epoch churn traces for the incremental archiver: a
+//!   generator evolving an instance through photo arrivals/removals and
+//!   query drift, a name-based `# phocus-trace v1` text format, and a
+//!   per-epoch resolver producing [`par_core::EpochDelta`]s.
 
 #![forbid(unsafe_code)]
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod ecommerce;
 pub mod error;
 pub mod fleet;
@@ -35,6 +40,10 @@ pub mod table2;
 pub mod universe;
 pub mod zipf;
 
+pub use churn::{
+    generate_churn, resolve_epoch, trace_from_text, trace_to_text, ChurnConfig, ChurnTrace,
+    TraceOp,
+};
 pub use ecommerce::{generate_ecommerce, EcConfig, EcDomain};
 pub use error::DatasetError;
 pub use fleet::{generate_fleet, FleetConfig};

@@ -323,10 +323,10 @@ mod tests {
         let n = members.len();
         Subset {
             id: SubsetId(id),
-            label: format!("q{id}"),
+            label: format!("q{id}").into(),
             weight: 1.0,
             members,
-            relevance: vec![1.0 / n as f64; n],
+            relevance: vec![1.0 / n as f64; n].into(),
         }
     }
 

@@ -6,6 +6,7 @@
 //! phocus solve --dataset p1k --budget-mb 10 [--tau 0.6] [--ns] [--seed 42]
 //! phocus suite --dataset ec-fashion --budget-mb 100 [--seed 42]
 //! phocus serve-batch --list tenants.txt --budget-frac 0.25 [--out-dir sols/]
+//! phocus epochs --dataset p1k --budget-mb 10 --epochs 8 --churn 0.01 [--check]
 //! ```
 //!
 //! Every failure exits with a diagnostic on stderr and a documented nonzero
@@ -25,8 +26,8 @@ use par_datasets::{
 };
 use phocus::{
     render_report, representation::RepresentationConfig, representation::Sparsification, run_suite,
-    FleetEngine, FleetEngineConfig, FleetTenant, Parallelism, Phocus, PhocusConfig, PhocusError,
-    SuiteConfig,
+    ArchiveSession, EpochSolve, FleetEngine, FleetEngineConfig, FleetTenant, Parallelism, Phocus,
+    PhocusConfig, PhocusError, SuiteConfig,
 };
 use std::process::ExitCode;
 
@@ -36,12 +37,15 @@ enum CliError {
     Usage(String),
     /// A typed error from the PHOcus pipeline (parse, model, I/O, …).
     Pipeline(PhocusError),
-    /// `serve-batch` completed but some tenants failed (exit code 5).
+    /// A batch run completed but some of its units failed (exit code 5):
+    /// tenants for `serve-batch`, epochs for `epochs`.
     PartialFailure {
-        /// Tenants that failed to load or solve.
+        /// Units that failed to load, resolve, or solve.
         failed: usize,
-        /// Tenants in the batch.
+        /// Units in the run.
         total: usize,
+        /// What a unit is ("tenants", "epochs") — for the diagnostic line.
+        what: &'static str,
     },
 }
 
@@ -73,8 +77,12 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Pipeline(e) => write!(f, "{e}"),
-            CliError::PartialFailure { failed, total } => {
-                write!(f, "{failed} of {total} tenants failed")
+            CliError::PartialFailure {
+                failed,
+                total,
+                what,
+            } => {
+                write!(f, "{failed} of {total} {what} failed")
             }
         }
     }
@@ -96,6 +104,7 @@ fn main() -> ExitCode {
         "export" => cmd_export(rest),
         "plan" => cmd_plan(rest),
         "serve-batch" => cmd_serve_batch(rest),
+        "epochs" => cmd_epochs(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -125,6 +134,9 @@ USAGE:
   phocus plan --dataset <NAME> --target <FRACTION> [--seed N]
   phocus serve-batch --list <FILE|-> [--budget-frac F | --budget-mb MB]
                [--tau T] [--ns] [--threads N] [--fresh-arenas] [--out-dir DIR]
+  phocus epochs --dataset <NAME> --budget-mb <MB> [--trace FILE]
+               [--epochs N] [--churn F] [--tau T] [--ns] [--seed N]
+               [--threads N] [--check] [--export-trace FILE]
 
 DATASETS: p1k p5k p10k p50k p100k ec-fashion ec-electronics ec-home file:<path>
   (EC datasets use the scaled-down generator; pass --paper-scale for full size)
@@ -137,8 +149,19 @@ SERVE-BATCH: --list names a file with one tenant universe path per line
   tenant only; the rest of the batch still solves. --out-dir writes one
   retained-set TSV per solved tenant.
 
+EPOCHS: keeps one archive session resident and replays a churn trace —
+  either a `# phocus-trace v1` file (--trace) or one generated on the fly
+  from --epochs rounds at --churn total membership turnover per round
+  (half removals, half arrivals). One status line per
+  epoch: `ok epoch=K ...` or `fail epoch=K: <reason>`. A delta that does
+  not resolve or apply fails that epoch only; the session keeps its warm
+  state and later epochs still solve. --check re-solves every epoch from
+  scratch and verifies the incremental solution is bit-identical.
+  --export-trace writes the (generated) trace for later replay.
+
 EXIT CODES: 0 success, 2 usage error, 3 invalid input data, 4 I/O failure,
-  5 partial failure (serve-batch: some tenants failed, batch completed)";
+  5 partial failure (serve-batch / epochs: some tenants or epochs failed,
+  the run itself completed)";
 
 fn flag(rest: &[String], name: &str) -> bool {
     rest.iter().any(|a| a == name)
@@ -508,7 +531,157 @@ fn cmd_serve_batch(rest: &[String]) -> Result<(), CliError> {
         (total - failed) as f64 / batch_secs.max(1e-9)
     );
     if failed > 0 {
-        return Err(CliError::PartialFailure { failed, total });
+        return Err(CliError::PartialFailure {
+            failed,
+            total,
+            what: "tenants",
+        });
+    }
+    Ok(())
+}
+
+/// `epochs`: one resident [`ArchiveSession`] replaying a churn trace, one
+/// status line per epoch. A delta that does not resolve or apply fails that
+/// epoch only — the session keeps its instance and warm stream caches — and
+/// the run exits 5 if any epoch failed, mirroring `serve-batch`.
+fn cmd_epochs(rest: &[String]) -> Result<(), CliError> {
+    let dataset = opt(rest, "--dataset").ok_or_else(|| CliError::usage("missing --dataset"))?;
+    let budget_mb: f64 = parse(rest, "--budget-mb", 10.0)?;
+    let tau: f64 = parse(rest, "--tau", 0.6)?;
+    let seed: u64 = parse(rest, "--seed", 42)?;
+    let epochs_n: usize = parse(rest, "--epochs", 8)?;
+    let churn: f64 = parse(rest, "--churn", 0.01)?;
+    let threads: usize = parse(rest, "--threads", 0)?;
+    let check = flag(rest, "--check");
+    if !(0.0..=1.0).contains(&churn) || churn.is_nan() {
+        return Err(CliError::usage(format!(
+            "--churn must be in [0, 1], got {churn}"
+        )));
+    }
+
+    let universe = load_dataset(&dataset, seed, flag(rest, "--paper-scale"))?;
+    let budget = (budget_mb * 1e6) as u64;
+    let representation = if flag(rest, "--ns") {
+        RepresentationConfig::phocus_ns()
+    } else {
+        RepresentationConfig {
+            sparsification: Sparsification::Lsh {
+                tau,
+                target_recall: 0.95,
+                seed,
+            },
+            ..Default::default()
+        }
+    };
+    let inst = phocus::represent(&universe, budget, &representation)?;
+
+    let trace = match opt(rest, "--trace") {
+        Some(path) => {
+            let text = read_file(&path)?;
+            par_datasets::trace_from_text(&text)
+                .map_err(|e| CliError::Pipeline(PhocusError::Dataset(e)))?
+        }
+        None => {
+            let n = inst.num_photos() as f64;
+            // `--churn` is the *total* per-epoch membership turnover (the
+            // same convention as BENCH_incremental.json): half of it photos
+            // leaving, half arriving.
+            par_datasets::generate_churn(
+                &inst,
+                &par_datasets::ChurnConfig {
+                    epochs: epochs_n,
+                    removal_fraction: churn / 2.0,
+                    arrivals_mean: (churn * n / 2.0).max(1.0),
+                    drift_mean: 1.0,
+                    budget_wobble: 0.05,
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| CliError::Pipeline(PhocusError::Dataset(e)))?
+        }
+    };
+    if let Some(out) = opt(rest, "--export-trace") {
+        write_file(&out, &par_datasets::trace_to_text(&trace))?;
+        println!("wrote trace to {out} ({} epochs)", trace.epochs.len());
+    }
+
+    let prev = Parallelism::with_threads(threads).install_global();
+    let result = run_epochs(inst, &trace, check);
+    prev.install_global();
+    result
+}
+
+/// The epoch replay loop behind [`cmd_epochs`], separated so the ambient
+/// thread pool is restored on every exit path.
+fn run_epochs(
+    inst: par_core::Instance,
+    trace: &par_datasets::ChurnTrace,
+    check: bool,
+) -> Result<(), CliError> {
+    let mut session = ArchiveSession::new(inst);
+    let mut failed = 0usize;
+    let total = trace.epochs.len();
+    // One iteration per epoch, plus the initial from-cold solve as epoch 0.
+    for k in 0..=total {
+        let t0 = std::time::Instant::now(); // phocus-lint: allow(wall-clock) — fills the reported per-epoch latency field only
+        let solved: Result<EpochSolve, PhocusError> = if k == 0 {
+            Ok(session.resolve())
+        } else {
+            (|| {
+                let delta = par_datasets::resolve_epoch(&trace.epochs[k - 1], session.instance())?;
+                Ok(session.apply_delta(&delta)?.resolve())
+            })()
+        };
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let solve = match solved {
+            Err(e) => {
+                failed += 1;
+                println!("fail\tepoch={k}\t{e}");
+                continue;
+            }
+            Ok(s) => s,
+        };
+        let dirty = match (k, session.last_delta_stats()) {
+            (0, _) | (_, None) => "all".to_string(),
+            (_, Some(d)) => format!("{}/{}", d.dirty_shards, d.num_shards),
+        };
+        let check_field = if check {
+            let scratch = par_algo::main_algorithm_sharded(session.instance());
+            let identical = solve.outcome.best.selected == scratch.best.selected
+                && solve.outcome.best.score.to_bits() == scratch.best.score.to_bits()
+                && solve.outcome.winner == scratch.winner;
+            if !identical {
+                failed += 1;
+                println!("fail\tepoch={k}\tincremental solve diverged from from-scratch solve");
+                continue;
+            }
+            "\tcheck=ok"
+        } else {
+            ""
+        };
+        println!(
+            "ok\tepoch={k}\tphotos={}\tdirty_shards={dirty}\treplayed={}\tlive={}\tretained={}\tcost_mb={:.2}\tscore={:.3}\tms={:.1}{check_field}",
+            session.instance().num_photos(),
+            solve.report.replayed_streams,
+            solve.report.live_streams,
+            solve.outcome.best.selected.len(),
+            solve.outcome.best.cost as f64 / 1e6,
+            solve.outcome.best.score,
+            ms,
+        );
+    }
+    println!(
+        "session\tepochs={}\tok={}\tfailed={failed}",
+        total + 1,
+        total + 1 - failed
+    );
+    if failed > 0 {
+        return Err(CliError::PartialFailure {
+            failed,
+            total: total + 1,
+            what: "epochs",
+        });
     }
     Ok(())
 }

@@ -19,8 +19,11 @@
 //! harness in `par-bench`. [`fleet`] scales the pipeline from one library to
 //! many: a multi-tenant engine that schedules tenant solves largest-first
 //! across the persistent worker pool and reuses solver arenas between
-//! tenants (`phocus serve-batch`). The `phocus` binary exposes all of it on
-//! the command line.
+//! tenants (`phocus serve-batch`). [`session`] scales it through *time*: an
+//! [`ArchiveSession`] keeps the instance and warm per-component solver state
+//! resident across epochs, applying [`par_core::EpochDelta`]s and replaying
+//! clean-component stream transcripts (`phocus epochs`). The `phocus` binary
+//! exposes all of it on the command line.
 
 #![forbid(unsafe_code)]
 
@@ -32,6 +35,7 @@ pub mod fleet;
 pub mod planner;
 pub mod report;
 pub mod representation;
+pub mod session;
 pub mod solver;
 pub mod suite;
 
@@ -47,5 +51,6 @@ pub use par_exec::Parallelism;
 pub use planner::{minimal_budget, minimal_budget_with, BudgetPlan};
 pub use report::render_report;
 pub use representation::{non_contextual_view, represent, RepresentationConfig, Sparsification};
+pub use session::{ArchiveSession, EpochSolve};
 pub use solver::{Phocus, PhocusConfig, PhocusReport};
 pub use suite::{run_suite, SuiteConfig, SuiteEntry, SuiteResult};

@@ -368,10 +368,10 @@ fn reconstruct_subsets(universe: &Universe) -> Vec<Subset> {
         .enumerate()
         .map(|(i, s)| Subset {
             id: SubsetId(i as u32),
-            label: s.label.clone(),
+            label: s.label.as_str().into(),
             weight: s.weight,
             members: s.members.iter().map(|&m| PhotoId(m)).collect(),
-            relevance: s.relevance.clone(),
+            relevance: s.relevance.as_slice().into(),
         })
         .collect()
 }

@@ -53,7 +53,7 @@ impl GflInstance {
         let mut edges: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n];
         for q in inst.subsets() {
             let sim = inst.sim(q.id);
-            for (local, (&p, &r)) in q.members.iter().zip(&q.relevance).enumerate() {
+            for (local, (&p, &r)) in q.members.iter().zip(q.relevance.iter()).enumerate() {
                 let right_idx = right.len() as u32;
                 right.push(RightNode {
                     subset: q.id,

@@ -74,7 +74,7 @@ proptest! {
                 let frag = &view.instance.subsets()[local_q];
                 let global = &inst.subsets()[gq.index()];
                 prop_assert_eq!(frag.weight.to_bits(), global.weight.to_bits());
-                for (k, (&m, &r)) in frag.members.iter().zip(&frag.relevance).enumerate() {
+                for (k, (&m, &r)) in frag.members.iter().zip(frag.relevance.iter()).enumerate() {
                     let g = view.photos[m.index()];
                     let pos = global
                         .members
