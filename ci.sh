@@ -60,6 +60,20 @@ CRITERION_QUICK=1 cargo bench -p par-bench --bench fleet
 echo "==> incremental archiver bench (quick mode, smoke + per-epoch bit-identity assert)"
 CRITERION_QUICK=1 cargo bench -p par-bench --bench incremental
 
+echo "==> catalog cold-start bench (quick mode, smoke + pack/text solve bit-identity assert)"
+CRITERION_QUICK=1 cargo bench -p par-bench --bench catalog
+
+# Pack determinism gate: the phocus-pack format is canonical — packing the
+# same dataset twice must produce byte-identical images — and a written
+# image must pass the reader's full validation (header, section table,
+# checksums, cross-section bounds).
+echo "==> pack determinism gate (phocus pack, two runs + cmp + --check)"
+PACK_ARGS=(pack --dataset p1k --budget-mb 1)
+cargo run --release -q -p phocus -- "${PACK_ARGS[@]}" --out /tmp/phocus_pack_a.pack
+cargo run --release -q -p phocus -- "${PACK_ARGS[@]}" --out /tmp/phocus_pack_b.pack
+cmp /tmp/phocus_pack_a.pack /tmp/phocus_pack_b.pack
+cargo run --release -q -p phocus -- pack --check /tmp/phocus_pack_a.pack
+
 # Churn-replay determinism gate: the same epoch session, replayed twice with
 # --check (every epoch verified bit-identical to a from-scratch solve
 # in-process), must print byte-identical reports apart from the wall-clock

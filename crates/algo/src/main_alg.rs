@@ -66,6 +66,23 @@ pub fn main_algorithm_scratch(inst: &Instance, scratch: &mut SolveScratch) -> Ma
     pick_winner(uc, cb)
 }
 
+/// [`main_algorithm_scratch`] with the component labeling already known —
+/// the entry point for catalog-backed serving, where an instance arrives
+/// from a `phocus-pack` file with its shard labels persisted alongside:
+/// the solver skips the union-find pass entirely and goes straight to the
+/// seed sweep. Bit-identical to [`main_algorithm_sharded`].
+pub fn main_algorithm_packed(
+    inst: &Instance,
+    labels: par_core::ShardLabels,
+    scratch: &mut SolveScratch,
+) -> MainOutcome {
+    let solver = ShardedSolver::new_in_with_labels(inst, labels, scratch);
+    let uc = solver.solve_scratch(GreedyRule::UnitCost, scratch);
+    let cb = solver.solve_scratch(GreedyRule::CostBenefit, scratch);
+    solver.recycle(scratch);
+    pick_winner(uc, cb)
+}
+
 /// Dispatches to [`main_algorithm_sharded`] or [`main_algorithm`] based on a
 /// configuration knob (see `phocus::PhocusConfig::sharding`).
 pub fn main_algorithm_with(inst: &Instance, sharding: bool) -> MainOutcome {

@@ -72,7 +72,7 @@
 use crate::celf::Entry;
 use crate::types::{GreedyOutcome, RunStats};
 use crate::GreedyRule;
-use par_core::components::{decompose, Decomposition};
+use par_core::components::{decompose, decompose_with_labels, Decomposition, ShardLabels};
 use par_core::{ContextSim, EvalArena, EvalStats, Evaluator, Instance, PhotoId, SubsetId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -288,8 +288,25 @@ impl<'a> ShardedSolver<'a> {
         Self::build(inst, &mut scratch.base_eval)
     }
 
+    /// [`new_in`](Self::new_in) with the component labeling precomputed —
+    /// resident labels from the epoch layer or labels bulk-read from a
+    /// `phocus-pack` file skip the union-find pass of [`decompose`]. The
+    /// labels must equal `shard_labels(inst)` (the pack writer derives them
+    /// exactly so); everything downstream is bit-identical to
+    /// [`new`](Self::new).
+    pub fn new_in_with_labels(
+        inst: &'a Instance,
+        labels: ShardLabels,
+        scratch: &mut SolveScratch,
+    ) -> Self {
+        Self::build_with(inst, decompose_with_labels(inst, labels), &mut scratch.base_eval)
+    }
+
     fn build(inst: &'a Instance, arena: &mut EvalArena) -> Self {
-        let dec = decompose(inst);
+        Self::build_with(inst, decompose(inst), arena)
+    }
+
+    fn build_with(inst: &'a Instance, dec: Decomposition, arena: &mut EvalArena) -> Self {
         let mut base = Evaluator::new_in(inst, arena);
         for &p in inst.required() {
             base.add(p);

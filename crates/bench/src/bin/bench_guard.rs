@@ -12,7 +12,11 @@
 //!   incremental archiver's ≥3× re-solve floor;
 //! * `BENCH_incremental.json`, when present, must contain at least one
 //!   floor row measured at ≤1% churn with `floor >= 3.0` — so the headline
-//!   claim cannot silently rot out of the recorded baselines.
+//!   claim cannot silently rot out of the recorded baselines;
+//! * `BENCH_catalog.json`, when present, must contain at least one
+//!   cold-start floor row (`bench` naming `cold_start`) with
+//!   `floor >= 5.0` — the pack loader's hard acceptance criterion (the
+//!   recorded target is ≥10×; 5× is the never-regress floor).
 //!
 //! Rows without a `speedup_mean` field (meta, prepare, latency) are
 //! ignored, and thread-scaling rows (`"threads": N` with `N > 1`) are
@@ -212,6 +216,13 @@ impl Row {
             _ => "",
         }
     }
+
+    fn text(&self, key: &str) -> &str {
+        match self.get(key) {
+            Some(Value::Str(s)) => s,
+            _ => "",
+        }
+    }
 }
 
 /// The repo root: the workspace directory two levels above this crate.
@@ -250,6 +261,7 @@ fn main() -> ExitCode {
         let name = path.file_name().unwrap().to_str().unwrap();
         let text = std::fs::read_to_string(path).expect("readable bench file");
         let mut incremental_floor_rows = 0usize;
+        let mut catalog_floor_rows = 0usize;
         for (lineno, line) in text.lines().enumerate() {
             let Some(fields) = parse_row(line) else {
                 continue;
@@ -291,12 +303,24 @@ fn main() -> ExitCode {
                 {
                     incremental_floor_rows += 1;
                 }
+                if name == "BENCH_catalog.json"
+                    && row.text("bench").contains("cold_start")
+                    && floor >= 5.0
+                {
+                    catalog_floor_rows += 1;
+                }
             }
         }
         if name == "BENCH_incremental.json" && incremental_floor_rows == 0 {
             offenders.push(format!(
                 "{name}: needs at least one row with churn <= 0.01 and floor >= 3.0 \
                  — the incremental archiver's headline acceptance criterion",
+            ));
+        }
+        if name == "BENCH_catalog.json" && catalog_floor_rows == 0 {
+            offenders.push(format!(
+                "{name}: needs at least one cold_start row with floor >= 5.0 \
+                 — the pack loader's headline acceptance criterion",
             ));
         }
     }
@@ -366,6 +390,25 @@ mod tests {
             parse_row(r#"{"speedup_mean":0.9,"name":"known_regression","note":"fast"}"#).unwrap();
         let smuggled = Row { fields: smuggled };
         assert!(!smuggled.note().contains("known_regression"));
+    }
+
+    #[test]
+    fn catalog_floor_rows_are_recognizable() {
+        // The shape the BENCH_catalog.json acceptance rule keys on: a
+        // `bench` naming cold_start plus a floor at or above 5.0.
+        let row = parse_row(
+            r#"{"bench":"catalog_cold_start/96tenants","floor":5.0,"speedup_mean":12.0}"#,
+        )
+        .unwrap();
+        let row = Row { fields: row };
+        assert!(row.text("bench").contains("cold_start"));
+        assert!(row.num("floor").is_some_and(|f| f >= 5.0));
+        // A serve row must not satisfy the cold-start requirement.
+        let serve =
+            parse_row(r#"{"bench":"catalog_serve_batch/96tenants","floor":2.0,"speedup_mean":3.5}"#)
+                .unwrap();
+        let serve = Row { fields: serve };
+        assert!(!serve.text("bench").contains("cold_start"));
     }
 
     #[test]

@@ -284,8 +284,19 @@ pub fn shard_labels(inst: &Instance) -> ShardLabels {
 /// of a query partition its members, and no stored similarity edge crosses
 /// shards. Runs in `O(n + Σ_q E_q · α)` time.
 pub fn decompose(inst: &Instance) -> Decomposition {
+    decompose_with_labels(inst, shard_labels(inst))
+}
+
+/// [`decompose`] with the labeling precomputed: materializes the per-shard
+/// sub-instances from `labels` without re-running the union-find. Callers
+/// hand in resident labels — the epoch-delta layer's incrementally
+/// maintained ones, or labels bulk-read from a `phocus-pack` file
+/// ([`crate::pack`]) — which must equal `shard_labels(inst)` (the pack
+/// writer derives them exactly so; the delta layer's are pinned equal by
+/// proptest).
+pub fn decompose_with_labels(inst: &Instance, labels: ShardLabels) -> Decomposition {
     let n = inst.num_photos();
-    let labels = shard_labels(inst);
+    debug_assert_eq!(labels.photo_shards().len(), n);
     let photo_shard = labels.photo_shards();
     let num_shards = labels.num_shards();
     let mut photo_local = vec![0u32; n];

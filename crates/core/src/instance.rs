@@ -300,6 +300,51 @@ impl Instance {
             budget,
         }
     }
+
+    /// The membership reverse-index CSR arenas `(offsets, data)`, exposed to
+    /// the `phocus-pack` writer ([`crate::pack`]) for verbatim section dumps.
+    pub(crate) fn membership_csr(&self) -> (&[u32], &[Membership]) {
+        (&self.core.membership_offsets, &self.core.membership_data)
+    }
+
+    /// Reassembles an instance from arenas bulk-read out of a `phocus-pack`
+    /// file ([`crate::pack`]): unlike [`assemble`](Self::assemble), the
+    /// membership reverse-index and cost totals arrive prebuilt and are
+    /// installed verbatim — **no derivation, sorting, or validation** runs
+    /// here beyond the O(|S₀|) required-flag scatter. The pack reader has
+    /// already length- and range-checked every array against the section
+    /// table.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_packed_parts(
+        photos: Vec<Photo>,
+        required_ids: Vec<PhotoId>,
+        required_cost: u64,
+        subsets: Vec<Subset>,
+        membership_offsets: Vec<u32>,
+        membership_data: Vec<Membership>,
+        total_cost: u64,
+        budget: u64,
+        sims: Vec<Arc<ContextSim>>,
+    ) -> Instance {
+        let mut required_flags = vec![false; photos.len()];
+        for &r in &required_ids {
+            required_flags[r.index()] = true;
+        }
+        Instance {
+            core: Arc::new(Core {
+                photos,
+                required: required_flags,
+                required_ids,
+                required_cost,
+                subsets,
+                membership_offsets,
+                membership_data,
+                total_cost,
+            }),
+            sims: Arc::new(sims),
+            budget,
+        }
+    }
 }
 
 /// Photos, required ids, normalized subsets and budget, post-validation.

@@ -71,18 +71,22 @@ pub mod fixtures;
 pub mod ids;
 pub mod instance;
 pub mod objective;
+pub mod pack;
 pub mod photo;
 pub mod sim;
 pub mod solution;
 pub mod stats;
 pub mod subset;
 
-pub use components::{decompose, shard_labels, ComponentView, Decomposition, ShardLabels};
+pub use components::{
+    decompose, decompose_with_labels, shard_labels, ComponentView, Decomposition, ShardLabels,
+};
 pub use delta::{apply_delta, AppliedDelta, EpochDelta, MemberRef, PhotoAdd, QueryAdd};
 pub use error::{ModelError, Result};
 pub use ids::{PhotoId, SubsetId};
 pub use instance::{Instance, InstanceBuilder, Membership};
-pub use objective::{exact_score, exact_subset_score, EvalArena, EvalStats, Evaluator};
+pub use objective::{exact_score, exact_subset_score, EvalArena, EvalLayout, EvalStats, Evaluator};
+pub use pack::{fnv1a64, pack_instance, unpack_instance, PackError, PackedInstance};
 pub use photo::Photo;
 pub use sim::{ContextSim, DenseSim, FnSimilarity, SimilarityProvider, SparseSim, UnitSimilarity};
 pub use solution::{CoverageStats, Solution};

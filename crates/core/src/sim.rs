@@ -183,6 +183,14 @@ impl DenseSim {
         &self.tri
     }
 
+    /// Reassembles a store from a packed lower triangle bulk-read from a
+    /// `phocus-pack` section ([`crate::pack`]). The pack reader has already
+    /// checked `tri.len() == n·(n−1)/2`; no validation runs here.
+    pub(crate) fn from_raw_tri(n: usize, tri: Vec<f32>) -> Self {
+        debug_assert_eq!(tri.len(), n * n.saturating_sub(1) / 2);
+        DenseSim { n, tri }
+    }
+
     /// Converts to a sparse store, dropping all zero similarities and all
     /// similarities `< tau` (the τ-sparsification of Section 4.3).
     pub fn sparsify(&self, tau: f64) -> SparseSim {
@@ -381,6 +389,26 @@ impl SparseSim {
     /// Number of stored (unordered) nonzero pairs.
     pub fn nonzero_pairs(&self) -> usize {
         self.neighbor_idx.len() / 2
+    }
+
+    /// The raw CSR arenas `(offsets, neighbor_idx, sim)`, exposed to the
+    /// `phocus-pack` writer ([`crate::pack`]) for verbatim section dumps.
+    pub(crate) fn raw_csr(&self) -> (&[u32], &[u32], &[f32]) {
+        (&self.offsets, &self.neighbor_idx, &self.sim)
+    }
+
+    /// Reassembles a store from CSR arenas bulk-read from a `phocus-pack`
+    /// section ([`crate::pack`]). The pack reader has already checked the
+    /// offsets are monotone, end at `neighbor_idx.len()`, and that every
+    /// neighbor index is in range; no validation or re-sorting runs here.
+    pub(crate) fn from_raw_csr(offsets: Vec<u32>, neighbor_idx: Vec<u32>, sim: Vec<f32>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(neighbor_idx.len(), sim.len());
+        SparseSim {
+            offsets,
+            neighbor_idx,
+            sim,
+        }
     }
 
     /// Restricts the store to the members at `positions` (strictly ascending

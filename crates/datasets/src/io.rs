@@ -109,57 +109,79 @@ pub fn from_text(text: &str) -> Result<Universe, DatasetError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        // Fields are consumed straight off the `split` iterator — no
+        // intermediate per-line `Vec<&str>` — so a parse is one pass over
+        // the bytes plus only the output allocations. Each arm checks its
+        // arity before parsing, preserving error precedence and messages.
         let mut fields = line.split('\t');
         let tag = fields.next().unwrap_or_default();
-        let rest: Vec<&str> = fields.collect();
         match tag {
             "name" => {
-                name = rest
-                    .first()
+                name = fields
+                    .next()
                     .ok_or_else(|| err(lineno, "missing name"))?
                     .to_string();
             }
             "photo" => {
-                if rest.len() < 3 {
+                let (Some(id), Some(cost), Some(first)) =
+                    (fields.next(), fields.next(), fields.next())
+                else {
                     return Err(err(lineno, "photo needs id, cost, name"));
+                };
+                let id: u32 = id.parse().map_err(|_| err(lineno, "bad photo id"))?;
+                let cost: u64 = cost.parse().map_err(|_| err(lineno, "bad cost"))?;
+                // The name is the rest of the line verbatim, tabs included.
+                let mut pname = first.to_string();
+                for part in fields {
+                    pname.push('\t');
+                    pname.push_str(part);
                 }
-                let id: u32 = rest[0].parse().map_err(|_| err(lineno, "bad photo id"))?;
-                let cost: u64 = rest[1].parse().map_err(|_| err(lineno, "bad cost"))?;
-                photos.push((id, cost, rest[2..].join("\t")));
+                photos.push((id, cost, pname));
             }
             "embedding" => {
-                if rest.len() < 2 {
+                let (Some(id), Some(first)) = (fields.next(), fields.next()) else {
                     return Err(err(lineno, "embedding needs id and values"));
+                };
+                let id: u32 = id.parse().map_err(|_| err(lineno, "bad id"))?;
+                let mut values: Vec<f32> = Vec::new();
+                for v in std::iter::once(first).chain(fields) {
+                    values.push(v.parse().map_err(|_| err(lineno, "bad embedding value"))?);
                 }
-                let id: u32 = rest[0].parse().map_err(|_| err(lineno, "bad id"))?;
-                let values: Result<Vec<f32>, _> = rest[1..].iter().map(|v| v.parse()).collect();
-                let values = values.map_err(|_| err(lineno, "bad embedding value"))?;
                 embeddings.push((id, Embedding(values)));
             }
             "exif" => {
-                if rest.len() != 5 {
+                let (Some(id), Some(ts), Some(lat), Some(lon), Some(camera), None) = (
+                    fields.next(),
+                    fields.next(),
+                    fields.next(),
+                    fields.next(),
+                    fields.next(),
+                    fields.next(),
+                ) else {
                     return Err(err(lineno, "exif needs id, ts, lat, lon, camera"));
-                }
-                let id: u32 = rest[0].parse().map_err(|_| err(lineno, "bad id"))?;
+                };
+                let id: u32 = id.parse().map_err(|_| err(lineno, "bad id"))?;
                 exif.push((
                     id,
                     ExifData {
-                        timestamp: rest[1].parse().map_err(|_| err(lineno, "bad ts"))?,
-                        latitude: rest[2].parse().map_err(|_| err(lineno, "bad lat"))?,
-                        longitude: rest[3].parse().map_err(|_| err(lineno, "bad lon"))?,
-                        camera: rest[4].parse().map_err(|_| err(lineno, "bad camera"))?,
+                        timestamp: ts.parse().map_err(|_| err(lineno, "bad ts"))?,
+                        latitude: lat.parse().map_err(|_| err(lineno, "bad lat"))?,
+                        longitude: lon.parse().map_err(|_| err(lineno, "bad lon"))?,
+                        camera: camera.parse().map_err(|_| err(lineno, "bad camera"))?,
                     },
                 ));
             }
             "subset" => {
-                if rest.len() < 3 {
+                let (Some(label), Some(weight), Some(first)) =
+                    (fields.next(), fields.next(), fields.next())
+                else {
                     return Err(err(lineno, "subset needs label, weight, members"));
-                }
-                let label = rest[0].to_string();
-                let weight: f64 = rest[1].parse().map_err(|_| err(lineno, "bad weight"))?;
+                };
+                let label = label.to_string();
+                let weight: f64 = weight.parse().map_err(|_| err(lineno, "bad weight"))?;
                 let mut members = Vec::new();
                 let mut relevance = Vec::new();
-                for pair in &rest[2..] {
+                for pair in std::iter::once(first).chain(fields) {
                     let (m, r) = pair
                         .split_once(':')
                         .ok_or_else(|| err(lineno, "member needs id:relevance"))?;
@@ -174,7 +196,7 @@ pub fn from_text(text: &str) -> Result<Universe, DatasetError> {
                 });
             }
             "required" => {
-                for r in rest {
+                for r in fields {
                     required.push(r.parse().map_err(|_| err(lineno, "bad required id"))?);
                 }
             }

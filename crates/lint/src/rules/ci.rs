@@ -1,6 +1,6 @@
 //! `ci-gate`: cross-checks `ci.sh` against the workspace.
 //!
-//! Two invariants:
+//! Three invariants:
 //!
 //! 1. `phocus-lint` itself must run in CI *before* the test steps, so a
 //!    determinism/layering regression fails fast.
@@ -10,6 +10,10 @@
 //!    is covered automatically). A hard-coded list is accepted only if it
 //!    names every gate crate — the historical failure mode this rule
 //!    exists to prevent is a new crate silently skipping the gate.
+//! 3. The pack determinism gate must stay wired up: `phocus pack` run
+//!    twice on the same dataset with the images compared by `cmp`. The
+//!    phocus-pack format's canonicality (one instance, one byte image) is
+//!    a cross-process property that in-process golden hashes cannot see.
 
 use crate::diag::Diagnostic;
 
@@ -47,6 +51,24 @@ pub fn check_ci(path: &str, ci_src: &str, gate_crates: &[String], out: &mut Vec<
                 .to_string(),
         }),
         _ => {}
+    }
+
+    // 3. Pack determinism gate: `phocus pack` twice + `cmp`.
+    let pack_line = find_line("pack --dataset");
+    let cmp_line = lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("cmp "))
+        .map(|i| i as u32 + 1);
+    if pack_line.is_none() || cmp_line.is_none() {
+        out.push(Diagnostic {
+            rule: "ci-gate",
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            message: "ci.sh lost the pack determinism gate (`phocus pack` on \
+                      the same dataset twice, images compared with `cmp`)"
+                .to_string(),
+        });
     }
 
     // 2. Panic-freedom gate coverage.
@@ -96,21 +118,37 @@ mod tests {
         vec!["par-core".to_string(), "par-algo".to_string()]
     }
 
+    /// The pack determinism gate lines every passing fixture needs.
+    const PACK_GATE: &str =
+        "cargo run -q -p phocus -- pack --dataset p1k --budget-mb 1 --out /tmp/a.pack\ncmp /tmp/a.pack /tmp/b.pack\n";
+
     #[test]
     fn derived_list_passes() {
-        let ci = "cargo build\ncargo run --release -q -p par-lint\nfor c in $(cargo run -q -p par-lint -- gate-crates); do :; done\ncargo clippy -- -D clippy::unwrap_used\ncargo test -q\n";
+        let ci = format!("cargo build\ncargo run --release -q -p par-lint\nfor c in $(cargo run -q -p par-lint -- gate-crates); do :; done\ncargo clippy -- -D clippy::unwrap_used\ncargo test -q\n{PACK_GATE}");
         let mut out = Vec::new();
-        check_ci("ci.sh", ci, &gate(), &mut out);
+        check_ci("ci.sh", &ci, &gate(), &mut out);
         assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]
     fn hardcoded_list_missing_a_crate_fails() {
-        let ci = "cargo run -q -p par-lint\nfor c in par-core; do :; done\ncargo clippy -D clippy::unwrap_used\ncargo test -q\n";
+        let ci = format!("cargo run -q -p par-lint\nfor c in par-core; do :; done\ncargo clippy -D clippy::unwrap_used\ncargo test -q\n{PACK_GATE}");
         let mut out = Vec::new();
-        check_ci("ci.sh", ci, &gate(), &mut out);
+        check_ci("ci.sh", &ci, &gate(), &mut out);
         assert_eq!(out.len(), 1);
         assert!(out[0].message.contains("par-algo"));
+    }
+
+    #[test]
+    fn missing_pack_gate_fails() {
+        // `cmp` without the pack runs (or vice versa) is not a gate.
+        let ci = "cargo run -q -p par-lint\nfor c in $(gate-crates); do :; done\nclippy -D clippy::unwrap_used\ncargo test -q\ncmp /tmp/a /tmp/b\n";
+        let mut out = Vec::new();
+        check_ci("ci.sh", ci, &gate(), &mut out);
+        assert!(
+            out.iter().any(|d| d.message.contains("pack determinism")),
+            "{out:?}"
+        );
     }
 
     #[test]

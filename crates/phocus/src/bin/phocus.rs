@@ -26,8 +26,8 @@ use par_datasets::{
 };
 use phocus::{
     render_report, representation::RepresentationConfig, representation::Sparsification, run_suite,
-    ArchiveSession, EpochSolve, FleetEngine, FleetEngineConfig, FleetTenant, Parallelism, Phocus,
-    PhocusConfig, PhocusError, SuiteConfig,
+    ArchiveSession, Catalog, CatalogBuilder, EpochSolve, FleetEngine, FleetEngineConfig,
+    FleetTenant, PackedTenant, Parallelism, Phocus, PhocusConfig, PhocusError, SuiteConfig,
 };
 use std::process::ExitCode;
 
@@ -105,6 +105,8 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(rest),
         "serve-batch" => cmd_serve_batch(rest),
         "epochs" => cmd_epochs(rest),
+        "pack" => cmd_pack(rest),
+        "catalog" => cmd_catalog(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -134,9 +136,17 @@ USAGE:
   phocus plan --dataset <NAME> --target <FRACTION> [--seed N]
   phocus serve-batch --list <FILE|-> [--budget-frac F | --budget-mb MB]
                [--tau T] [--ns] [--threads N] [--fresh-arenas] [--out-dir DIR]
+  phocus serve-batch --catalog <DIR> [--threads N] [--fresh-arenas]
+               [--out-dir DIR]
   phocus epochs --dataset <NAME> --budget-mb <MB> [--trace FILE]
                [--epochs N] [--churn F] [--tau T] [--ns] [--seed N]
                [--threads N] [--check] [--export-trace FILE]
+  phocus pack --dataset <NAME> --budget-mb <MB> --out <FILE>
+               [--tau T] [--ns] [--seed N]
+  phocus pack --check <FILE>
+  phocus catalog build --list <FILE|-> --out-dir <DIR>
+               [--budget-frac F | --budget-mb MB] [--tau T] [--ns] [--seed N]
+  phocus catalog ls <DIR>
 
 DATASETS: p1k p5k p10k p50k p100k ec-fashion ec-electronics ec-home file:<path>
   (EC datasets use the scaled-down generator; pass --paper-scale for full size)
@@ -148,6 +158,15 @@ SERVE-BATCH: --list names a file with one tenant universe path per line
   `ok <name> ...` or `fail <path>: <reason>`. A malformed tenant fails that
   tenant only; the rest of the batch still solves. --out-dir writes one
   retained-set TSV per solved tenant.
+
+PACK / CATALOG: `pack` represents one dataset and writes it as a
+  `phocus-pack` image — a checksummed binary section file that later loads
+  with no text parsing, no representation, and no union-find
+  (`pack --check` verifies an image and prints its shape). `catalog build`
+  packs every tenant of a serve-batch list into --out-dir plus a
+  memory-resident index; `serve-batch --catalog` then serves straight from
+  the packs, skipping the whole cold-start pipeline. `catalog ls` prints
+  the resident index.
 
 EPOCHS: keeps one archive session resident and replays a churn trace —
   either a `# phocus-trace v1` file (--trace) or one generated on the fly
@@ -194,6 +213,67 @@ fn write_file(path: &str, text: &str) -> Result<(), PhocusError> {
         path: path.to_string(),
         message: e.to_string(),
     })
+}
+
+fn read_bytes(path: &str) -> Result<Vec<u8>, PhocusError> {
+    std::fs::read(path).map_err(|e| PhocusError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })
+}
+
+fn write_bytes(path: &str, bytes: &[u8]) -> Result<(), PhocusError> {
+    std::fs::write(path, bytes).map_err(|e| PhocusError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// The shared `--tau` / `--seed` / `--ns` representation flags, with the
+/// same defaults everywhere (τ = 0.6, seed = 42, LSH recall target 0.95).
+fn repr_from_flags(rest: &[String]) -> Result<RepresentationConfig, CliError> {
+    let tau: f64 = parse(rest, "--tau", 0.6)?;
+    let seed: u64 = parse(rest, "--seed", 42)?;
+    Ok(if flag(rest, "--ns") {
+        RepresentationConfig::phocus_ns()
+    } else {
+        RepresentationConfig {
+            sparsification: Sparsification::Lsh {
+                tau,
+                target_recall: 0.95,
+                seed,
+            },
+            ..Default::default()
+        }
+    })
+}
+
+/// Reads a tenant list: one universe path per line, `-` for stdin; blank
+/// lines and `#` comments are skipped. An empty list is a usage error.
+fn read_tenant_list(list: &str) -> Result<Vec<String>, CliError> {
+    let text = if list == "-" {
+        use std::io::Read;
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| PhocusError::Io {
+                path: "<stdin>".into(),
+                message: e.to_string(),
+            })?;
+        s
+    } else {
+        read_file(list)?
+    };
+    let paths: Vec<String> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect();
+    if paths.is_empty() {
+        return Err(CliError::usage("tenant list is empty"));
+    }
+    Ok(paths)
 }
 
 fn load_dataset(name: &str, seed: u64, paper_scale: bool) -> Result<Universe, CliError> {
@@ -397,13 +477,14 @@ fn cmd_plan(rest: &[String]) -> Result<(), CliError> {
 /// line and one exit status per tenant. A tenant that fails to load or solve
 /// gets a `fail` line; the batch continues and exits 5 if any tenant failed.
 fn cmd_serve_batch(rest: &[String]) -> Result<(), CliError> {
+    if let Some(dir) = opt(rest, "--catalog") {
+        return serve_batch_catalog(rest, &dir);
+    }
     let list = opt(rest, "--list").ok_or_else(|| {
         CliError::usage("missing --list (file of tenant universe paths, `-` for stdin)")
     })?;
     let budget_frac: f64 = parse(rest, "--budget-frac", 0.25)?;
     let budget_mb: f64 = parse(rest, "--budget-mb", 0.0)?;
-    let tau: f64 = parse(rest, "--tau", 0.6)?;
-    let seed: u64 = parse(rest, "--seed", 42)?;
     let threads: usize = parse(rest, "--threads", 0)?;
     let out_dir = opt(rest, "--out-dir");
     if !(0.0..=1.0).contains(&budget_frac) || budget_frac.is_nan() {
@@ -412,27 +493,7 @@ fn cmd_serve_batch(rest: &[String]) -> Result<(), CliError> {
         )));
     }
 
-    let list_text = if list == "-" {
-        use std::io::Read;
-        let mut s = String::new();
-        std::io::stdin()
-            .read_to_string(&mut s)
-            .map_err(|e| PhocusError::Io {
-                path: "<stdin>".into(),
-                message: e.to_string(),
-            })?;
-        s
-    } else {
-        read_file(&list)?
-    };
-    let paths: Vec<&str> = list_text
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .collect();
-    if paths.is_empty() {
-        return Err(CliError::usage("tenant list is empty"));
-    }
+    let paths = read_tenant_list(&list)?;
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).map_err(|e| PhocusError::Io {
             path: dir.clone(),
@@ -440,18 +501,7 @@ fn cmd_serve_batch(rest: &[String]) -> Result<(), CliError> {
         })?;
     }
 
-    let representation = if flag(rest, "--ns") {
-        RepresentationConfig::phocus_ns()
-    } else {
-        RepresentationConfig {
-            sparsification: Sparsification::Lsh {
-                tau,
-                target_recall: 0.95,
-                seed,
-            },
-            ..Default::default()
-        }
-    };
+    let representation = repr_from_flags(rest)?;
 
     // Load every tenant up front; a tenant whose file is unreadable or
     // malformed fails *that tenant*, never the batch.
@@ -540,6 +590,226 @@ fn cmd_serve_batch(rest: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `serve-batch --catalog`: the catalog-resident serving path. Tenants come
+/// from pack files — no text parse, no representation, no union-find —
+/// budgets and names from the resident index. Reporting, failure isolation,
+/// and exit codes mirror the universe-list path.
+fn serve_batch_catalog(rest: &[String], dir: &str) -> Result<(), CliError> {
+    let threads: usize = parse(rest, "--threads", 0)?;
+    let out_dir = opt(rest, "--out-dir");
+    if let Some(d) = &out_dir {
+        std::fs::create_dir_all(d).map_err(|e| PhocusError::Io {
+            path: d.clone(),
+            message: e.to_string(),
+        })?;
+    }
+
+    let catalog = Catalog::open(dir)?;
+    if catalog.entries().is_empty() {
+        return Err(CliError::usage(format!("catalog {dir} has no tenants")));
+    }
+
+    // Load every pack up front; a stale checksum or corrupt pack fails
+    // *that tenant*, never the batch — same isolation as the list path.
+    let mut loaded: Vec<Result<PackedTenant, PhocusError>> =
+        Vec::with_capacity(catalog.entries().len());
+    for entry in catalog.entries() {
+        loaded.push(catalog.load(entry).map(|packed| PackedTenant {
+            name: entry.name.clone(),
+            packed,
+        }));
+    }
+    let solvable: Vec<PackedTenant> = loaded.iter().filter_map(|t| t.as_ref().ok()).cloned().collect();
+
+    let t0 = std::time::Instant::now(); // phocus-lint: allow(wall-clock) — fills the reported batch throughput line only
+    let engine = FleetEngine::new(FleetEngineConfig {
+        representation: RepresentationConfig::default(), // unused on the packed path
+        parallelism: Parallelism::with_threads(threads),
+        reuse_arenas: !flag(rest, "--fresh-arenas"),
+    });
+    let outcomes = engine.run_packed(&solvable);
+    let batch_secs = t0.elapsed().as_secs_f64();
+
+    let mut failed = 0usize;
+    let mut next_outcome = outcomes.into_iter();
+    for (i, (entry, tenant)) in catalog.entries().iter().zip(&loaded).enumerate() {
+        match tenant {
+            Err(e) => {
+                failed += 1;
+                println!("fail\t{}: {e}", entry.name);
+            }
+            Ok(_) => {
+                let Some(outcome) = next_outcome.next() else {
+                    // One engine outcome per loaded tenant, by construction.
+                    unreachable!("engine returned fewer outcomes than tenants")
+                };
+                match &outcome.result {
+                    Err(e) => {
+                        failed += 1;
+                        println!("fail\t{}: {e}", entry.name);
+                    }
+                    Ok(report) => {
+                        println!(
+                            "ok\t{}\tphotos={}\tretained={}\tcost_mb={:.2}\tscore={:.3}\tms={:.1}",
+                            outcome.name,
+                            outcome.photos,
+                            report.selected.len(),
+                            report.cost as f64 / 1e6,
+                            report.score,
+                            outcome.latency.as_secs_f64() * 1e3
+                        );
+                        if let Some(d) = &out_dir {
+                            let file = format!(
+                                "{d}/{i:05}_{}.tsv",
+                                outcome.name.replace(['/', '\\'], "_")
+                            );
+                            let mut text = String::new();
+                            for &p in &report.selected {
+                                text.push_str(&format!("{}\n", p.0));
+                            }
+                            write_file(&file, &text)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let total = catalog.entries().len();
+    println!(
+        "batch\ttenants={total}\tok={}\tfailed={failed}\tinst_per_sec={:.2}",
+        total - failed,
+        (total - failed) as f64 / batch_secs.max(1e-9)
+    );
+    if failed > 0 {
+        return Err(CliError::PartialFailure {
+            failed,
+            total,
+            what: "tenants",
+        });
+    }
+    Ok(())
+}
+
+/// `pack`: represent one dataset and persist it as a `phocus-pack` image.
+/// `pack --check` loads an existing image — full checksum, bounds, and
+/// cross-section validation — and prints its shape without solving.
+fn cmd_pack(rest: &[String]) -> Result<(), CliError> {
+    if let Some(path) = opt(rest, "--check") {
+        let bytes = read_bytes(&path)?;
+        let packed = par_core::unpack_instance(&bytes)
+            .map_err(|e| CliError::Pipeline(PhocusError::Pack(e)))?;
+        println!(
+            "ok\t{path}\tphotos={}\tsubsets={}\tbudget_mb={:.2}\tshards={}\tbytes={}",
+            packed.instance.num_photos(),
+            packed.instance.num_subsets(),
+            packed.instance.budget() as f64 / 1e6,
+            packed.labels.num_shards(),
+            bytes.len()
+        );
+        return Ok(());
+    }
+    let dataset = opt(rest, "--dataset").ok_or_else(|| CliError::usage("missing --dataset"))?;
+    let out = opt(rest, "--out").ok_or_else(|| CliError::usage("missing --out"))?;
+    let budget_mb: f64 = parse(rest, "--budget-mb", 10.0)?;
+    let seed: u64 = parse(rest, "--seed", 42)?;
+    let universe = load_dataset(&dataset, seed, flag(rest, "--paper-scale"))?;
+    let representation = repr_from_flags(rest)?;
+    let inst = phocus::represent(&universe, (budget_mb * 1e6) as u64, &representation)?;
+    let bytes = par_core::pack_instance(&inst);
+    write_bytes(&out, &bytes)?;
+    println!(
+        "wrote\t{out}\tphotos={}\tsubsets={}\tbytes={}",
+        inst.num_photos(),
+        inst.num_subsets(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+/// `catalog build | ls`: build a pack catalog from a tenant list, or print
+/// a catalog's resident index.
+fn cmd_catalog(rest: &[String]) -> Result<(), CliError> {
+    match rest.first().map(String::as_str) {
+        Some("build") => cmd_catalog_build(&rest[1..]),
+        Some("ls") => cmd_catalog_ls(&rest[1..]),
+        _ => Err(CliError::usage("catalog needs a subcommand: build | ls")),
+    }
+}
+
+/// `catalog build`: represent and pack every tenant of a serve-batch list
+/// into a catalog directory. Unlike serving, building is strict — any
+/// unreadable or malformed tenant fails the build, because a catalog with
+/// silently missing tenants would serve wrong fleets forever after.
+fn cmd_catalog_build(rest: &[String]) -> Result<(), CliError> {
+    let list = opt(rest, "--list").ok_or_else(|| {
+        CliError::usage("missing --list (file of tenant universe paths, `-` for stdin)")
+    })?;
+    let out_dir =
+        opt(rest, "--out-dir").ok_or_else(|| CliError::usage("missing --out-dir"))?;
+    let budget_frac: f64 = parse(rest, "--budget-frac", 0.25)?;
+    let budget_mb: f64 = parse(rest, "--budget-mb", 0.0)?;
+    if !(0.0..=1.0).contains(&budget_frac) || budget_frac.is_nan() {
+        return Err(CliError::usage(format!(
+            "--budget-frac must be in [0, 1], got {budget_frac}"
+        )));
+    }
+    let representation = repr_from_flags(rest)?;
+
+    let paths = read_tenant_list(&list)?;
+    let mut builder = CatalogBuilder::create(&out_dir)?;
+    for path in &paths {
+        let text = read_file(path)?;
+        let universe = par_datasets::from_text(&text)
+            .map_err(|e| CliError::Pipeline(PhocusError::Dataset(e)))?;
+        let budget = if budget_mb > 0.0 {
+            (budget_mb * 1e6) as u64
+        } else {
+            ((universe.total_cost() as f64 * budget_frac) as u64).max(1)
+        };
+        let inst = phocus::represent(&universe, budget, &representation)?;
+        let bytes = par_core::pack_instance(&inst);
+        builder.add_pack(
+            &universe.name,
+            &bytes,
+            inst.num_photos() as u64,
+            inst.budget(),
+        )?;
+        println!(
+            "packed\t{}\tphotos={}\tbytes={}",
+            universe.name,
+            inst.num_photos(),
+            bytes.len()
+        );
+    }
+    let catalog = builder.finish()?;
+    println!(
+        "catalog\t{out_dir}\ttenants={}",
+        catalog.entries().len()
+    );
+    Ok(())
+}
+
+/// `catalog ls`: print the resident index, one line per tenant.
+fn cmd_catalog_ls(rest: &[String]) -> Result<(), CliError> {
+    let dir = rest
+        .first()
+        .ok_or_else(|| CliError::usage("missing catalog directory"))?;
+    let catalog = Catalog::open(dir.as_str())?;
+    for e in catalog.entries() {
+        println!(
+            "tenant\t{}\t{}\t{:016x}\tphotos={}\tbudget_mb={:.2}\tartifact={}",
+            e.name,
+            e.pack,
+            e.checksum,
+            e.photos,
+            e.budget as f64 / 1e6,
+            e.artifact.as_ref().map_or("-", |(f, _)| f.as_str())
+        );
+    }
+    println!("catalog\t{dir}\ttenants={}", catalog.entries().len());
+    Ok(())
+}
+
 /// `epochs`: one resident [`ArchiveSession`] replaying a churn trace, one
 /// status line per epoch. A delta that does not resolve or apply fails that
 /// epoch only — the session keeps its instance and warm stream caches — and
@@ -547,7 +817,6 @@ fn cmd_serve_batch(rest: &[String]) -> Result<(), CliError> {
 fn cmd_epochs(rest: &[String]) -> Result<(), CliError> {
     let dataset = opt(rest, "--dataset").ok_or_else(|| CliError::usage("missing --dataset"))?;
     let budget_mb: f64 = parse(rest, "--budget-mb", 10.0)?;
-    let tau: f64 = parse(rest, "--tau", 0.6)?;
     let seed: u64 = parse(rest, "--seed", 42)?;
     let epochs_n: usize = parse(rest, "--epochs", 8)?;
     let churn: f64 = parse(rest, "--churn", 0.01)?;
@@ -561,18 +830,7 @@ fn cmd_epochs(rest: &[String]) -> Result<(), CliError> {
 
     let universe = load_dataset(&dataset, seed, flag(rest, "--paper-scale"))?;
     let budget = (budget_mb * 1e6) as u64;
-    let representation = if flag(rest, "--ns") {
-        RepresentationConfig::phocus_ns()
-    } else {
-        RepresentationConfig {
-            sparsification: Sparsification::Lsh {
-                tau,
-                target_recall: 0.95,
-                seed,
-            },
-            ..Default::default()
-        }
-    };
+    let representation = repr_from_flags(rest)?;
     let inst = phocus::represent(&universe, budget, &representation)?;
 
     let trace = match opt(rest, "--trace") {

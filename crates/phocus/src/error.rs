@@ -8,7 +8,7 @@
 //! instead of panicking.
 
 use par_algo::SolveError;
-use par_core::ModelError;
+use par_core::{ModelError, PackError};
 use par_datasets::DatasetError;
 use par_lsh::LshError;
 use std::fmt;
@@ -28,6 +28,17 @@ pub enum PhocusError {
     Lsh(LshError),
     /// A solver-layer failure (bad cardinality or ε).
     Solve(SolveError),
+    /// A `phocus-pack` file failed to load (truncation, checksum mismatch,
+    /// version skew, malformed section, …).
+    Pack(PackError),
+    /// A catalog index is unusable: malformed line, missing pack file, or a
+    /// content checksum that no longer matches the pack on disk.
+    Catalog {
+        /// The catalog path (or entry) that failed.
+        entry: String,
+        /// What was wrong with it.
+        message: String,
+    },
     /// The budget-planner quality target is outside `(0, 1]` (or NaN).
     InvalidTarget(f64),
     /// An I/O failure while reading an input file (CLI layer).
@@ -46,6 +57,10 @@ impl fmt::Display for PhocusError {
             PhocusError::Dataset(e) => write!(f, "{e}"),
             PhocusError::Lsh(e) => write!(f, "{e}"),
             PhocusError::Solve(e) => write!(f, "{e}"),
+            PhocusError::Pack(e) => write!(f, "{e}"),
+            PhocusError::Catalog { entry, message } => {
+                write!(f, "catalog {entry}: {message}")
+            }
             PhocusError::InvalidTarget(t) => {
                 write!(f, "quality target {t} is not in (0, 1]")
             }
@@ -63,6 +78,7 @@ impl std::error::Error for PhocusError {
             PhocusError::Dataset(e) => Some(e),
             PhocusError::Lsh(e) => Some(e),
             PhocusError::Solve(e) => Some(e),
+            PhocusError::Pack(e) => Some(e),
             _ => None,
         }
     }
@@ -89,6 +105,12 @@ impl From<LshError> for PhocusError {
 impl From<SolveError> for PhocusError {
     fn from(e: SolveError) -> Self {
         PhocusError::Solve(e)
+    }
+}
+
+impl From<PackError> for PhocusError {
+    fn from(e: PackError) -> Self {
+        PhocusError::Pack(e)
     }
 }
 

@@ -35,8 +35,11 @@
 
 use crate::error::{PhocusError, Result};
 use crate::representation::{represent, RepresentationConfig};
-use par_algo::{main_algorithm_scratch, main_algorithm_sharded, GreedyRule, SolveScratch};
-use par_core::PhotoId;
+use par_algo::{
+    main_algorithm_packed, main_algorithm_scratch, main_algorithm_sharded, GreedyRule,
+    SolveScratch,
+};
+use par_core::{PackedInstance, PhotoId};
 use par_datasets::Universe;
 use par_exec::Parallelism;
 use std::time::{Duration, Instant};
@@ -113,6 +116,19 @@ impl TenantOutcome {
     }
 }
 
+/// One unit of catalog-backed fleet work: a tenant already represented,
+/// loaded from a `phocus-pack` file with its shard labels alongside. The
+/// [`FleetEngine::run_packed`] path skips text parsing, validation, the
+/// representation pipeline, *and* the solver's union-find — the cold start
+/// the catalog exists to eliminate.
+#[derive(Debug, Clone)]
+pub struct PackedTenant {
+    /// Tenant name (from the catalog index).
+    pub name: String,
+    /// The loaded pack: instance + evaluator layout + shard labels.
+    pub packed: PackedInstance,
+}
+
 /// The fleet engine: holds a configuration, solves batches of tenants.
 #[derive(Debug, Clone, Default)]
 pub struct FleetEngine {
@@ -162,6 +178,56 @@ impl FleetEngine {
             });
         indexed.sort_unstable_by_key(|&(i, _)| i);
         indexed.into_iter().map(|(_, o)| o).collect()
+    }
+
+    /// Solves a batch of **pre-represented** tenants (catalog pack loads),
+    /// outcomes in input order. Scheduling, arena reuse, and failure
+    /// isolation match [`run`](Self::run); the per-tenant work drops the
+    /// representation pipeline and (with arena reuse on) the component
+    /// union-find, both of which the pack already paid at write time.
+    /// Outcomes are bit-identical to [`run`](Self::run) over the universes
+    /// the packs were built from, under the same representation.
+    pub fn run_packed(&self, tenants: &[PackedTenant]) -> Vec<TenantOutcome> {
+        let prev = self.config.parallelism.install_global();
+        let mut order: Vec<usize> = (0..tenants.len()).collect();
+        order.sort_by(|&a, &b| {
+            tenants[b]
+                .packed
+                .instance
+                .num_photos()
+                .cmp(&tenants[a].packed.instance.num_photos())
+                .then(a.cmp(&b))
+        });
+        let mut indexed: Vec<(usize, TenantOutcome)> =
+            par_exec::par_map_dynamic(order.len(), SolveScratch::default, |scratch, k| {
+                let i = order[k];
+                (i, self.solve_packed_tenant(&tenants[i], scratch))
+            });
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        let outcomes = indexed.into_iter().map(|(_, o)| o).collect();
+        prev.install_global();
+        outcomes
+    }
+
+    fn solve_packed_tenant(&self, tenant: &PackedTenant, scratch: &mut SolveScratch) -> TenantOutcome {
+        let t0 = Instant::now(); // phocus-lint: allow(wall-clock) — fills the reported latency field only
+        let inst = &tenant.packed.instance;
+        let outcome = if self.config.reuse_arenas {
+            main_algorithm_packed(inst, tenant.packed.labels.clone(), scratch)
+        } else {
+            main_algorithm_sharded(inst)
+        };
+        TenantOutcome {
+            name: tenant.name.clone(),
+            photos: inst.num_photos(),
+            result: Ok(TenantReport {
+                selected: outcome.best.selected,
+                score: outcome.best.score,
+                cost: outcome.best.cost,
+                winner: outcome.winner,
+            }),
+            latency: t0.elapsed(),
+        }
     }
 
     fn solve_tenant(&self, tenant: &FleetTenant, scratch: &mut SolveScratch) -> TenantOutcome {

@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod compression;
 pub mod error;
 pub mod fleet;
@@ -43,9 +44,11 @@ pub use compression::{
     compare_remove_vs_compress, expand_with_variants, prune_and_refill, represent_with_variants,
     CompressionComparison, CompressionLevel, VariantMap, DEFAULT_LADDER,
 };
+pub use catalog::{Catalog, CatalogBuilder, CatalogEntry};
 pub use error::{PhocusError, Result};
 pub use fleet::{
-    budget_by_fraction, FleetEngine, FleetEngineConfig, FleetTenant, TenantOutcome, TenantReport,
+    budget_by_fraction, FleetEngine, FleetEngineConfig, FleetTenant, PackedTenant, TenantOutcome,
+    TenantReport,
 };
 pub use par_exec::Parallelism;
 pub use planner::{minimal_budget, minimal_budget_with, BudgetPlan};

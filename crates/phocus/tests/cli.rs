@@ -356,3 +356,235 @@ fn export_then_solve_from_file() {
     );
     std::fs::remove_file(&path).ok();
 }
+
+/// Exports two tiny universes with *distinct* tenant names (exports are
+/// all named "tiny", and `catalog build` rejects duplicates) and writes a
+/// list file naming them.
+fn write_catalog_fixture(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("phocus_cli_catalog_{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut list = String::new();
+    for (i, seed) in [3u64, 9].into_iter().enumerate() {
+        let path = dir.join(format!("tenant{i}.universe"));
+        let out = phocus(&[
+            "export",
+            "--dataset",
+            "tiny",
+            "--seed",
+            &seed.to_string(),
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let renamed = text.replacen("name\ttiny", &format!("name\ttenant{i}"), 1);
+        assert_ne!(renamed, text, "export must carry a name line");
+        std::fs::write(&path, renamed).unwrap();
+        list.push_str(&format!("{}\n", path.display()));
+    }
+    let list_path = dir.join("tenants.txt");
+    std::fs::write(&list_path, list).unwrap();
+    list_path
+}
+
+#[test]
+fn pack_writes_a_deterministic_image_that_passes_check() {
+    let dir = std::env::temp_dir().join("phocus_cli_pack_rt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.pack");
+    let b = dir.join("b.pack");
+    for path in [&a, &b] {
+        let out = phocus(&[
+            "pack",
+            "--dataset",
+            "tiny",
+            "--budget-mb",
+            "2",
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stdout).starts_with("wrote\t"));
+    }
+    // Canonical format: same dataset, byte-identical images across runs.
+    assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+    let out = phocus(&["pack", "--check", a.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("ok\t"), "{text}");
+    assert!(text.contains("photos="), "{text}");
+    assert!(text.contains("shards="), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pack_check_rejects_a_non_pack_file_as_invalid_data() {
+    let path = std::env::temp_dir().join("phocus_cli_not_a.pack");
+    std::fs::write(&path, "this is not a pack file").unwrap();
+    let out = phocus(&["pack", "--check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "bad pack data exits 3");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("magic"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn pack_without_out_is_a_usage_error() {
+    let out = phocus(&["pack", "--dataset", "tiny"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}
+
+#[test]
+fn catalog_build_ls_then_serve_off_the_catalog() {
+    let list = write_catalog_fixture("serve");
+    let dir = list.parent().unwrap();
+    let cat = dir.join("catalog");
+    let out = phocus(&[
+        "catalog",
+        "build",
+        "--list",
+        list.to_str().unwrap(),
+        "--out-dir",
+        cat.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.matches("packed\t").count(), 2, "{text}");
+    assert!(text.contains("tenants=2"), "{text}");
+
+    let out = phocus(&["catalog", "ls", cat.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.matches("tenant\t").count(), 2, "{text}");
+    assert!(text.contains("tenant\ttenant0\t"), "{text}");
+
+    let sol = dir.join("solutions");
+    let out = phocus(&[
+        "serve-batch",
+        "--catalog",
+        cat.to_str().unwrap(),
+        "--out-dir",
+        sol.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.matches("ok\t").count(), 2, "{text}");
+    assert!(text.contains("failed=0"), "{text}");
+    assert_eq!(std::fs::read_dir(&sol).unwrap().count(), 2);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn catalog_serve_matches_list_serve_bit_for_bit() {
+    let list = write_catalog_fixture("equiv");
+    let dir = list.parent().unwrap();
+    let cat = dir.join("catalog");
+    // Same defaults on both paths: budget 25% of each tenant's archive,
+    // LSH tau 0.6 seed 42 — the pair must agree on every solution column.
+    let out = phocus(&[
+        "catalog",
+        "build",
+        "--list",
+        list.to_str().unwrap(),
+        "--out-dir",
+        cat.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let solution_lines = |out: std::process::Output| {
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.starts_with("ok\t"))
+            .map(|l| l.rsplit_once("\tms=").unwrap().0.to_string())
+            .collect::<Vec<_>>()
+    };
+    let from_list = solution_lines(phocus(&["serve-batch", "--list", list.to_str().unwrap()]));
+    let from_cat = solution_lines(phocus(&["serve-batch", "--catalog", cat.to_str().unwrap()]));
+    assert_eq!(from_list.len(), 2);
+    assert_eq!(from_list, from_cat, "pack loads must not change solutions");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn catalog_build_rejects_duplicate_tenant_names() {
+    // Two exports of the same dataset share the name "tiny"; a catalog
+    // that silently kept one would serve wrong fleets forever after.
+    let list = write_batch_fixture("dup_names", &[]);
+    let cat = list.parent().unwrap().join("catalog");
+    let out = phocus(&[
+        "catalog",
+        "build",
+        "--list",
+        list.to_str().unwrap(),
+        "--out-dir",
+        cat.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(3), "duplicate names exit 3");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("duplicate"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(list.parent().unwrap()).ok();
+}
+
+#[test]
+fn serve_batch_catalog_corrupt_pack_fails_that_tenant_not_the_batch() {
+    let list = write_catalog_fixture("corrupt");
+    let dir = list.parent().unwrap();
+    let cat = dir.join("catalog");
+    let out = phocus(&[
+        "catalog",
+        "build",
+        "--list",
+        list.to_str().unwrap(),
+        "--out-dir",
+        cat.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    // Flip one payload byte in the first tenant's pack: the whole-file
+    // checksum in catalog.idx no longer matches.
+    let pack = cat.join("pk00000.pack");
+    let mut bytes = std::fs::read(&pack).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&pack, bytes).unwrap();
+    let out = phocus(&["serve-batch", "--catalog", cat.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(5), "partial failure exits 5");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.matches("ok\t").count(), 1, "healthy tenant solves: {text}");
+    assert_eq!(text.matches("fail\t").count(), 1, "corrupt tenant fails: {text}");
+    assert!(text.contains("fail\ttenant0"), "names the tenant: {text}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn catalog_ls_missing_directory_is_an_io_error() {
+    let out = phocus(&["catalog", "ls", "/nonexistent/catalog"]);
+    assert_eq!(out.status.code(), Some(4));
+}
+
+#[test]
+fn usage_documents_pack_and_catalog() {
+    let out = phocus(&["--help"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("pack"), "{text}");
+    assert!(text.contains("catalog"), "{text}");
+    assert!(text.contains("--catalog"), "{text}");
+}

@@ -1,12 +1,17 @@
 //! The no-panic fuzz gate.
 //!
 //! Every external input path — text-format bytes, hand-built universes with
-//! adversarial numerics, raw similarity pairs — must surface as a typed
-//! error or a valid report; a panic anywhere in
-//! `from_text → represent → solve` is a bug. The generators are seeded, so
-//! CI runs a fixed, reproducible corpus (see `ci.sh`).
+//! adversarial numerics, raw similarity pairs, and `phocus-pack` binary
+//! images — must surface as a typed error or a valid result; a panic
+//! anywhere in `from_text → represent → solve` or in `unpack_instance` is a
+//! bug. The generators are seeded, so CI runs a fixed, reproducible corpus
+//! (see `ci.sh`).
 
-use par_core::{InstanceBuilder, ModelError, PhotoId, SparseSim, SubsetId, UnitSimilarity};
+use par_core::fixtures::{random_instance, RandomInstanceConfig};
+use par_core::{
+    fnv1a64, pack_instance, unpack_instance, InstanceBuilder, ModelError, PhotoId, SparseSim,
+    SubsetId, UnitSimilarity,
+};
 use par_datasets::{from_text, to_text, SubsetDef, Universe};
 use par_embed::Embedding;
 use phocus::{Phocus, PhocusError};
@@ -278,6 +283,193 @@ proptest! {
             Err(other) => panic!("unexpected error kind: {other}"),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// The pack-reader fuzz gate: `unpack_instance` over corrupted binary images.
+// ---------------------------------------------------------------------------
+
+/// Pack layout constants mirrored from `par_core::pack` (the format spec in
+/// DESIGN.md §15): 16-byte header, 32-byte table entries, 9 sections.
+const PACK_HEADER: usize = 16;
+const PACK_ENTRY: usize = 32;
+const PACK_SECTIONS: usize = 9;
+
+/// A small but structurally complete valid pack (sparse similarities, a
+/// required photo, multiple components) the corruption cases start from.
+fn base_pack() -> Vec<u8> {
+    let inst = random_instance(
+        7,
+        &RandomInstanceConfig {
+            photos: 30,
+            subsets: 10,
+            subset_size: (2, 5),
+            cost_range: (100, 900),
+            budget_fraction: 0.5,
+            required_prob: 0.1,
+        },
+    );
+    pack_instance(&inst)
+}
+
+/// Byte range `[offset, offset + len)` of table entry `i`'s payload.
+fn pack_section_bounds(bytes: &[u8], i: usize) -> (usize, usize) {
+    let e = PACK_HEADER + i * PACK_ENTRY;
+    let offset = u64::from_le_bytes(bytes[e + 8..e + 16].try_into().unwrap()) as usize;
+    let len = u64::from_le_bytes(bytes[e + 16..e + 24].try_into().unwrap()) as usize;
+    (offset, len)
+}
+
+/// Recomputes table entry `i`'s checksum over its (possibly tampered)
+/// payload, so corruption reaches the decode layer instead of dying at the
+/// checksum comparison.
+fn pack_fix_checksum(bytes: &mut [u8], i: usize) {
+    let (offset, len) = pack_section_bounds(bytes, i);
+    let sum = fnv1a64(&bytes[offset..offset + len]);
+    let e = PACK_HEADER + i * PACK_ENTRY;
+    bytes[e + 24..e + 32].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Structured corruption that the reader is *guaranteed* to reject: every
+/// mode breaks an invariant the format checks explicitly.
+fn corrupt_pack_structurally(bytes: &mut Vec<u8>, mode: u64, raw: u64) {
+    match mode % 8 {
+        // Truncation strictly inside the image (a full-length "truncation"
+        // would be a no-op).
+        0 => {
+            let cut = raw as usize % bytes.len();
+            bytes.truncate(cut);
+        }
+        // Version skew.
+        1 => bytes[8..12].copy_from_slice(&(2 + (raw as u32) % 1000).to_le_bytes()),
+        // A section count far past MAX_SECTIONS: the reader must reject it
+        // before sizing anything from it.
+        2 => bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes()),
+        // Magic corruption.
+        3 => bytes[raw as usize % 8] ^= 0xFF,
+        // Table offset pointing past EOF.
+        4 => {
+            let e = PACK_HEADER + (raw as usize % PACK_SECTIONS) * PACK_ENTRY;
+            bytes[e + 8..e + 16].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        }
+        // Inflated section length (also exercises offset+len overflow).
+        5 => {
+            let e = PACK_HEADER + (raw as usize % PACK_SECTIONS) * PACK_ENTRY;
+            bytes[e + 16..e + 24].copy_from_slice(&u64::MAX.to_le_bytes());
+        }
+        // Duplicate section kind: stamp entry 0's kind onto a later entry.
+        6 => {
+            let e = PACK_HEADER + (1 + raw as usize % (PACK_SECTIONS - 1)) * PACK_ENTRY;
+            let kind0: [u8; 4] = bytes[PACK_HEADER..PACK_HEADER + 4].try_into().unwrap();
+            bytes[e..e + 4].copy_from_slice(&kind0);
+        }
+        // Overlapping sections: pull a later entry's offset back onto its
+        // predecessor's.
+        7 => {
+            let e = PACK_HEADER + (1 + raw as usize % (PACK_SECTIONS - 1)) * PACK_ENTRY;
+            let prev: [u8; 8] = bytes[e - PACK_ENTRY + 8..e - PACK_ENTRY + 16]
+                .try_into()
+                .unwrap();
+            bytes[e + 8..e + 16].copy_from_slice(&prev);
+        }
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Every structural corruption mode yields a typed [`par_core::PackError`]
+    /// — never a panic, never an `Ok`.
+    #[test]
+    fn pack_reader_rejects_structural_corruption(mode in any::<u64>(), raw in any::<u64>()) {
+        let mut bytes = base_pack();
+        corrupt_pack_structurally(&mut bytes, mode, raw);
+        let err = unpack_instance(&bytes).expect_err("corrupted pack must not load");
+        prop_assert!(!err.to_string().is_empty());
+    }
+
+    /// Arbitrary bit flips anywhere in the image: the reader either rejects
+    /// with a typed error or (for bytes the format ignores, e.g. reserved
+    /// table fields) loads a valid instance — it never panics.
+    #[test]
+    fn pack_reader_never_panics_on_bit_flips(seed in any::<u64>(), flips in 1usize..8) {
+        let mut bytes = base_pack();
+        let mut s = seed;
+        for _ in 0..flips {
+            let i = (splitmix(&mut s) % bytes.len() as u64) as usize;
+            bytes[i] ^= 1 << (splitmix(&mut s) % 8);
+        }
+        if let Ok(loaded) = unpack_instance(&bytes) {
+            // Whatever survived must still be internally consistent enough
+            // to answer basic shape queries.
+            let _ = loaded.instance.num_photos();
+            let _ = loaded.labels.num_shards();
+        }
+    }
+
+    /// Payload tampering with the checksum *fixed up afterwards*, so the
+    /// corruption reaches the decode layer's bounds and cross-section
+    /// validation rather than dying at the checksum comparison. Typed error
+    /// or valid load; no panic, no unbounded allocation.
+    #[test]
+    fn pack_reader_survives_checksummed_payload_tampering(
+        sec in 0usize..PACK_SECTIONS, seed in any::<u64>(), flips in 1usize..6,
+    ) {
+        let mut bytes = base_pack();
+        let (offset, len) = pack_section_bounds(&bytes, sec);
+        prop_assume!(len > 0);
+        let mut s = seed;
+        for _ in 0..flips {
+            let i = offset + (splitmix(&mut s) % len as u64) as usize;
+            bytes[i] ^= 1 << (splitmix(&mut s) % 8);
+        }
+        pack_fix_checksum(&mut bytes, sec);
+        let _ = unpack_instance(&bytes);
+    }
+
+    /// Raw byte soup, optionally behind a valid header+table prefix so the
+    /// decode layers are reached often, not just the header checks.
+    #[test]
+    fn pack_reader_never_panics_on_byte_soup(
+        seed in any::<u64>(), len in 0usize..600, keep_prefix in any::<bool>(),
+    ) {
+        let mut s = seed;
+        let mut bytes = if keep_prefix {
+            let mut b = base_pack();
+            b.truncate(PACK_HEADER + PACK_SECTIONS * PACK_ENTRY);
+            b
+        } else {
+            Vec::new()
+        };
+        for _ in 0..len {
+            bytes.push((splitmix(&mut s) % 256) as u8);
+        }
+        let _ = unpack_instance(&bytes);
+    }
+}
+
+/// A hostile META section claiming ~4 billion photos must die at the
+/// element-count-vs-remaining-bytes cap check — a typed error, not an OOM
+/// attempt. (The checksum is fixed up so the claim reaches the decoder.)
+#[test]
+fn pack_reader_caps_allocations_before_trusting_counts() {
+    let mut bytes = base_pack();
+    // META is the first section; its second u64 is `num_photos`.
+    let (offset, _) = pack_section_bounds(&bytes, 0);
+    bytes[offset + 8..offset + 16].copy_from_slice(&(u32::MAX as u64).to_le_bytes());
+    pack_fix_checksum(&mut bytes, 0);
+    let err = unpack_instance(&bytes).expect_err("hostile count must not load");
+    assert!(!err.to_string().is_empty());
+}
+
+/// The empty image and the bare header are the smallest corrupt packs.
+#[test]
+fn pack_reader_rejects_trivial_images() {
+    assert!(unpack_instance(&[]).is_err());
+    let valid = base_pack();
+    assert!(unpack_instance(&valid[..PACK_HEADER]).is_err());
+    assert!(unpack_instance(&valid).is_ok());
 }
 
 /// Regression: a required set `S₀` costing more than the budget is a typed
