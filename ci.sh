@@ -63,6 +63,9 @@ CRITERION_QUICK=1 cargo bench -p par-bench --bench incremental
 echo "==> catalog cold-start bench (quick mode, smoke + pack/text solve bit-identity assert)"
 CRITERION_QUICK=1 cargo bench -p par-bench --bench catalog
 
+echo "==> multi-action solver bench (quick mode, smoke + sharded/global transcript assert)"
+CRITERION_QUICK=1 cargo bench -p par-bench --bench multiaction
+
 # Pack determinism gate: the phocus-pack format is canonical — packing the
 # same dataset twice must produce byte-identical images — and a written
 # image must pass the reader's full validation (header, section table,
@@ -86,6 +89,17 @@ cargo run --release -q -p phocus -- "${EPOCH_ARGS[@]}" | sed 's/\tms=[0-9.]*//' 
 cargo run --release -q -p phocus -- "${EPOCH_ARGS[@]}" | sed 's/\tms=[0-9.]*//' > /tmp/phocus_epochs_b.txt
 diff /tmp/phocus_epochs_a.txt /tmp/phocus_epochs_b.txt
 grep -q '^session.*failed=0$' /tmp/phocus_epochs_a.txt
+
+# Compress determinism gate: multi-action solves must not depend on the
+# solver build — the sharded and global paths on the same expanded
+# instance must print byte-identical reports and retain the same actions.
+echo "==> compress determinism gate (phocus compress, sharded vs --no-sharding)"
+COMPRESS_ARGS=(compress --dataset p1k --budget-mb 1 --ladder 0.85:0.35,0.55:0.10)
+cargo run --release -q -p phocus -- "${COMPRESS_ARGS[@]}" --out /tmp/phocus_actions_a.tsv | grep -v '^wrote ' > /tmp/phocus_compress_a.txt
+cargo run --release -q -p phocus -- "${COMPRESS_ARGS[@]}" --no-sharding --out /tmp/phocus_actions_b.tsv | grep -v '^wrote ' > /tmp/phocus_compress_b.txt
+diff /tmp/phocus_compress_a.txt /tmp/phocus_compress_b.txt
+diff /tmp/phocus_actions_a.tsv /tmp/phocus_actions_b.tsv
+grep -q 'compressed renditions' /tmp/phocus_compress_a.txt
 
 echo "==> bench guard (recorded BENCH_*.json baselines)"
 cargo run --release -q -p par-bench --bin bench_guard

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use par_algo::{density_sieve, main_algorithm, swap_local_search, LocalSearchConfig};
 use par_bench::{dataset, DatasetId, Scale};
 use par_core::{Evaluator, PhotoId};
-use phocus::{expand_with_variants, represent, RepresentationConfig, DEFAULT_LADDER};
+use phocus::{expand_with_variants, represent, ActionLadder, RepresentationConfig};
 
 fn bench_remove(c: &mut Criterion) {
     let u = dataset(DatasetId::P1K, Scale::Scaled);
@@ -64,8 +64,9 @@ fn bench_streaming(c: &mut Criterion) {
 
 fn bench_compression_expansion(c: &mut Criterion) {
     let u = dataset(DatasetId::P1K, Scale::Scaled);
+    let ladder = ActionLadder::standard();
     c.bench_function("compression_expand/P-1K", |b| {
-        b.iter(|| expand_with_variants(std::hint::black_box(&u), &DEFAULT_LADDER))
+        b.iter(|| expand_with_variants(std::hint::black_box(&u), &ladder))
     });
 }
 

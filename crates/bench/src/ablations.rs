@@ -8,9 +8,7 @@ use crate::Series;
 use par_algo::{main_algorithm, swap_local_search, LocalSearchConfig};
 use par_core::Solution;
 use par_sparse::sparsification_bound;
-use phocus::{
-    compare_remove_vs_compress, represent, RepresentationConfig, Sparsification, DEFAULT_LADDER,
-};
+use phocus::{compare_remove_vs_compress, represent, ActionLadder, RepresentationConfig, Sparsification};
 
 /// Contextualization ablation: quality of the PHOcus solution as the
 /// attention floor `blend` moves from fully contextual (0) to non-contextual
@@ -92,7 +90,7 @@ pub fn ablation_compression(_scale: Scale) -> Vec<Series> {
         let cmp = compare_remove_vs_compress(
             &u,
             budget,
-            &DEFAULT_LADDER,
+            &ActionLadder::standard(),
             &RepresentationConfig::default(),
         )
         .expect("comparison runs");

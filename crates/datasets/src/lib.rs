@@ -36,6 +36,7 @@ pub mod error;
 pub mod fleet;
 pub mod io;
 pub mod openimages;
+pub mod recompression;
 pub mod table2;
 pub mod universe;
 pub mod zipf;
@@ -49,6 +50,7 @@ pub use error::DatasetError;
 pub use fleet::{generate_fleet, FleetConfig};
 pub use io::{from_text, to_text, ParseError};
 pub use openimages::{generate_openimages, OpenImagesConfig, PublicScale};
+pub use recompression::{recompression_levels, RECOMPRESSION_LEVELS};
 pub use table2::{table2_rows, Table2Row};
 pub use universe::{SubsetDef, Universe};
 pub use zipf::Zipf;

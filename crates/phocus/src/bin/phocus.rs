@@ -26,8 +26,9 @@ use par_datasets::{
 };
 use phocus::{
     render_report, representation::RepresentationConfig, representation::Sparsification, run_suite,
-    ArchiveSession, Catalog, CatalogBuilder, EpochSolve, FleetEngine, FleetEngineConfig,
-    FleetTenant, PackedTenant, Parallelism, Phocus, PhocusConfig, PhocusError, SuiteConfig,
+    ActionLadder, ArchiveSession, Catalog, CatalogBuilder, EpochSolve, FleetEngine,
+    FleetEngineConfig, FleetTenant, PackedTenant, Parallelism, Phocus, PhocusConfig, PhocusError,
+    SuiteConfig,
 };
 use std::process::ExitCode;
 
@@ -131,7 +132,9 @@ USAGE:
   phocus solve --dataset <NAME> --budget-mb <MB> [--tau T] [--ns] [--seed N] [--threads N]
                [--no-sharding] [--out FILE]
   phocus suite --dataset <NAME> --budget-mb <MB> [--tau T] [--seed N]
-  phocus compress --dataset <NAME> --budget-mb <MB> [--seed N]
+  phocus compress --dataset <NAME> --budget-mb <MB> [--seed N] [--threads N]
+               [--ladder SPEC|none|paper] [--no-sharding] [--frontier N]
+               [--out FILE]
   phocus export --dataset <NAME> --out <FILE> [--seed N]
   phocus plan --dataset <NAME> --target <FRACTION> [--seed N]
   phocus serve-batch --list <FILE|-> [--budget-frac F | --budget-mb MB]
@@ -158,6 +161,18 @@ SERVE-BATCH: --list names a file with one tenant universe path per line
   `ok <name> ...` or `fail <path>: <reason>`. A malformed tenant fails that
   tenant only; the rest of the batch still solves. --out-dir writes one
   retained-set TSV per solved tenant.
+
+COMPRESS: multi-action archival — keep, recompress, or delete each photo.
+  --ladder lists renditions as quality:size_fraction pairs (e.g.
+  `0.85:0.35,0.55:0.10`); `none` is the degenerate delete-only ladder
+  (reproduces `solve`'s remove-only model exactly), `paper` is the
+  recompression paper's measured ladder; the default is a built-in
+  two-rung ladder. Both solutions are scored on the ε-free objective,
+  directly comparable. --frontier N sweeps N budgets up to --budget-mb and
+  prints delete-only vs multi-action frontier curves. --out writes the
+  retained actions as a TSV (id, parent, action, cost, name) in selection
+  order; --no-sharding and --threads have `solve` semantics (solutions are
+  bit-identical either way).
 
 PACK / CATALOG: `pack` represents one dataset and writes it as a
   `phocus-pack` image — a checksummed binary section file that later loads
@@ -398,34 +413,104 @@ fn cmd_solve(rest: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_compress(rest: &[String]) -> Result<(), CliError> {
+    let threads: usize = parse(rest, "--threads", 0)?;
+    let prev = Parallelism::with_threads(threads).install_global();
+    let result = run_compress(rest);
+    prev.install_global();
+    result
+}
+
+fn run_compress(rest: &[String]) -> Result<(), CliError> {
     let dataset = opt(rest, "--dataset").ok_or_else(|| CliError::usage("missing --dataset"))?;
     let budget_mb: f64 = parse(rest, "--budget-mb", 2.0)?;
     let seed: u64 = parse(rest, "--seed", 42)?;
+    let ladder = match opt(rest, "--ladder") {
+        None => ActionLadder::standard(),
+        Some(spec) => ActionLadder::parse(&spec).map_err(CliError::Pipeline)?,
+    };
+    let sharding = !flag(rest, "--no-sharding");
     let universe = load_dataset(&dataset, seed, flag(rest, "--paper-scale"))?;
     let budget = (budget_mb * 1e6) as u64;
+    let cfg = RepresentationConfig::default();
+    let rungs: Vec<String> = ladder
+        .levels()
+        .iter()
+        .map(|l| format!("{}:{}", l.quality, l.size_fraction))
+        .collect();
     println!(
-        "dataset {} — {} photos ({:.1} MB), budget {:.1} MB",
+        "dataset {} — {} photos ({:.1} MB), budget {:.1} MB, ladder [{}]",
         universe.name,
         universe.num_photos(),
         universe.total_cost() as f64 / 1e6,
-        budget as f64 / 1e6
+        budget as f64 / 1e6,
+        rungs.join(", ")
     );
-    let cmp = phocus::compare_remove_vs_compress(
+    // Two multi-action solves on the same ε-free objective: the degenerate
+    // delete-only ladder *is* remove-only archival (bit for bit), so the
+    // comparison needs no separate code path.
+    let remove = phocus::solve_multi_action(
         &universe,
         budget,
-        &phocus::DEFAULT_LADDER,
-        &phocus::RepresentationConfig::default(),
+        &ActionLadder::delete_only(),
+        &cfg,
+        sharding,
     )?;
-    println!("remove-only quality:        {:.2}", cmp.remove_only);
-    println!(
-        "compression-aware quality:  {:.2} ({:+.1}%)",
-        cmp.with_compression,
-        100.0 * (cmp.with_compression / cmp.remove_only - 1.0)
-    );
+    let ma = phocus::solve_multi_action(&universe, budget, &ladder, &cfg, sharding)?;
+    println!("remove-only quality:        {:.2}", remove.score);
+    // A zero remove-only score (zero budget, empty demand) has no
+    // meaningful percentage — omit it instead of printing NaN/inf.
+    let pct = if remove.score > 0.0 {
+        format!(" ({:+.1}%)", 100.0 * (ma.score / remove.score - 1.0))
+    } else {
+        String::new()
+    };
+    println!("compression-aware quality:  {:.2}{pct}", ma.score);
     println!(
         "retained: {} full-quality photos + {} compressed renditions",
-        cmp.kept_original, cmp.kept_compressed
+        ma.kept_original, ma.kept_compressed
     );
+    if let Some(points) = opt(rest, "--frontier") {
+        let points: usize = points
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| CliError::usage(format!("invalid value for --frontier: {points}")))?;
+        let budgets: Vec<u64> = (1..=points as u64)
+            .map(|i| (budget * i / points as u64).max(1))
+            .collect();
+        let frontier = phocus::multi_action_frontier(&universe, &budgets, &ladder, &cfg)?;
+        println!("frontier\tbudget_mb\tdelete_only\tmulti_action");
+        for p in &frontier {
+            println!(
+                "frontier\t{:.2}\t{:.4}\t{:.4}",
+                p.budget as f64 / 1e6,
+                p.delete_only,
+                p.multi_action
+            );
+        }
+    }
+    if let Some(out) = opt(rest, "--out") {
+        // One retained action per line, in transcript order:
+        // id, parent id, action, byte cost, name.
+        let mut text = String::new();
+        for &p in &ma.selected {
+            let photo = ma.instance.photo(p);
+            let action = match ma.map.level[p.index()] {
+                None => "keep".to_string(),
+                Some(k) => format!("recompress@{k}"),
+            };
+            text.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\n",
+                p.0,
+                ma.map.parent[p.index()],
+                action,
+                photo.cost,
+                photo.name
+            ));
+        }
+        write_file(&out, &text)?;
+        println!("wrote retained actions to {out}");
+    }
     Ok(())
 }
 

@@ -41,6 +41,15 @@ pub enum PhocusError {
     },
     /// The budget-planner quality target is outside `(0, 1]` (or NaN).
     InvalidTarget(f64),
+    /// A compression [`ActionLadder`](crate::ActionLadder) level is unusable:
+    /// a `size_fraction`/`quality` outside `(0, 1)` (or non-finite), or a
+    /// `--ladder` spec entry that does not parse as `quality:size_fraction`.
+    InvalidLadder {
+        /// The 0-based ladder level (or spec entry) that failed.
+        level: usize,
+        /// What was wrong with it.
+        message: String,
+    },
     /// An I/O failure while reading an input file (CLI layer).
     Io {
         /// The path that failed.
@@ -63,6 +72,9 @@ impl fmt::Display for PhocusError {
             }
             PhocusError::InvalidTarget(t) => {
                 write!(f, "quality target {t} is not in (0, 1]")
+            }
+            PhocusError::InvalidLadder { level, message } => {
+                write!(f, "ladder level {level}: {message}")
             }
             PhocusError::Io { path, message } => {
                 write!(f, "cannot read {path}: {message}")
@@ -142,5 +154,17 @@ mod tests {
         assert!(io.to_string().contains("x.tsv"));
         let dyn_io: &dyn std::error::Error = &io;
         assert!(dyn_io.source().is_none());
+    }
+
+    #[test]
+    fn invalid_ladder_names_the_level() {
+        let e = PhocusError::InvalidLadder {
+            level: 2,
+            message: "quality 1.5 is not in (0, 1)".into(),
+        };
+        assert!(e.to_string().contains("ladder level 2"));
+        assert!(e.to_string().contains("1.5"));
+        let dyn_err: &dyn std::error::Error = &e;
+        assert!(dyn_err.source().is_none());
     }
 }

@@ -41,8 +41,10 @@ pub mod solver;
 pub mod suite;
 
 pub use compression::{
-    compare_remove_vs_compress, expand_with_variants, prune_and_refill, represent_with_variants,
-    CompressionComparison, CompressionLevel, VariantMap, DEFAULT_LADDER,
+    compare_remove_vs_compress, compare_remove_vs_compress_with, epsilon_free_score,
+    expand_with_variants, multi_action_frontier, prune_and_refill, represent_with_variants,
+    solve_multi_action, ActionLadder, CompressionComparison, CompressionLevel, FrontierPoint,
+    MultiActionSolve, VariantMap, DEFAULT_LADDER,
 };
 pub use catalog::{Catalog, CatalogBuilder, CatalogEntry};
 pub use error::{PhocusError, Result};

@@ -178,6 +178,173 @@ fn compress_compares_remove_vs_compress() {
 }
 
 #[test]
+fn compress_zero_score_budget_prints_no_nan() {
+    // A budget below the cheapest photo retains nothing, so the remove-only
+    // score is 0 and an improvement percentage would divide by zero. The
+    // report must omit the percentage, not print NaN or inf.
+    let out = phocus(&[
+        "compress",
+        "--dataset",
+        "tiny",
+        "--budget-mb",
+        "0.000001",
+        "--seed",
+        "4",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("remove-only quality"), "{text}");
+    assert!(!text.contains("NaN"), "{text}");
+    assert!(!text.contains("inf"), "{text}");
+    assert!(!text.contains('%'), "no percentage against a zero base: {text}");
+}
+
+#[test]
+fn compress_bad_ladder_spec_exits_invalid_data() {
+    for spec in ["2.0:0.5", "0.8:0.0,abc", "0.9"] {
+        let out = phocus(&[
+            "compress",
+            "--dataset",
+            "tiny",
+            "--budget-mb",
+            "1.5",
+            "--ladder",
+            spec,
+        ]);
+        assert_eq!(out.status.code(), Some(3), "bad ladder {spec:?} exits 3");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("ladder"), "names the ladder ({spec:?}): {err}");
+    }
+}
+
+#[test]
+fn compress_delete_only_ladder_reports_equal_scores() {
+    let out = phocus(&[
+        "compress",
+        "--dataset",
+        "tiny",
+        "--budget-mb",
+        "1.5",
+        "--seed",
+        "4",
+        "--ladder",
+        "none",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let score_after = |tag: &str| {
+        let line = text.lines().find(|l| l.starts_with(tag)).unwrap();
+        line[tag.len()..].trim().split(' ').next().unwrap().to_string()
+    };
+    assert_eq!(
+        score_after("remove-only quality:"),
+        score_after("compression-aware quality:"),
+        "delete-only ladder must reproduce remove-only: {text}"
+    );
+    assert!(text.contains("0 compressed renditions"), "{text}");
+}
+
+#[test]
+fn compress_writes_action_tsv() {
+    let out_path = std::env::temp_dir().join("phocus_cli_actions.tsv");
+    let out = phocus(&[
+        "compress",
+        "--dataset",
+        "tiny",
+        "--budget-mb",
+        "1.5",
+        "--seed",
+        "4",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote retained actions"));
+    let content = std::fs::read_to_string(&out_path).unwrap();
+    assert!(!content.is_empty());
+    // Each line: id \t parent \t action \t cost \t name.
+    for line in content.lines() {
+        let cols: Vec<_> = line.split('\t').collect();
+        assert_eq!(cols.len(), 5, "line: {line}");
+        assert!(
+            cols[2] == "keep" || cols[2].starts_with("recompress@"),
+            "action column: {line}"
+        );
+    }
+    std::fs::remove_file(&out_path).ok();
+}
+
+#[test]
+fn compress_frontier_prints_curve() {
+    let out = phocus(&[
+        "compress",
+        "--dataset",
+        "tiny",
+        "--budget-mb",
+        "1.5",
+        "--seed",
+        "4",
+        "--frontier",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("frontier\tbudget_mb\tdelete_only\tmulti_action"), "{text}");
+    let rows: Vec<_> = text
+        .lines()
+        .filter(|l| l.starts_with("frontier\t") && !l.contains("budget_mb"))
+        .collect();
+    assert_eq!(rows.len(), 3, "{text}");
+    for row in rows {
+        assert_eq!(row.split('\t').count(), 4, "row: {row}");
+    }
+}
+
+#[test]
+fn compress_sharded_matches_unsharded() {
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "compress",
+            "--dataset",
+            "tiny",
+            "--budget-mb",
+            "1.5",
+            "--seed",
+            "4",
+        ];
+        args.extend_from_slice(extra);
+        let out = phocus(&args);
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    assert_eq!(
+        run(&[]),
+        run(&["--no-sharding"]),
+        "sharding must not change the compress report"
+    );
+}
+
+#[test]
 fn solve_writes_retained_list() {
     let out_path = std::env::temp_dir().join("phocus_cli_retained.tsv");
     let out = phocus(&[

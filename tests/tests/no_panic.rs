@@ -14,7 +14,7 @@ use par_core::{
 };
 use par_datasets::{from_text, to_text, SubsetDef, Universe};
 use par_embed::Embedding;
-use phocus::{Phocus, PhocusError};
+use phocus::{ActionLadder, CompressionLevel, Phocus, PhocusError};
 use proptest::prelude::*;
 
 /// SplitMix64 — a local deterministic stream so each case can draw an
@@ -488,6 +488,91 @@ fn required_set_over_budget_is_a_typed_error() {
             assert_eq!(budget, floor - 1);
         }
         other => panic!("expected RequiredSetOverBudget, got {other:?}"),
+    }
+}
+
+/// Regression: `expand_with_variants` used to `assert!` on user-supplied
+/// ladder values mid-expansion. Validation now lives in the
+/// [`ActionLadder`] constructor as a typed error, so hostile ladders cannot
+/// reach library code at all.
+#[test]
+fn hostile_ladder_values_are_typed_errors() {
+    for (size_fraction, quality) in [
+        (0.0, 0.5),
+        (1.0, 0.5),
+        (-1.0, 0.5),
+        (f64::NAN, 0.5),
+        (f64::INFINITY, 0.5),
+        (f64::NEG_INFINITY, 0.5),
+        (f64::MIN_POSITIVE, 1.0),
+        (0.5, 0.0),
+        (0.5, f64::NAN),
+        (0.5, 1.0 + f64::EPSILON),
+    ] {
+        let err = ActionLadder::new(vec![CompressionLevel {
+            size_fraction,
+            quality,
+        }])
+        .expect_err("hostile level must not validate");
+        let msg = err.to_string();
+        assert!(
+            matches!(err, PhocusError::InvalidLadder { level: 0, .. }),
+            "({size_fraction}, {quality}) → {msg}"
+        );
+        assert!(msg.contains("ladder level"), "opaque diagnostic: {msg}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary f64 bit patterns never panic the ladder constructor: every
+    /// input either validates (both values finite and strictly inside
+    /// (0,1)) or yields a typed [`PhocusError::InvalidLadder`].
+    #[test]
+    fn ladder_constructor_never_panics(seed in any::<u64>(), n in 0usize..6) {
+        let mut s = seed;
+        let levels: Vec<CompressionLevel> = (0..n)
+            .map(|_| {
+                // Half raw bit soup (NaNs, infinities, denormals), half
+                // small finite values straddling the (0,1) boundaries.
+                let draw = |s: &mut u64| {
+                    let bits = splitmix(s);
+                    if bits & 1 == 0 {
+                        f64::from_bits(bits)
+                    } else {
+                        (bits >> 32) as f64 / (u32::MAX as f64 / 2.0) - 0.5
+                    }
+                };
+                CompressionLevel {
+                    size_fraction: draw(&mut s),
+                    quality: draw(&mut s),
+                }
+            })
+            .collect();
+        let in_range = |v: f64| v > 0.0 && v < 1.0;
+        let all_valid = levels.iter().all(|l| in_range(l.size_fraction) && in_range(l.quality));
+        match ActionLadder::new(levels) {
+            Ok(ladder) => prop_assert!(all_valid || ladder.is_empty()),
+            Err(e) => {
+                prop_assert!(!all_valid);
+                prop_assert!(matches!(e, PhocusError::InvalidLadder { .. }));
+            }
+        }
+    }
+
+    /// Byte-soup `--ladder` specs never panic the parser.
+    #[test]
+    fn ladder_spec_parsing_never_panics(seed in any::<u64>(), len in 0usize..40) {
+        const CHARSET: &[u8] = b"0123456789aeEnN:.,+-_ paper";
+        let mut s = seed;
+        let spec: String = (0..len)
+            .map(|_| CHARSET[(splitmix(&mut s) as usize) % CHARSET.len()] as char)
+            .collect();
+        match ActionLadder::parse(&spec) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(matches!(e, PhocusError::InvalidLadder { .. })),
+        }
     }
 }
 
