@@ -13,10 +13,21 @@ echo "==> cargo build --release"
 cargo build --release
 
 # Static analysis gates the test steps: determinism (float-ord, hash-iter,
-# wall-clock), layering (crate-dag, parallel-cfg), and hygiene (no-print,
-# no-unsafe) regressions fail fast with file:line spans. See DESIGN.md §12.
+# wall-clock, reduce-order), layering (crate-dag, parallel-cfg), hygiene
+# (no-print, no-unsafe), and hot-path/pack-safety (alloc-hot, cast-bounds)
+# regressions fail fast with file:line spans. See DESIGN.md §12 and §17.
 echo "==> phocus-lint (workspace static analysis)"
 cargo run --release -q -p par-lint
+
+# Schema drift gate: the registry the --json v2 schema exposes must match
+# the checked-in rule list exactly (order included) — a rule added, renamed,
+# or dropped without updating lint-rules.txt (and the consumers reading the
+# JSON) fails here, not in a downstream dashboard.
+echo "==> phocus-lint --json schema + rule-registry drift check"
+cargo run --release -q -p par-lint -- --json > /tmp/phocus_lint.json
+head -c 32 /tmp/phocus_lint.json | grep -q '^{"version":2,"rules":\[' \
+  || { echo "phocus-lint --json is not schema v2" >&2; exit 1; }
+cargo run --release -q -p par-lint -- rules | diff - lint-rules.txt
 
 echo "==> cargo test (default features: parallel)"
 cargo test -q

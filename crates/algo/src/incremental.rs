@@ -186,8 +186,9 @@ impl IncrementalSolver {
         IncrementalSolver {
             inst,
             labels,
+            // phocus-lint: allow(alloc-hot) — constructor, not the pop loop; reached only via go-live rebuild
             caches: (0..num_shards).map(|_| None).collect(),
-            pool_gain: vec![None; num_photos],
+            pool_gain: vec![None; num_photos], // phocus-lint: allow(alloc-hot) — constructor, once per resident solver
             prev_slack: None,
             report: EpochReport::default(),
         }
@@ -476,7 +477,7 @@ impl<'c> Stream<'c> {
                 photo: p,
                 epoch: ver[p.index()],
             })
-            .collect();
+            .collect(); // phocus-lint: allow(alloc-hot) — go-live divergence fallback, once per demoted stream
         self.state = StreamState::Heap(BinaryHeap::from(entries));
         self.pending = None;
         self.went_live = true;
@@ -485,6 +486,7 @@ impl<'c> Stream<'c> {
     /// Advances until a candidate is parked or the stream drains, exactly
     /// like `sharded::ShardStream::settle`, recording drops and verifying
     /// replayed events (divergence falls through to [`go_live`](Self::go_live)).
+    // phocus-lint: hot-kernel — warm-replay CELF stream advance; per merge-heap pop
     fn settle(&mut self, ctx: &RuleCtx<'_>, s: usize, ev: &Evaluator<'_>, ver: &[u32], rule: GreedyRule) {
         debug_assert!(self.candidate.is_none());
         loop {
@@ -648,7 +650,7 @@ fn run_rule(
             merge.push(MergeEntry {
                 key: c.key,
                 photo: c.photo,
-                shard: s as u32,
+                shard: s as u32, // phocus-lint: allow(cast-bounds) — shard count ≤ photo count, u32 by id width
             });
         }
     }

@@ -51,7 +51,7 @@ pub fn swap_local_search(
     }
     let mut swaps = 0u64;
 
-    'outer: while (swaps as usize) < cfg.max_swaps {
+    'outer: while swaps < cfg.max_swaps as u64 {
         let candidates_out: Vec<PhotoId> = ev
             .selected_ids()
             .iter()

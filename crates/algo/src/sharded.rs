@@ -157,6 +157,7 @@ impl ShardStream {
     /// candidate. Photos popped while unaffordable are dropped permanently —
     /// the remaining budget only shrinks, exactly the global loop's drop
     /// rule.
+    // phocus-lint: hot-kernel — CELF stream advance; runs once per merge-heap pop
     fn settle(
         &mut self,
         inst: &Instance,
@@ -320,8 +321,9 @@ impl<'a> ShardedSolver<'a> {
         let candidates: Vec<PhotoId> = (0..inst.num_photos() as u32)
             .map(PhotoId)
             .filter(|&p| !base.is_selected(p))
-            .collect();
+            .collect(); // phocus-lint: allow(alloc-hot) — stream construction, once per run, not the pop loop
         let gains = base.batch_gains(&candidates);
+        // phocus-lint: allow(alloc-hot) — stream construction, once per run
         let mut seed_by_shard: Vec<Vec<(PhotoId, f64)>> = vec![Vec::new(); dec.num_shards()];
         for (&p, &delta) in candidates.iter().zip(&gains) {
             seed_by_shard[dec.shard_of(p)].push((p, delta));
@@ -336,7 +338,7 @@ impl<'a> ShardedSolver<'a> {
                         photo: p,
                         epoch: 0,
                     })
-                    .collect();
+                    .collect(); // phocus-lint: allow(alloc-hot) — pool seed sort, once per run
                 entries.sort_unstable_by(|a, b| b.cmp(a));
                 entries
             })
@@ -522,7 +524,7 @@ impl<'a> ShardedSolver<'a> {
                 merge.push(MergeEntry {
                     key: c.key,
                     photo: c.photo,
-                    shard: s as u32,
+                    shard: s as u32, // phocus-lint: allow(cast-bounds) — shard count ≤ photo count, u32 by id width
                 });
             }
         }

@@ -73,7 +73,7 @@ fn tenant_images() -> Vec<TenantImages> {
                 .expect("bench corpus represents");
             TenantImages {
                 text: to_text(&t.universe),
-                pack: pack_instance(&inst),
+                pack: pack_instance(&inst).expect("bench corpus packs"),
                 budget: t.budget,
             }
         })

@@ -225,6 +225,31 @@ impl Row {
     }
 }
 
+/// Benchmark names `ci.sh` runs (`--bench NAME` on non-comment lines), each
+/// of which must have a recorded `BENCH_NAME.json` baseline at the repo
+/// root — a bench wired into CI without a baseline is invisible to every
+/// floor rule above.
+fn ci_bench_names(ci: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in ci.lines() {
+        let line = line.trim();
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        while let Some(w) = words.next() {
+            if w == "--bench" {
+                if let Some(n) = words.next() {
+                    names.push(n.to_string());
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
 /// The repo root: the workspace directory two levels above this crate.
 fn repo_root() -> PathBuf {
     let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
@@ -325,6 +350,22 @@ fn main() -> ExitCode {
         }
     }
 
+    // Every bench ci.sh runs must have a recorded baseline to guard.
+    match std::fs::read_to_string(root.join("ci.sh")) {
+        Ok(ci) => {
+            for bench in ci_bench_names(&ci) {
+                let baseline = format!("BENCH_{bench}.json");
+                if !root.join(&baseline).is_file() {
+                    offenders.push(format!(
+                        "ci.sh runs `--bench {bench}` but {baseline} is not recorded \
+                         at the repo root",
+                    ));
+                }
+            }
+        }
+        Err(e) => offenders.push(format!("ci.sh unreadable at the repo root: {e}")),
+    }
+
     if offenders.is_empty() {
         println!(
             "bench_guard: OK ({} speedup rows across {} files, {} scaling rows skipped)",
@@ -409,6 +450,33 @@ mod tests {
                 .unwrap();
         let serve = Row { fields: serve };
         assert!(!serve.text("bench").contains("cold_start"));
+    }
+
+    #[test]
+    fn ci_bench_names_come_from_uncommented_bench_flags() {
+        let ci = "#!/bin/bash\n\
+                  # CRITERION_QUICK=1 cargo bench -p par-bench --bench retired\n\
+                  CRITERION_QUICK=1 cargo bench -p par-bench --bench layout\n\
+                  CRITERION_QUICK=1 cargo bench -p par-bench --bench shard\n\
+                  CRITERION_QUICK=1 cargo bench -p par-bench --bench layout\n";
+        assert_eq!(ci_bench_names(ci), ["layout", "shard"]);
+    }
+
+    #[test]
+    fn every_ci_bench_has_a_recorded_baseline() {
+        // The live cross-check the guard applies at runtime, pinned as a
+        // test so a missing baseline fails `cargo test` too, not just CI.
+        let root = repo_root();
+        let ci = std::fs::read_to_string(root.join("ci.sh")).expect("ci.sh at repo root");
+        let names = ci_bench_names(&ci);
+        assert!(!names.is_empty(), "ci.sh runs no benches?");
+        for bench in names {
+            let baseline = format!("BENCH_{bench}.json");
+            assert!(
+                root.join(&baseline).is_file(),
+                "ci.sh runs --bench {bench} but {baseline} is missing"
+            );
+        }
     }
 
     #[test]

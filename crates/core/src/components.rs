@@ -303,6 +303,7 @@ pub fn decompose_with_labels(inst: &Instance, labels: ShardLabels) -> Decomposit
     let mut shard_globals: Vec<Vec<PhotoId>> = vec![Vec::new(); num_shards];
     for p in 0..n {
         let s = photo_shard[p] as usize;
+        // phocus-lint: allow(cast-bounds) — per-shard count ≤ n, and PhotoId is u32
         photo_local[p] = shard_globals[s].len() as u32;
         shard_globals[s].push(PhotoId(p as u32));
     }
@@ -333,6 +334,7 @@ pub fn decompose_with_labels(inst: &Instance, labels: ShardLabels) -> Decomposit
     let mut push_fragment =
         |s: usize, subset: Subset, store: Arc<ContextSim>, global: SubsetId| {
             let mut subset = subset;
+            // phocus-lint: allow(cast-bounds) — per-shard subset count ≤ m, and SubsetId is u32
             subset.id = SubsetId(shard_subsets[s].len() as u32);
             shard_subsets[s].push(subset);
             shard_sims[s].push(store);

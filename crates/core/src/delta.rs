@@ -264,6 +264,7 @@ impl EpochDelta {
             if kept.is_empty() {
                 continue; // every member purged: the query auto-retires
             }
+            // phocus-lint: allow(cast-bounds) — surviving queries ≤ old m, and SubsetId is u32
             let id = SubsetId(subsets.len() as u32);
             let map_member = |pos: u32| match remap[q.members[pos as usize].index()] {
                 Some(new_id) => new_id,
@@ -274,6 +275,7 @@ impl EpochDelta {
                     id,
                     label: q.label.clone(),
                     weight: q.weight,
+                    // phocus-lint: allow(cast-bounds) — kept ≤ member count, itself u32-indexed
                     members: (0..kept.len() as u32).map(map_member).collect(),
                     relevance: q.relevance.clone(),
                 });
@@ -306,6 +308,7 @@ impl EpochDelta {
 
         // ---- added queries: builder-style validation and normalization ----
         for qa in &self.add_queries {
+            // phocus-lint: allow(cast-bounds) — total query count validated ≤ u32 in pack/build
             let id = SubsetId(subsets.len() as u32);
             if qa.members.is_empty() {
                 return Err(ModelError::EmptySubset(id));
@@ -482,6 +485,7 @@ fn relabel(
     let mut affected: Vec<bool> = vec![false; new_inst.num_subsets()];
     for (p, &d) in dirty.iter().enumerate() {
         if d {
+            // phocus-lint: allow(cast-bounds) — p < n_new, and PhotoId is u32
             for m in new_inst.memberships(PhotoId(p as u32)) {
                 affected[m.subset.index()] = true;
             }
@@ -532,6 +536,7 @@ fn relabel(
     //   dirty                       → its DSU root.
     let component_size = |dsu: &mut Dsu, p: usize| -> u32 {
         if dirty[p] {
+            // phocus-lint: allow(cast-bounds) — p < n_new, the DSU's own size
             let root = dsu.find(p as u32) as usize;
             dsu.size[root]
         } else {
@@ -571,6 +576,7 @@ fn relabel(
             pool_shard
         } else {
             let slot = if dirty[p] {
+                // phocus-lint: allow(cast-bounds) — p < n_new, the DSU's own size
                 let root = dsu.find(p as u32) as usize;
                 &mut shard_for_root[root]
             } else {

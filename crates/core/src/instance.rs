@@ -372,6 +372,7 @@ impl InstanceBuilder {
     /// Adds a photo with the given human-readable name and byte cost,
     /// returning its id.
     pub fn add_photo(&mut self, name: impl Into<Arc<str>>, cost: u64) -> PhotoId {
+        // phocus-lint: allow(cast-bounds) — builder append; pack/build validate n ≤ u32::MAX
         let id = PhotoId(self.photos.len() as u32);
         self.photos.push(Photo::new(id, name, cost));
         id
@@ -397,6 +398,7 @@ impl InstanceBuilder {
         members: Vec<PhotoId>,
         relevance: Vec<f64>,
     ) -> SubsetId {
+        // phocus-lint: allow(cast-bounds) — builder append; pack/build validate m ≤ u32::MAX
         let id = SubsetId(self.subsets.len() as u32);
         let relevance = if relevance.is_empty() {
             vec![1.0; members.len()]

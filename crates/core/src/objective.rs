@@ -335,6 +335,7 @@ impl<'a> Evaluator<'a> {
             for &r in q.relevance.iter() {
                 wr.push(w * r);
             }
+            // phocus-lint: allow(cast-bounds) — member_total is validated ≤ u32::MAX at pack time
             off.push(wr.len() as u32);
         }
         let mut selected = std::mem::take(&mut arena.selected);
@@ -460,6 +461,7 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Arena range of subset `s`'s members.
+    // phocus-lint: hot-kernel — per-membership slice lookup on every gain/add/remove
     #[inline]
     fn span(&self, s: usize) -> (usize, usize) {
         (
@@ -527,6 +529,7 @@ impl<'a> Evaluator<'a> {
     /// Marginal gain `G(S ∪ {p}) − G(S)`. Zero if `p` is already selected.
     ///
     /// Complexity: `O(Σ_{q ∋ p} deg_q(p))` similarity lookups.
+    // phocus-lint: hot-kernel — CELF's inner loop; called once per heap pop
     pub fn gain(&self, p: PhotoId) -> f64 {
         self.gain_evals.fetch_add(1, Ordering::Relaxed);
         if self.selected[p.index()] {
@@ -584,6 +587,7 @@ impl<'a> Evaluator<'a> {
     /// staleness used by the component-sharded CELF driver. The arithmetic
     /// and update order are identical to [`add`](Self::add) (which delegates
     /// here with a no-op callback), keeping scores bit-identical.
+    // phocus-lint: hot-kernel — commit path shared by every solver's accept step
     pub fn add_tracked(
         &mut self,
         p: PhotoId,
@@ -609,15 +613,15 @@ impl<'a> Evaluator<'a> {
             if 1.0 > best[local] {
                 delta += wr[local] * (1.0 - best[local]);
                 best[local] = 1.0;
-                on_changed(m.subset, local as u32);
+                on_changed(m.subset, local as u32); // phocus-lint: allow(cast-bounds) — round-trips a u32 member index
             }
             // A member always prefers itself once selected.
-            provider[local] = local as u32;
+            provider[local] = local as u32; // phocus-lint: allow(cast-bounds) — round-trips a u32 member index
             ops += 1;
             for_each_improving_neighbor!(sim, local, ops, best, |j, b, s| {
                 delta += wr[j] * (s - b);
                 best[j] = s;
-                provider[j] = local as u32;
+                provider[j] = local as u32; // phocus-lint: allow(cast-bounds) — round-trips a u32 member index
                 on_changed(m.subset, j as u32);
             });
         }
@@ -632,6 +636,7 @@ impl<'a> Evaluator<'a> {
     /// Removing an unselected photo is a no-op returning 0. Complexity:
     /// `O(Σ_{q ∋ p} affected_q · deg_q)` — proportional to how much of the
     /// solution actually leaned on `p`.
+    // phocus-lint: hot-kernel — local-search swap path; rescans leaning members only
     pub fn remove(&mut self, p: PhotoId) -> f64 {
         if !self.selected[p.index()] {
             return 0.0;
@@ -649,6 +654,7 @@ impl<'a> Evaluator<'a> {
             let local = m.local as usize;
             let n = q.members.len();
             for j in 0..n {
+                // phocus-lint: allow(cast-bounds) — round-trips a u32 member index
                 if self.provider[lo + j] != local as u32 {
                     continue;
                 }

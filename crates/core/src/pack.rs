@@ -172,6 +172,13 @@ pub enum PackError {
         /// What was inconsistent.
         what: &'static str,
     },
+    /// The instance cannot be represented in the v1 format: a count or a
+    /// string-table byte total exceeds the format's u32 fields. Returned by
+    /// the writer only, before any bytes are produced.
+    Unrepresentable {
+        /// Which count overflowed.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for PackError {
@@ -203,6 +210,9 @@ impl fmt::Display for PackError {
             }
             PackError::Malformed { kind, what } => {
                 write!(f, "section kind {kind} is malformed: {what}")
+            }
+            PackError::Unrepresentable { what } => {
+                write!(f, "instance not representable in pack v1: {what}")
             }
         }
     }
@@ -260,17 +270,25 @@ impl W {
         }
     }
     /// A string table: `count + 1` cumulative u32 byte offsets, then the
-    /// concatenated UTF-8 bytes.
-    fn strings<'a>(&mut self, items: impl ExactSizeIterator<Item = &'a str> + Clone) {
-        let mut off = 0u32;
+    /// concatenated UTF-8 bytes. Fails (without writing the byte payload)
+    /// when the cumulative length overflows the format's u32 offsets.
+    fn strings<'a>(
+        &mut self,
+        items: impl ExactSizeIterator<Item = &'a str> + Clone,
+    ) -> Result<(), PackError> {
+        let mut off = 0u64;
         self.u32(0);
         for s in items.clone() {
-            off += s.len() as u32;
-            self.u32(off);
+            off += s.len() as u64;
+            let v = u32::try_from(off).map_err(|_| PackError::Unrepresentable {
+                what: "string table exceeds u32 offsets",
+            })?;
+            self.u32(v);
         }
         for s in items {
             self.buf.extend_from_slice(s.as_bytes());
         }
+        Ok(())
     }
 }
 
@@ -281,11 +299,30 @@ impl W {
 /// computed by the exact left-associated `w * r` loop
 /// [`crate::Evaluator::new`] runs, so an evaluator built over the loaded
 /// layout is bit-identical to one built over the text-parsed instance.
-pub fn pack_instance(inst: &Instance) -> Vec<u8> {
+///
+/// Fails with [`PackError::Unrepresentable`] — before producing any bytes —
+/// when a count or string-table total exceeds the format's u32 fields; no
+/// silent truncation can reach the file.
+pub fn pack_instance(inst: &Instance) -> Result<Vec<u8>, PackError> {
     let labels = shard_labels(inst);
     let n = inst.num_photos();
     let m = inst.num_subsets();
     let member_total: usize = inst.subsets().iter().map(|q| q.members.len()).sum();
+
+    // v1 stores counts and CSR offsets in u32 fields: reject anything the
+    // format cannot hold up front, so every `as u32` below is in-range by
+    // this check.
+    let cap = u32::MAX as u64;
+    for (v, what) in [
+        (n as u64, "photo count exceeds u32"),
+        (m as u64, "subset count exceeds u32"),
+        (member_total as u64, "member total exceeds u32"),
+        (inst.required().len() as u64, "required count exceeds u32"),
+    ] {
+        if v > cap {
+            return Err(PackError::Unrepresentable { what });
+        }
+    }
 
     // Build each section's payload.
     let mut sections: Vec<(u32, Vec<u8>)> = Vec::with_capacity(ALL_KINDS.len());
@@ -311,7 +348,7 @@ pub fn pack_instance(inst: &Instance) -> Vec<u8> {
         for p in inst.photos() {
             w.u64(p.cost);
         }
-        w.strings(inst.photos().iter().map(|p| &*p.name));
+        w.strings(inst.photos().iter().map(|p| &*p.name))?;
         sections.push((kind::PHOTOS, w.buf));
     }
 
@@ -330,7 +367,7 @@ pub fn pack_instance(inst: &Instance) -> Vec<u8> {
         for q in inst.subsets() {
             w.buf.extend_from_slice(&q.weight.to_bits().to_le_bytes());
         }
-        w.strings(inst.subsets().iter().map(|q| &*q.label));
+        w.strings(inst.subsets().iter().map(|q| &*q.label))?;
         sections.push((kind::SUBSETS, w.buf));
     }
 
@@ -340,6 +377,8 @@ pub fn pack_instance(inst: &Instance) -> Vec<u8> {
         let mut off = 0u32;
         w.u32(0);
         for q in inst.subsets() {
+            // phocus-lint: allow(cast-bounds) — member_total ≤ u32::MAX was
+            // checked up front, and off never exceeds member_total.
             off += q.members.len() as u32;
             w.u32(off);
         }
@@ -406,6 +445,8 @@ pub fn pack_instance(inst: &Instance) -> Vec<u8> {
             for &r in q.relevance.iter() {
                 wr.push(weight * r);
             }
+            // phocus-lint: allow(cast-bounds) — wr.len() ≤ member_total,
+            // which was checked against u32::MAX up front.
             off.push(wr.len() as u32);
         }
         w.u32s(&off);
@@ -426,7 +467,7 @@ pub fn pack_instance(inst: &Instance) -> Vec<u8> {
     let mut out = W { buf: Vec::with_capacity(total) };
     out.buf.extend_from_slice(&MAGIC);
     out.u32(VERSION);
-    out.u32(sections.len() as u32);
+    out.u32(sections.len() as u32); // phocus-lint: allow(cast-bounds) — exactly ALL_KINDS.len() == 9 sections
     let mut offset = (HEADER + table_len) as u64;
     for (k, payload) in &sections {
         out.u32(*k);
@@ -439,7 +480,7 @@ pub fn pack_instance(inst: &Instance) -> Vec<u8> {
     for (_, payload) in &sections {
         out.buf.extend_from_slice(payload);
     }
-    out.buf
+    Ok(out.buf)
 }
 
 // ---------------------------------------------------------------------------
@@ -486,6 +527,14 @@ impl<'a> R<'a> {
         ]))
     }
 
+    /// A u64 element count narrowed to `usize` with a checked conversion —
+    /// on 32-bit targets a hostile 2⁶⁴-scale count must become a typed
+    /// error, not a truncated (and possibly plausible) small one.
+    fn usize(&mut self) -> Result<usize, PackError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| PackError::TooLarge { kind: self.kind })
+    }
+
     /// Validates `count * size` fits the remaining bytes (overflow-safe).
     fn cap(&self, count: usize, size: usize) -> Result<usize, PackError> {
         match count.checked_mul(size) {
@@ -494,33 +543,37 @@ impl<'a> R<'a> {
         }
     }
 
+    // phocus-lint: hot-kernel — bulk section loader; dominates unpack time
     fn vec_u32(&mut self, count: usize) -> Result<Vec<u32>, PackError> {
         self.cap(count, 4)?;
         let bytes = self.take(count * 4)?;
         Ok(bytes
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect())
+            .collect()) // phocus-lint: allow(alloc-hot) — single sized allocation after the cap check
     }
 
+    // phocus-lint: hot-kernel — bulk section loader; dominates unpack time
     fn vec_u64(&mut self, count: usize) -> Result<Vec<u64>, PackError> {
         self.cap(count, 8)?;
         let bytes = self.take(count * 8)?;
         Ok(bytes
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
-            .collect())
+            .collect()) // phocus-lint: allow(alloc-hot) — single sized allocation after the cap check
     }
 
+    // phocus-lint: hot-kernel — bulk section loader; dominates unpack time
     fn vec_f32(&mut self, count: usize) -> Result<Vec<f32>, PackError> {
         self.cap(count, 4)?;
         let bytes = self.take(count * 4)?;
         Ok(bytes
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect())
+            .collect()) // phocus-lint: allow(alloc-hot) — single sized allocation after the cap check
     }
 
+    // phocus-lint: hot-kernel — bulk section loader; dominates unpack time
     fn vec_f64(&mut self, count: usize) -> Result<Vec<f64>, PackError> {
         self.cap(count, 8)?;
         let bytes = self.take(count * 8)?;
@@ -531,7 +584,7 @@ impl<'a> R<'a> {
                     c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
                 ]))
             })
-            .collect())
+            .collect()) // phocus-lint: allow(alloc-hot) — single sized allocation after the cap check
     }
 
     fn malformed(&self, what: &'static str) -> PackError {
@@ -652,6 +705,8 @@ pub fn unpack_instance(bytes: &[u8]) -> Result<PackedInstance, PackError> {
         if slot.is_some() {
             return Err(PackError::DuplicateSection { kind: k });
         }
+        // phocus-lint: allow(cast-bounds) — offset ≤ end ≤ bytes.len() was
+        // just checked, and a slice length always fits usize.
         let payload = &bytes[offset as usize..end as usize];
         if fnv1a64(payload) != sum {
             return Err(PackError::Checksum { kind: k });
@@ -660,6 +715,9 @@ pub fn unpack_instance(bytes: &[u8]) -> Result<PackedInstance, PackError> {
     }
     if prev_end != bytes.len() as u64 {
         return Err(PackError::Truncated {
+            // phocus-lint: allow(cast-bounds) — diagnostic value only; every
+            // section's end was bounds-checked ≤ bytes.len() above, so
+            // prev_end fits the buffer's own length type.
             need: prev_end as usize,
             have: bytes.len(),
         });
@@ -798,7 +856,7 @@ pub fn unpack_instance(bytes: &[u8]) -> Result<PackedInstance, PackError> {
         let mut sims = Vec::with_capacity(m);
         for q in &subsets {
             let tag = r.u32()?;
-            let len = r.u64()? as usize;
+            let len = r.usize()?;
             if len != q.members.len() {
                 return Err(PackError::Malformed {
                     kind: kind::SIMS,
@@ -812,7 +870,7 @@ pub fn unpack_instance(bytes: &[u8]) -> Result<PackedInstance, PackError> {
                     ContextSim::Dense(DenseSim::from_raw_tri(len, tri))
                 }
                 2 => {
-                    let edges = r.u64()? as usize;
+                    let edges = r.usize()?;
                     let offsets = read_csr_offsets(&mut r, len, edges)?;
                     let neighbor_idx = r.vec_u32(edges)?;
                     let sim = r.vec_f32(edges)?;
@@ -917,7 +975,7 @@ mod tests {
     #[test]
     fn round_trip_preserves_structure() {
         for inst in fixtures() {
-            let bytes = pack_instance(&inst);
+            let bytes = pack_instance(&inst).expect("packable");
             let packed = unpack_instance(&bytes).expect("round trip");
             let got = &packed.instance;
             assert_eq!(got.num_photos(), inst.num_photos());
@@ -940,7 +998,7 @@ mod tests {
     #[test]
     fn loaded_layout_matches_fresh_evaluator() {
         for inst in fixtures() {
-            let bytes = pack_instance(&inst);
+            let bytes = pack_instance(&inst).expect("packable");
             let packed = unpack_instance(&bytes).expect("round trip");
             let fresh = Evaluator::new(&packed.instance);
             let loaded = Evaluator::with_layout(&packed.instance, &packed.layout);
@@ -959,7 +1017,7 @@ mod tests {
     #[test]
     fn loaded_instance_scores_identically() {
         for inst in fixtures() {
-            let packed = unpack_instance(&pack_instance(&inst)).expect("round trip");
+            let packed = unpack_instance(&pack_instance(&inst).expect("packable")).expect("round trip");
             let all: Vec<PhotoId> = (0..inst.num_photos() as u32).map(PhotoId).collect();
             assert_eq!(
                 exact_score(&inst, &all).to_bits(),
@@ -971,14 +1029,17 @@ mod tests {
     #[test]
     fn packing_is_deterministic() {
         for inst in fixtures() {
-            assert_eq!(pack_instance(&inst), pack_instance(&inst));
+            assert_eq!(
+                pack_instance(&inst).expect("packable"),
+                pack_instance(&inst).expect("packable")
+            );
         }
     }
 
     #[test]
     fn corruption_yields_typed_errors() {
         let inst = figure1_instance(4 * MB);
-        let good = pack_instance(&inst);
+        let good = pack_instance(&inst).expect("packable");
         assert!(unpack_instance(&good).is_ok());
 
         // Truncations at every prefix length must fail (never panic).

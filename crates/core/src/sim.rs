@@ -366,6 +366,7 @@ impl SparseSim {
             return 1.0;
         }
         let (ids, sims) = self.neighbors(i);
+        // phocus-lint: allow(cast-bounds) — j is a local member index; rows store u32 ids
         ids.binary_search(&(j as u32))
             .map(|pos| sims[pos] as f64)
             .unwrap_or(0.0)
@@ -438,6 +439,7 @@ impl SparseSim {
                     sim.push(s);
                 }
             }
+            // phocus-lint: allow(cast-bounds) — restriction keeps ≤ the original u32 edge count
             offsets[new + 1] = neighbor_idx.len() as u32;
         }
         SparseSim {
@@ -461,6 +463,7 @@ impl SparseSim {
                     sim.push(s);
                 }
             }
+            // phocus-lint: allow(cast-bounds) — sparsify keeps ≤ the original u32 edge count
             offsets[i + 1] = neighbor_idx.len() as u32;
         }
         SparseSim {

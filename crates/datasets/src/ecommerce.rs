@@ -297,7 +297,7 @@ pub fn generate_ecommerce(cfg: &EcConfig) -> Universe {
         if !keep[i] {
             continue;
         }
-        remap[i] = names.len() as u32;
+        remap[i] = names.len() as u32; // phocus-lint: allow(cast-bounds) — kept ≤ catalog_size, a u32-id domain
         names.push(titles[i].clone());
         costs.push(lognormal_cost(&mut rng));
         embeddings.push(embedder.embed_cached(&specs[i], &mut proto_cache));
@@ -366,6 +366,7 @@ fn lognormal_cost<R: Rng>(rng: &mut R) -> u64 {
     let u2: f64 = rng.gen();
     let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
     let bytes = (11.1 + 0.45 * z).exp(); // median ≈ 66 KB (product shots)
+    // phocus-lint: allow(cast-bounds) — float→int `as` saturates; the clamp bounds the result
     (bytes as u64).clamp(10_000, 500_000)
 }
 

@@ -279,6 +279,7 @@ pub(crate) fn lognormal_cost<R: Rng>(rng: &mut R) -> u64 {
     let u2: f64 = rng.gen();
     let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
     let bytes = (10.7 + 0.5 * z).exp(); // median e^10.7 ≈ 44 KB
+    // phocus-lint: allow(cast-bounds) — float→int `as` saturates; the clamp bounds the result
     (bytes as u64).clamp(8_000, 400_000)
 }
 

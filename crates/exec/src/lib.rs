@@ -249,6 +249,7 @@ where
 /// claim items with an atomic fetch-add and accumulate `(index, value)`
 /// locally; the merged pairs are sorted by index so the output order is
 /// independent of scheduling.
+// phocus-lint: hot-kernel — dispatch loop under every par_map_dynamic fan-out
 #[cfg(feature = "parallel")]
 fn parallel_dynamic<S, T, M, F>(workers: usize, len: usize, make_state: &M, f: &F) -> Vec<T>
 where
@@ -258,9 +259,11 @@ where
 {
     use std::sync::Mutex;
     let cursor = AtomicUsize::new(0);
+    // phocus-lint: allow(alloc-hot) — one output buffer per dispatch, amortized over len items
     let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(len));
     let run = |local_cap: usize| {
         let mut state = make_state();
+        // phocus-lint: allow(alloc-hot) — one accumulator per worker, amortized over its claims
         let mut local: Vec<(usize, T)> = Vec::with_capacity(local_cap);
         loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -283,11 +286,13 @@ where
     let mut pairs = collected.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
     pairs.sort_unstable_by_key(|&(i, _)| i);
     debug_assert_eq!(pairs.len(), len, "every index claimed exactly once");
+    // phocus-lint: allow(alloc-hot) — single sized pass producing the return value
     pairs.into_iter().map(|(_, v)| v).collect()
 }
 
 /// Serial stand-in compiled without the `parallel` feature; unreachable in
 /// practice (`parallel_enabled()` gates every call).
+// phocus-lint: hot-kernel — serial twin of the dispatch loop above
 #[cfg(not(feature = "parallel"))]
 fn parallel_dynamic<S, T, M, F>(_workers: usize, len: usize, make_state: &M, f: &F) -> Vec<T>
 where
@@ -296,6 +301,7 @@ where
     F: Fn(&mut S, usize) -> T + Sync,
 {
     let mut state = make_state();
+    // phocus-lint: allow(alloc-hot) — single sized pass producing the return value
     (0..len).map(|i| f(&mut state, i)).collect()
 }
 

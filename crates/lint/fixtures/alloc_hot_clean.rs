@@ -1,0 +1,14 @@
+//! Fixture: arena discipline — the hot kernel writes into a caller-provided
+//! buffer, and the allocating setup lives in a cold constructor.
+
+// phocus-lint: hot-kernel — fixture: per-pop scoring loop
+pub fn score_into(xs: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    for x in xs {
+        out.push(x * 2.0);
+    }
+}
+
+pub fn make_arena(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}

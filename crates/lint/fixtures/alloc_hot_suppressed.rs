@@ -1,0 +1,7 @@
+//! Fixture: a hot-kernel allocation carrying a per-site rationale.
+
+// phocus-lint: hot-kernel — fixture: per-pop scoring loop
+pub fn score(xs: &[f64]) -> Vec<f64> {
+    // phocus-lint: allow(alloc-hot) — fixture: single sized pass producing the return value
+    xs.iter().map(|x| x * 2.0).collect()
+}

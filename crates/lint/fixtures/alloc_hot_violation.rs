@@ -1,0 +1,21 @@
+//! Fixture: allocations on the hot path — one directly inside an annotated
+//! kernel, one reached transitively through a crate-local callee.
+
+// phocus-lint: hot-kernel — fixture: per-pop scoring loop
+pub fn score(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|x| x * 2.0).collect()
+}
+
+// phocus-lint: hot-kernel — fixture: dispatch loop
+pub fn dispatch(xs: &[f64]) -> f64 {
+    helper(xs)
+}
+
+fn helper(xs: &[f64]) -> f64 {
+    let copy = xs.to_vec();
+    let mut total = 0.0;
+    for x in copy {
+        total += x;
+    }
+    total
+}

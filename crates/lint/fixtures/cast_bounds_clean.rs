@@ -1,0 +1,13 @@
+//! Fixture: narrowing conversions carrying their own evidence — a checked
+//! `try_from` and an explicit range guard dominating the cast.
+
+pub fn offsets(names: &[String]) -> Result<u32, &'static str> {
+    u32::try_from(names.len()).map_err(|_| "too many names")
+}
+
+pub fn read_count(raw: u64) -> Result<usize, &'static str> {
+    if raw > usize::MAX as u64 {
+        return Err("count exceeds the address space");
+    }
+    Ok(raw as usize)
+}

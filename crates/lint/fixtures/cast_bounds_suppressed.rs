@@ -1,0 +1,5 @@
+//! Fixture: a narrowing cast suppressed with a written proof.
+
+pub fn offsets(names: &[String]) -> u32 {
+    names.len() as u32 // phocus-lint: allow(cast-bounds) — fixture: count audited to fit u32 upstream
+}

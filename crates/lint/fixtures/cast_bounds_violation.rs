@@ -1,0 +1,9 @@
+//! Fixture: narrowing casts with no local evidence that the value fits.
+
+pub fn offsets(names: &[String]) -> u32 {
+    names.len() as u32
+}
+
+pub fn read_count(raw: u64) -> usize {
+    raw as usize
+}

@@ -1,0 +1,6 @@
+//! Fixture: float ordering through `total_cmp`, which is total by
+//! construction and needs no pragma.
+
+pub fn max_score(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.total_cmp(b))
+}

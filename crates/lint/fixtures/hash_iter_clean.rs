@@ -1,0 +1,18 @@
+//! Fixture: deterministic iteration — a `BTreeMap` walk and a
+//! collect-then-sort over hash-map contents.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn total(weights: &BTreeMap<u32, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_, w) in weights.iter() {
+        sum += w;
+    }
+    sum
+}
+
+pub fn sorted_keys(m: &HashMap<u32, f64>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}

@@ -1,0 +1,6 @@
+//! Fixture: a well-formed pragma — known rule, written rationale — that
+//! `lint-meta` has nothing to say about.
+
+pub fn comparable(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some() // phocus-lint: allow(float-ord) — fixture: audited NaN-free site
+}

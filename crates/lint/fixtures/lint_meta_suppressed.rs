@@ -1,0 +1,6 @@
+//! Fixture: an unknown rule name acknowledged through `lint-meta` in the
+//! same pragma's rule list (e.g. a rule scheduled for the next release).
+
+pub fn f() -> u32 {
+    41 // phocus-lint: allow(lint-meta, not-yet-shipped-rule) — fixture: forward-compat pragma
+}

@@ -1,0 +1,5 @@
+//! Fixture: library code that returns its report instead of printing it.
+
+pub fn report(n: usize) -> String {
+    format!("{n} files scanned")
+}

@@ -1,0 +1,5 @@
+//! Fixture: safe code only; nothing for `no-unsafe` to object to.
+
+pub fn checked_get(xs: &[u32], i: usize) -> Option<u32> {
+    xs.get(i).copied()
+}

@@ -1,0 +1,6 @@
+//! Fixture: no feature gate in sight — parallelism is delegated to the
+//! par-exec facade, which owns the `parallel` cfg.
+
+pub fn fan_out(chunks: usize) -> usize {
+    chunks
+}

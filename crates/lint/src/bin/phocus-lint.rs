@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! phocus-lint [--json] [--root <dir>]    lint the workspace
+//! phocus-lint rules                      print the rule registry, one per line
 //! phocus-lint gate-crates [--root <dir>] print the panic-gate crate list
 //! phocus-lint --help                     usage and rule list
 //! ```
@@ -17,24 +18,28 @@ phocus-lint — workspace static analysis for determinism, layering, and panic-f
 
 USAGE:
   phocus-lint [--json] [--root <dir>]     lint every non-vendor crate
+  phocus-lint rules                       print the rule registry, one id per line
   phocus-lint gate-crates [--root <dir>]  print panic-freedom gate crate list
   phocus-lint --help
 
 OPTIONS:
-  --json        machine-readable diagnostics (stable schema, version 1)
+  --json        machine-readable diagnostics (stable schema, version 2)
   --root <dir>  workspace root (default: nearest ancestor with [workspace])
 
 EXIT CODES:
   0  clean        1  violations found
   2  usage error  3  workspace I/O or parse failure
 
-Suppressions: `// phocus-lint: allow(<rules>) — reason` (site) and
-`// phocus-lint: allow-file(<rules>) — reason` (file). See DESIGN.md §12.";
+Suppressions: `// phocus-lint: allow(<rules>) — reason` (site, reason required)
+and `// phocus-lint: allow-file(<rules>) — reason` (file); trailing same-line
+form accepted. Hot-path functions are annotated `// phocus-lint: hot-kernel`.
+See DESIGN.md §12 and §17.";
 
 struct Args {
     json: bool,
     root: Option<PathBuf>,
     gate_crates: bool,
+    rules: bool,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -42,6 +47,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         json: false,
         root: None,
         gate_crates: false,
+        rules: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -53,6 +59,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                 None => return Err("--root requires a directory argument".to_string()),
             },
             "gate-crates" => args.gate_crates = true,
+            "rules" => args.rules = true,
             other => return Err(format!("unrecognized argument `{other}`")),
         }
     }
@@ -88,6 +95,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.rules {
+        for r in par_lint::rules::RULES {
+            println!("{r}");
+        }
+        return ExitCode::from(0);
+    }
     let Some(root) = args.root.clone().or_else(find_root) else {
         eprintln!("error: no workspace root found (pass --root <dir>)");
         return ExitCode::from(3);

@@ -1,0 +1,158 @@
+//! A lightweight intra-crate call graph from `fn` names and call sites.
+//!
+//! Nodes are the [`crate::scope::FnItem`]s of every file in one crate;
+//! an edge exists when a function's body contains `name(` for a `name`
+//! defined anywhere in the same crate (free function or method — the graph
+//! is name-based, not receiver-typed). The approximation is deliberate and
+//! documented:
+//!
+//! * **Over-approximation**: two methods sharing a name are merged into one
+//!   node set, so reachability can include bodies the runtime never calls.
+//!   For `alloc-hot` this errs toward *more* scrutiny of hot cones, which
+//!   is the safe direction; a false positive is discharged with a per-site
+//!   rationale.
+//! * **Under-approximation** (the false-negative envelope): cross-crate
+//!   calls, calls through function-pointer/closure variables, turbofish
+//!   (`f::<T>(`), and trait-object dispatch are not followed. Hot kernels
+//!   that lean on cross-crate helpers annotate those helpers in their own
+//!   crate.
+
+use crate::lexer::{Tok, TokKind};
+use crate::scope::FileScopes;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A node: (file index within the crate, fn index within the file).
+pub type FnId = (usize, usize);
+
+/// The per-crate graph.
+#[derive(Debug, Default)]
+pub struct CrateGraph {
+    /// Every definition of each fn name in the crate.
+    pub by_name: BTreeMap<String, Vec<FnId>>,
+    /// Crate-local callee names per function body.
+    pub calls: BTreeMap<FnId, BTreeSet<String>>,
+}
+
+impl CrateGraph {
+    /// Builds the graph over one crate's files: `(code tokens, scopes)` per
+    /// file, in a stable order.
+    pub fn build(files: &[(&[Tok], &FileScopes)]) -> Self {
+        let mut by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        for (fi, (_, scopes)) in files.iter().enumerate() {
+            for (gi, f) in scopes.fns.iter().enumerate() {
+                by_name.entry(f.name.clone()).or_default().push((fi, gi));
+            }
+        }
+        let mut calls: BTreeMap<FnId, BTreeSet<String>> = BTreeMap::new();
+        for (fi, (code, scopes)) in files.iter().enumerate() {
+            for (gi, f) in scopes.fns.iter().enumerate() {
+                calls.insert(
+                    (fi, gi),
+                    callee_names(code, f.body, &by_name),
+                );
+            }
+        }
+        CrateGraph { by_name, calls }
+    }
+
+    /// BFS over name-resolved edges from `roots`. Returns each reachable
+    /// node's BFS parent (roots map to themselves), for witness paths.
+    pub fn reachable(&self, roots: &[FnId]) -> BTreeMap<FnId, FnId> {
+        let mut parent: BTreeMap<FnId, FnId> = BTreeMap::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        for &r in roots {
+            if parent.insert(r, r).is_none() {
+                queue.push_back(r);
+            }
+        }
+        while let Some(node) = queue.pop_front() {
+            let Some(callees) = self.calls.get(&node) else {
+                continue;
+            };
+            for name in callees {
+                for &next in self.by_name.get(name).into_iter().flatten() {
+                    if let std::collections::btree_map::Entry::Vacant(slot) = parent.entry(next) {
+                        slot.insert(node);
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        parent
+    }
+}
+
+/// Crate-local fn names called within `range` of `code`: every `name(`
+/// where `name` is defined in the crate and the token is not the `fn`
+/// item's own name.
+pub fn callee_names(
+    code: &[Tok],
+    range: (usize, usize),
+    by_name: &BTreeMap<String, Vec<FnId>>,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let end = range.1.min(code.len());
+    for j in range.0..end {
+        if code[j].kind != TokKind::Ident {
+            continue;
+        }
+        if !code.get(j + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        if j > 0 && code[j - 1].is_ident("fn") {
+            continue; // a nested definition, not a call
+        }
+        if by_name.contains_key(&code[j].text) {
+            out.insert(code[j].text.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{CrateCategory, FileContext, FileKind, FileSpec};
+    use crate::scope;
+
+    fn ctx(src: &str) -> FileContext<'static> {
+        FileContext::new(
+            FileSpec {
+                path: "fixture.rs",
+                crate_name: "par-fixture",
+                category: CrateCategory::Library,
+                kind: FileKind::Lib,
+            },
+            src,
+        )
+    }
+
+    #[test]
+    fn transitive_reachability_with_witness_parents() {
+        let c = ctx(
+            "fn a() { b(); }\nfn b() { helper_c(); }\nfn helper_c() {}\nfn island() { helper_c(); }\n",
+        );
+        let s = scope::analyze(&c);
+        let g = CrateGraph::build(&[(&c.code, &s)]);
+        let reach = g.reachable(&[(0, 0)]);
+        let names: Vec<&str> = reach
+            .keys()
+            .map(|&(_, gi)| s.fns[gi].name.as_str())
+            .collect();
+        assert_eq!(names, ["a", "b", "helper_c"]);
+        // helper_c's parent is b, b's parent is a, a is its own root.
+        assert_eq!(reach[&(0, 2)], (0, 1));
+        assert_eq!(reach[&(0, 1)], (0, 0));
+        assert_eq!(reach[&(0, 0)], (0, 0));
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name() {
+        let c = ctx(
+            "struct S;\nimpl S {\n    fn gain(&self) -> f64 { self.span() }\n    fn span(&self) -> f64 { 0.0 }\n}\n",
+        );
+        let s = scope::analyze(&c);
+        let g = CrateGraph::build(&[(&c.code, &s)]);
+        assert!(g.calls[&(0, 0)].contains("span"));
+    }
+}

@@ -12,7 +12,19 @@
 //! covers the next line that carries code. `allow-file` covers the whole
 //! file for the named rules wherever it appears. Unknown rule names inside
 //! a pragma are themselves reported (rule `lint-meta`), so a typo cannot
-//! silently disable nothing.
+//! silently disable nothing, and every `allow` must carry a written
+//! rationale after the closing parenthesis (`— reason`) — an unexplained
+//! suppression is itself a `lint-meta` finding.
+//!
+//! A third directive marks hot kernels for the `alloc-hot` rule:
+//!
+//! ```text
+//! // phocus-lint: hot-kernel — inner gain loop, PR 2 arena discipline
+//! ```
+//!
+//! placed on the line above a `fn` item (attributes tolerated) or trailing
+//! on its header line. The rationale text is optional for `hot-kernel` —
+//! it is an assertion, not an exemption.
 
 use crate::diag::Diagnostic;
 use crate::lexer::{lex, Tok, TokKind};
@@ -77,6 +89,10 @@ pub struct FileContext<'a> {
     /// Inclusive line ranges of `#[cfg(test)] mod … { }` regions.
     test_regions: Vec<(u32, u32)>,
     allows: Vec<Allow>,
+    /// Lines covered by a `phocus-lint: hot-kernel` annotation (the next
+    /// code-bearing line for standalone pragmas, the pragma's own line for
+    /// trailing ones). `alloc-hot` matches these against `fn` item headers.
+    pub hot_kernel_lines: Vec<u32>,
     /// Pragma-syntax findings (unknown rule names), reported with the rest.
     pub meta_diags: Vec<Diagnostic>,
 }
@@ -86,7 +102,7 @@ impl<'a> FileContext<'a> {
     pub fn new(spec: FileSpec<'a>, src: &str) -> Self {
         let toks = lex(src);
         let mut meta_diags = Vec::new();
-        let allows = parse_allows(&toks, &spec, &mut meta_diags);
+        let (allows, hot_kernel_lines) = parse_pragmas(&toks, &spec, &mut meta_diags);
         let code: Vec<Tok> = toks.into_iter().filter(|t| !t.is_comment()).collect();
         let test_regions = find_test_regions(&code);
         FileContext {
@@ -94,6 +110,7 @@ impl<'a> FileContext<'a> {
             code,
             test_regions,
             allows,
+            hot_kernel_lines,
             meta_diags,
         }
     }
@@ -132,9 +149,26 @@ impl<'a> FileContext<'a> {
     }
 }
 
-fn parse_allows(toks: &[Tok], spec: &FileSpec<'_>, meta: &mut Vec<Diagnostic>) -> Vec<Allow> {
+/// Whether `rest` (the pragma text after the closing parenthesis, or after
+/// `hot-kernel`) carries a written rationale: `— reason`, `-- reason`, or
+/// `- reason` with non-empty text.
+fn has_rationale(rest: &str) -> bool {
+    let rest = rest.trim_start();
+    let reason = rest
+        .strip_prefix('—')
+        .or_else(|| rest.strip_prefix("--"))
+        .or_else(|| rest.strip_prefix('-'));
+    reason.is_some_and(|r| !r.trim().is_empty())
+}
+
+fn parse_pragmas(
+    toks: &[Tok],
+    spec: &FileSpec<'_>,
+    meta: &mut Vec<Diagnostic>,
+) -> (Vec<Allow>, Vec<u32>) {
     const MARKER: &str = "phocus-lint:";
     let mut allows = Vec::new();
+    let mut hot_lines = Vec::new();
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::LineComment {
             continue;
@@ -147,7 +181,44 @@ fn parse_allows(toks: &[Tok], spec: &FileSpec<'_>, meta: &mut Vec<Diagnostic>) -
         let Some(pos) = t.text.find(MARKER) else {
             continue;
         };
+        // Trailing pragma: code tokens precede the comment on its own line.
+        let trailing = toks[..i]
+            .iter()
+            .rev()
+            .take_while(|p| p.line == t.line)
+            .any(|p| !p.is_comment());
+        // The line the pragma covers: its own for trailing comments, the
+        // next code-bearing line for standalone ones.
+        let covered = if trailing {
+            Some(t.line)
+        } else {
+            toks[i + 1..]
+                .iter()
+                .find(|n| !n.is_comment())
+                .map(|n| n.line)
+        };
         let directive = t.text[pos + MARKER.len()..].trim();
+        if let Some(rest) = directive.strip_prefix("hot-kernel") {
+            // Rationale is optional here (an annotation, not an exemption),
+            // but stray trailing text must still look like one.
+            if !rest.trim().is_empty() && !has_rationale(rest) {
+                meta.push(Diagnostic {
+                    rule: "lint-meta",
+                    path: spec.path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "malformed hot-kernel annotation `{directive}` \
+                         (expected `hot-kernel` or `hot-kernel — note`)"
+                    ),
+                });
+                continue;
+            }
+            if let Some(line) = covered {
+                hot_lines.push(line);
+            }
+            continue;
+        }
         let (file_scope, rest) = if let Some(r) = directive.strip_prefix("allow-file(") {
             (true, r)
         } else if let Some(r) = directive.strip_prefix("allow(") {
@@ -159,8 +230,8 @@ fn parse_allows(toks: &[Tok], spec: &FileSpec<'_>, meta: &mut Vec<Diagnostic>) -
                 line: t.line,
                 col: t.col,
                 message: format!(
-                    "unrecognized phocus-lint directive `{directive}` \
-                     (expected `allow(<rules>)` or `allow-file(<rules>)`)"
+                    "unrecognized phocus-lint directive `{directive}` (expected \
+                     `allow(<rules>)`, `allow-file(<rules>)`, or `hot-kernel`)"
                 ),
             });
             continue;
@@ -196,30 +267,31 @@ fn parse_allows(toks: &[Tok], spec: &FileSpec<'_>, meta: &mut Vec<Diagnostic>) -
         if rules.is_empty() {
             continue;
         }
-        let line = if file_scope {
-            None
-        } else if toks[..i]
-            .iter()
-            .rev()
-            .take_while(|p| p.line == t.line)
-            .any(|p| !p.is_comment())
-        {
-            // Trailing comment: covers its own line.
-            Some(t.line)
-        } else {
-            // Standalone comment line: covers the next code-bearing line.
-            toks[i + 1..]
-                .iter()
-                .find(|n| !n.is_comment())
-                .map(|n| n.line)
-        };
+        // Every suppression must say *why* the site is exempt — the audit
+        // trail is the point. A bare `allow(rule)` is a lint-meta finding.
+        if !has_rationale(&rest[end + 1..]) {
+            meta.push(Diagnostic {
+                rule: "lint-meta",
+                path: spec.path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "suppression of `{}` needs a written rationale: \
+                     `allow({}) — reason`",
+                    rules.join(", "),
+                    rules.join(", "),
+                ),
+            });
+            continue;
+        }
+        let line = if file_scope { None } else { covered };
         if !file_scope && line.is_none() {
             // A standalone pragma at end of file covers nothing; ignore.
             continue;
         }
         allows.push(Allow { rules, line });
     }
-    allows
+    (allows, hot_lines)
 }
 
 /// Finds `#[cfg(test)] mod name { … }` line ranges by token matching and
@@ -337,6 +409,43 @@ mod tests {
     fn bad_directive_is_reported() {
         let c = ctx("// phocus-lint: disable(float-ord)\n");
         assert_eq!(c.meta_diags.len(), 1);
+    }
+
+    #[test]
+    fn allow_without_rationale_is_reported() {
+        let c = ctx("let x = 1; // phocus-lint: allow(float-ord)\n");
+        assert_eq!(c.meta_diags.len(), 1, "{:#?}", c.meta_diags);
+        assert!(c.meta_diags[0].message.contains("rationale"));
+        // And the unexplained suppression does not take effect.
+        assert!(!c.is_allowed("float-ord", 1));
+    }
+
+    #[test]
+    fn ascii_dash_rationales_are_accepted() {
+        let c = ctx("let x = 1; // phocus-lint: allow(float-ord) - audited\n");
+        assert!(c.meta_diags.is_empty(), "{:#?}", c.meta_diags);
+        assert!(c.is_allowed("float-ord", 1));
+    }
+
+    #[test]
+    fn hot_kernel_standalone_covers_next_code_line() {
+        let c = ctx("// phocus-lint: hot-kernel\npub fn kernel() {}\n");
+        assert!(c.meta_diags.is_empty(), "{:#?}", c.meta_diags);
+        assert_eq!(c.hot_kernel_lines, [2]);
+    }
+
+    #[test]
+    fn hot_kernel_trailing_covers_its_line() {
+        let c = ctx("pub fn kernel() { // phocus-lint: hot-kernel — gain loop\n}\n");
+        assert!(c.meta_diags.is_empty(), "{:#?}", c.meta_diags);
+        assert_eq!(c.hot_kernel_lines, [1]);
+    }
+
+    #[test]
+    fn malformed_hot_kernel_is_reported() {
+        let c = ctx("// phocus-lint: hot-kernel(gain)\nfn f() {}\n");
+        assert_eq!(c.meta_diags.len(), 1, "{:#?}", c.meta_diags);
+        assert!(c.meta_diags[0].message.contains("hot-kernel"));
     }
 
     #[test]

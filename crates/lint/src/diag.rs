@@ -49,15 +49,25 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders a diagnostic list as the stable `--json` document:
+/// Renders a diagnostic list as the stable `--json` document (schema v2;
+/// v2 added the `rules` registry array so CI can detect rule-set drift):
 ///
 /// ```json
-/// {"version":1,"violations":N,"diagnostics":[{"rule":…,"path":…,
-///  "line":…,"col":…,"message":…}]}
+/// {"version":2,"rules":["float-ord",…],"violations":N,
+///  "diagnostics":[{"rule":…,"path":…,"line":…,"col":…,"message":…}]}
 /// ```
 pub fn to_json(diags: &[Diagnostic]) -> String {
     let mut out = String::new();
-    out.push_str("{\"version\":1,\"violations\":");
+    out.push_str("{\"version\":2,\"rules\":[");
+    for (i, r) in crate::rules::RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json_escape(r));
+        out.push('"');
+    }
+    out.push_str("],\"violations\":");
     out.push_str(&diags.len().to_string());
     out.push_str(",\"diagnostics\":[");
     for (i, d) in diags.iter().enumerate() {
@@ -104,14 +114,17 @@ mod tests {
         };
         let j = to_json(&[d]);
         assert!(j.contains("\\\"") && j.contains("\\t") && j.contains("— dash"));
-        assert!(j.starts_with("{\"version\":1,\"violations\":1,"));
+        assert!(j.starts_with("{\"version\":2,\"rules\":["));
+        assert!(j.contains(",\"violations\":1,"));
     }
 
     #[test]
-    fn empty_report() {
-        assert_eq!(
-            to_json(&[]),
-            "{\"version\":1,\"violations\":0,\"diagnostics\":[]}"
-        );
+    fn empty_report_lists_the_registry() {
+        let j = to_json(&[]);
+        assert!(j.starts_with("{\"version\":2,\"rules\":[\"float-ord\","));
+        assert!(j.ends_with(",\"violations\":0,\"diagnostics\":[]}"));
+        for rule in crate::rules::RULES {
+            assert!(j.contains(&format!("\"{rule}\"")), "missing {rule}");
+        }
     }
 }

@@ -188,12 +188,15 @@ pub fn run(root: &Path) -> Result<Report, LintError> {
         }),
     }
 
-    // File-level rules over every non-vendor crate.
+    // File- and crate-level rules over every non-vendor crate. Sources are
+    // gathered first so the crate-scoped rules (call graph, scopes) can see
+    // every file of a crate at once.
     let mut files_scanned = 0usize;
     for c in &crates {
         if c.category == CrateCategory::Vendor {
             continue;
         }
+        let mut sources: Vec<(String, FileKind, String)> = Vec::new();
         for (sub, default_kind) in [
             ("src", FileKind::Lib),
             ("benches", FileKind::Bench),
@@ -215,19 +218,28 @@ pub fn run(root: &Path) -> Result<Report, LintError> {
                     default_kind
                 };
                 let src = read(&file)?;
-                let ctx = FileContext::new(
-                    FileSpec {
-                        path: &rel,
-                        crate_name: &c.manifest.name,
-                        category: c.category,
-                        kind,
-                    },
-                    &src,
-                );
-                diagnostics.extend(rules::run_file_rules(&ctx));
-                files_scanned += 1;
+                sources.push((rel, kind, src));
             }
         }
+        let contexts: Vec<FileContext<'_>> = sources
+            .iter()
+            .map(|(rel, kind, src)| {
+                FileContext::new(
+                    FileSpec {
+                        path: rel,
+                        crate_name: &c.manifest.name,
+                        category: c.category,
+                        kind: *kind,
+                    },
+                    src,
+                )
+            })
+            .collect();
+        for ctx in &contexts {
+            diagnostics.extend(rules::run_file_rules(ctx));
+            files_scanned += 1;
+        }
+        diagnostics.extend(rules::run_crate_rules(&contexts));
     }
 
     diagnostics.sort_by(|a, b| {

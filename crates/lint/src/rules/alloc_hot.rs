@@ -1,0 +1,162 @@
+//! `alloc-hot`: allocation bans inside annotated hot kernels and their
+//! crate-local callees.
+//!
+//! The PR 2/6/8 performance story is arena discipline: the gain kernels,
+//! the CELF stream advance, the dynamic dispatch loop, and the pack bulk
+//! loaders run allocation-free, reusing caller-provided buffers. This rule
+//! machine-checks that discipline. A function annotated
+//!
+//! ```text
+//! // phocus-lint: hot-kernel — why this function is on the hot path
+//! ```
+//!
+//! (line above the item, attributes tolerated, or trailing on the header
+//! line) and every function it reaches through the intra-crate
+//! [call graph](crate::callgraph) must not contain allocating calls:
+//! `vec!`/`format!`, `.collect()`, `.to_vec()`, `.to_owned()`,
+//! `.to_string()`, `.clone()`, `::with_capacity`, `String::from`, and
+//! `Box::new`/`Arc::new`/`Rc::new`.
+//!
+//! Envelope (documented, deliberate): `.push`/`.extend` onto reused
+//! buffers are amortized-O(1) and allowed; `Vec::new`/`String::new` do not
+//! allocate; cross-crate callees and closures called through variables are
+//! not followed (annotate those in their own crate). `#[cfg(test)]`
+//! regions are exempt. Suppression requires a per-site justification:
+//! `// phocus-lint: allow(alloc-hot) — reason`.
+
+use crate::callgraph::{CrateGraph, FnId};
+use crate::context::FileContext;
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+use crate::scope::FileScopes;
+
+/// Method names whose call allocates.
+const BANNED_METHODS: &[&str] = &["collect", "to_vec", "to_owned", "to_string", "clone"];
+
+/// `Type::new` paths whose call allocates.
+const BANNED_NEW_PATHS: &[&str] = &["Box", "Arc", "Rc"];
+
+/// An allocating construct found at a token position.
+fn allocation_at(code: &[Tok], j: usize) -> Option<String> {
+    let t = &code[j];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let next_is = |c: char| code.get(j + 1).is_some_and(|n| n.is_punct(c));
+    // `vec![…]` / `format!(…)`.
+    if (t.text == "vec" || t.text == "format") && next_is('!') {
+        return Some(format!("{}!", t.text));
+    }
+    let called = next_is('(')
+        || (next_is(':') && code.get(j + 2).is_some_and(|n| n.is_punct(':')))
+        || (next_is(':') && code.get(j + 2).is_some_and(|n| n.is_punct('<')));
+    if !called {
+        return None;
+    }
+    let after_dot = j > 0 && code[j - 1].is_punct('.');
+    let after_path = j > 1 && code[j - 1].is_punct(':') && code[j - 2].is_punct(':');
+    if after_dot && BANNED_METHODS.contains(&t.text.as_str()) {
+        return Some(format!(".{}()", t.text));
+    }
+    if after_path {
+        if t.text == "with_capacity" {
+            return Some("::with_capacity".to_string());
+        }
+        let qualifier = (j >= 3).then(|| code[j - 3].text.as_str());
+        if t.text == "new" && qualifier.is_some_and(|q| BANNED_NEW_PATHS.contains(&q)) {
+            return Some(format!("{}::new", qualifier.unwrap_or("")));
+        }
+        if t.text == "from" && qualifier == Some("String") {
+            return Some("String::from".to_string());
+        }
+    }
+    None
+}
+
+/// Runs the rule over one crate: `files` and `scopes` are parallel slices.
+pub fn check(
+    files: &[FileContext<'_>],
+    scopes: &[FileScopes],
+    graph: &CrateGraph,
+    out: &mut Vec<Diagnostic>,
+) {
+    let roots: Vec<FnId> = scopes
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, s)| {
+            s.fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.hot)
+                .map(move |(gi, _)| (fi, gi))
+        })
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let parent = graph.reachable(&roots);
+    for (&node, &par) in &parent {
+        let (fi, gi) = node;
+        let ctx = &files[fi];
+        let item = &scopes[fi].fns[gi];
+        // Witness chain back to the annotated root.
+        let mut chain = vec![item.name.clone()];
+        let mut cur = node;
+        let mut up = par;
+        while up != cur {
+            cur = up;
+            chain.push(scopes[cur.0].fns[cur.1].name.clone());
+            up = parent.get(&cur).copied().unwrap_or(cur);
+        }
+        chain.reverse();
+        let root_name = chain.first().cloned().unwrap_or_default();
+        let is_root = chain.len() == 1;
+
+        let (open, close) = item.body;
+        let end = close.min(ctx.code.len());
+        for j in open + 1..end {
+            let t = &ctx.code[j];
+            if ctx.in_test_region(t.line) {
+                continue;
+            }
+            // A nested fn item is its own node; don't double-report its
+            // body as part of the enclosing function's.
+            if scopes[fi]
+                .fn_of(j)
+                .is_some_and(|inner| inner.body != item.body)
+            {
+                continue;
+            }
+            let Some(what) = allocation_at(&ctx.code, j) else {
+                continue;
+            };
+            let depth = scopes[fi].loop_depth.get(j).copied().unwrap_or(0);
+            let site = if is_root {
+                format!("hot kernel `{}`", item.name)
+            } else {
+                format!(
+                    "`{}`, reached from hot kernel `{}` via {}",
+                    item.name,
+                    root_name,
+                    chain.join(" → ")
+                )
+            };
+            let loop_note = if depth > 0 {
+                format!(" at loop depth {depth}")
+            } else {
+                String::new()
+            };
+            ctx.emit(
+                out,
+                "alloc-hot",
+                t.line,
+                t.col,
+                format!(
+                    "allocating call `{what}` in {site}{loop_note}; hot kernels reuse \
+                     caller-provided buffers (arena discipline) — restructure, or \
+                     `allow(alloc-hot)` with a per-site rationale"
+                ),
+            );
+        }
+    }
+}

@@ -1,27 +1,41 @@
-//! The rule registry and the per-file dispatch.
+//! The rule registry and the per-file / per-crate dispatch.
 //!
-//! Three families, mirroring DESIGN.md §12:
+//! Four families, mirroring DESIGN.md §12 and §17:
 //!
 //! * **determinism** — [`determinism::float_ord`], [`determinism::hash_iter`],
-//!   [`determinism::wall_clock`]: protect the bit-identical solver
-//!   transcripts (PR 1/3 goldens) and the `total_cmp` discipline (PR 4).
+//!   [`determinism::wall_clock`], [`reduce_order`]: protect the bit-identical
+//!   solver transcripts (PR 1/3 goldens), the `total_cmp` discipline (PR 4),
+//!   and index-ordered float merges under parallel fan-out.
 //! * **architecture** — [`architecture::check_dag`],
 //!   [`architecture::parallel_cfg`]: keep the crate DAG acyclic and layered,
 //!   and the `parallel` feature confined to `par-exec` (PR 1).
+//! * **performance/safety** — [`alloc_hot`], [`cast_bounds`]: arena
+//!   discipline inside annotated hot kernels and their crate-local callees,
+//!   and locally-evidenced narrowing casts in library code.
 //! * **hygiene** — [`hygiene::no_print`], [`hygiene::no_unsafe`],
 //!   [`ci::check_ci`]: no stray output or panicking placeholders in library
 //!   code, no `unsafe` outside the vendored shims, and a CI panic-freedom
 //!   gate that cannot silently skip a crate.
+//!
+//! File-scoped rules run per file ([`run_file_rules`]); the token-tree
+//! rules that need fn scopes and the intra-crate call graph run per crate
+//! ([`run_crate_rules`]) over all of its files at once.
 
+pub mod alloc_hot;
 pub mod architecture;
+pub mod cast_bounds;
 pub mod ci;
 pub mod determinism;
 pub mod hygiene;
+pub mod reduce_order;
 
+use crate::callgraph::CrateGraph;
 use crate::context::FileContext;
 use crate::diag::Diagnostic;
+use crate::scope;
 
-/// Every rule id, for pragma validation and `--help`.
+/// Every rule id, for pragma validation, `--help`, and the `rules`
+/// subcommand (schema-drift gate in ci.sh).
 pub const RULES: &[&str] = &[
     "float-ord",
     "hash-iter",
@@ -31,6 +45,9 @@ pub const RULES: &[&str] = &[
     "no-print",
     "no-unsafe",
     "ci-gate",
+    "alloc-hot",
+    "cast-bounds",
+    "reduce-order",
     "lint-meta",
 ];
 
@@ -44,6 +61,31 @@ pub fn run_file_rules(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
     architecture::parallel_cfg(ctx, &mut out);
     hygiene::no_print(ctx, &mut out);
     hygiene::no_unsafe(ctx, &mut out);
-    out.extend(ctx.meta_diags.iter().cloned());
+    out.extend(
+        ctx.meta_diags
+            .iter()
+            .filter(|d| !ctx.is_allowed("lint-meta", d.line))
+            .cloned(),
+    );
+    out
+}
+
+/// Runs the crate-scoped (token-tree) rules over one crate's files:
+/// `alloc-hot` and `reduce-order` follow the intra-crate call graph,
+/// `cast-bounds` needs per-fn binding hints. Returns surviving diagnostics.
+pub fn run_crate_rules(files: &[FileContext<'_>]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let scopes: Vec<scope::FileScopes> = files.iter().map(scope::analyze).collect();
+    let pairs: Vec<(&[crate::lexer::Tok], &scope::FileScopes)> = files
+        .iter()
+        .zip(scopes.iter())
+        .map(|(f, s)| (&f.code[..], s))
+        .collect();
+    let graph = CrateGraph::build(&pairs);
+    alloc_hot::check(files, &scopes, &graph, &mut out);
+    reduce_order::check(files, &scopes, &graph, &mut out);
+    for (ctx, s) in files.iter().zip(scopes.iter()) {
+        cast_bounds::check(ctx, s, &mut out);
+    }
     out
 }

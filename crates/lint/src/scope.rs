@@ -1,0 +1,593 @@
+//! Scope analysis: `fn` item boundaries, binding tables with lexical type
+//! hints, loop depth, and hot-kernel annotation matching.
+//!
+//! Built on the [`crate::tree`] token tree, this layer answers the
+//! questions the deep rules ask: *which function owns this token*, *is this
+//! identifier bound locally*, *what integer width does this binding
+//! lexically carry*, *is this function annotated `hot-kernel`*. It is a
+//! lexical approximation, not type inference — hints come from explicit
+//! annotations (`let n: u64`), initializer shapes (`.len()`, a trailing
+//! `as u64`, literal suffixes), and parameter types; everything else is
+//! *unknown*, and rules treat unknown conservatively in the direction of
+//! silence (documented per rule as the false-negative envelope).
+//!
+//! `macro_rules!` bodies are excluded from extraction: their token streams
+//! mention `$`-fragments that defeat binding analysis, and the macro's
+//! *call sites* are inside real functions where the expanded arguments are
+//! scanned anyway.
+
+use crate::context::FileContext;
+use crate::lexer::{Tok, TokKind};
+use crate::tree::{build, Group, Node};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Primitive numeric type names the hint machinery tracks.
+pub const PRIMITIVES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+    "f32", "f64",
+];
+
+/// One `fn` item.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function's name (methods included; no path qualification).
+    pub name: String,
+    /// First line of the item header (attributes and visibility included).
+    pub start_line: u32,
+    /// Line/column of the `fn` keyword.
+    pub fn_line: u32,
+    /// Column of the `fn` keyword.
+    pub fn_col: u32,
+    /// Token index of the body's `{` and of its `}` (exclusive end when the
+    /// body is unterminated: `code.len()`).
+    pub body: (usize, usize),
+    /// Whether a `phocus-lint: hot-kernel` annotation covers the header.
+    pub hot: bool,
+    /// Parameter names, in order (`self` excluded).
+    pub params: Vec<String>,
+    /// Parameters whose declared type starts `&mut …` — state the caller
+    /// observes after the call returns.
+    pub mut_ref_params: BTreeSet<String>,
+    /// Every name bound inside the item: parameters, `let` bindings,
+    /// `for` variables, closure parameters, one-level destructurings.
+    pub bound: BTreeSet<String>,
+    /// Lexical width hints: binding name → primitive type name.
+    pub hints: BTreeMap<String, &'static str>,
+    /// Names let-bound to an initializer mentioning `MAX` — range guards
+    /// one hop removed (`let max = u32::MAX as u64; if n > max { … }`).
+    pub max_bound: BTreeSet<String>,
+}
+
+/// Scope analysis of one file.
+#[derive(Debug)]
+pub struct FileScopes {
+    /// Every extracted `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Per-token loop depth (enclosing `for`/`while`/`loop` body count).
+    pub loop_depth: Vec<u16>,
+}
+
+impl FileScopes {
+    /// The innermost function whose body contains token `idx`, if any.
+    /// Nested fns appear later in `fns` and win by the smaller-body rule.
+    pub fn fn_of(&self, idx: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| idx > f.body.0 && idx < f.body.1)
+            .min_by_key(|f| f.body.1 - f.body.0)
+    }
+}
+
+fn is_primitive(name: &str) -> Option<&'static str> {
+    PRIMITIVES.iter().find(|p| **p == name).copied()
+}
+
+/// Extracts scopes from a lexed file.
+pub fn analyze(ctx: &FileContext<'_>) -> FileScopes {
+    let code = &ctx.code;
+    let tree = build(code);
+    let mut fns = Vec::new();
+    walk_items(code, &tree, &ctx.hot_kernel_lines, &mut fns);
+    let mut loop_depth = vec![0u16; code.len()];
+    mark_loop_depth(code, &tree, 0, &mut loop_depth);
+    FileScopes { fns, loop_depth }
+}
+
+/// Recursively finds `fn` items in a sibling list and descends into every
+/// group except `macro_rules!` bodies.
+fn walk_items(code: &[Tok], nodes: &[Node], hot_lines: &[u32], out: &mut Vec<FnItem>) {
+    let mut skip_group_at: Option<usize> = None;
+    for (k, node) in nodes.iter().enumerate() {
+        match node {
+            Node::Leaf(i) => {
+                if code[*i].is_ident("macro_rules") {
+                    // `macro_rules ! name { … }`: mark the body group.
+                    for later in nodes[k + 1..].iter().take(4) {
+                        if let Node::Group(g) = later {
+                            if g.delim == '{' {
+                                skip_group_at = Some(g.open);
+                            }
+                            break;
+                        }
+                    }
+                }
+                if code[*i].is_ident("fn") {
+                    if let Some(item) = extract_fn(code, nodes, k, *i, hot_lines) {
+                        out.push(item);
+                    }
+                }
+            }
+            Node::Group(g) => {
+                if skip_group_at == Some(g.open) {
+                    skip_group_at = None;
+                    continue;
+                }
+                walk_items(code, &g.children, hot_lines, out);
+            }
+        }
+    }
+}
+
+/// Extracts the `fn` item whose `fn` keyword is sibling `k` (token `i`).
+fn extract_fn(
+    code: &[Tok],
+    siblings: &[Node],
+    k: usize,
+    i: usize,
+    hot_lines: &[u32],
+) -> Option<FnItem> {
+    // Name: the next leaf must be an identifier (an `fn(u32)` pointer type
+    // or `impl Fn(…)` has `(` here and is not an item).
+    let name_leaf = siblings.get(k + 1)?;
+    let name_idx = match name_leaf {
+        Node::Leaf(j) if code[*j].kind == TokKind::Ident => *j,
+        _ => return None,
+    };
+    // Params: the first `(` group after the name; body: the first `{` group
+    // before a `;` (trait method declarations have no body).
+    let mut params_group: Option<&Group> = None;
+    let mut body_group: Option<&Group> = None;
+    for node in &siblings[k + 2..] {
+        match node {
+            Node::Leaf(j) if code[*j].is_punct(';') => break,
+            Node::Group(g) if g.delim == '(' && params_group.is_none() => params_group = Some(g),
+            Node::Group(g) if g.delim == '{' => {
+                body_group = Some(g);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let params_group = params_group?;
+    let body_group = body_group?;
+    let body = (body_group.open, body_group.close.unwrap_or(code.len()));
+
+    // Header start: walk back over attributes and qualifiers.
+    let mut start_line = code[i].line;
+    let mut b = k;
+    while b > 0 {
+        let prev = &siblings[b - 1];
+        let accept = match prev {
+            Node::Leaf(j) => {
+                let t = &code[*j];
+                matches!(t.text.as_str(), "pub" | "const" | "unsafe" | "async" | "extern" | "default" | "crate" | "in")
+                    || t.is_punct('#')
+                    || t.is_punct('!')
+                    || t.kind == TokKind::Str // `extern "C"`
+            }
+            Node::Group(g) => g.delim == '[' || g.delim == '(', // attribute body / `pub(crate)`
+        };
+        if !accept {
+            break;
+        }
+        b -= 1;
+        let first = match &siblings[b] {
+            Node::Leaf(j) => *j,
+            Node::Group(g) => g.open,
+        };
+        start_line = start_line.min(code[first].line);
+    }
+    let body_open_line = code[body_group.open].line;
+    let hot = hot_lines
+        .iter()
+        .any(|&h| h >= start_line && h <= body_open_line);
+
+    let mut item = FnItem {
+        name: code[name_idx].text.clone(),
+        start_line,
+        fn_line: code[i].line,
+        fn_col: code[i].col,
+        body,
+        hot,
+        params: Vec::new(),
+        mut_ref_params: BTreeSet::new(),
+        bound: BTreeSet::new(),
+        hints: BTreeMap::new(),
+        max_bound: BTreeSet::new(),
+    };
+    collect_params(code, params_group, &mut item);
+    collect_body_bindings(code, &mut item);
+    Some(item)
+}
+
+/// Parameter names and type hints: every `ident :` pair at any nesting of
+/// the parameter group (excluding `::` paths), type scanned past `&`,
+/// `mut`, and lifetimes.
+fn collect_params(code: &[Tok], params: &Group, item: &mut FnItem) {
+    let end = params.close.unwrap_or(code.len());
+    let mut j = params.open + 1;
+    while j + 1 < end {
+        let is_binding = code[j].kind == TokKind::Ident
+            && code[j + 1].is_punct(':')
+            && !code.get(j + 2).is_some_and(|t| t.is_punct(':'))
+            && !(j > 0 && code[j - 1].is_punct(':'));
+        if is_binding && code[j].text != "self" {
+            let name = code[j].text.clone();
+            let mut t = j + 2;
+            let mut saw_ref = false;
+            let mut saw_mut = false;
+            while t < end {
+                let tok = &code[t];
+                if tok.is_punct('&') {
+                    saw_ref = true;
+                } else if tok.is_ident("mut") {
+                    saw_mut = true;
+                } else if tok.kind == TokKind::Lifetime {
+                    // skip
+                } else {
+                    if tok.kind == TokKind::Ident {
+                        if let Some(p) = is_primitive(&tok.text) {
+                            item.hints.insert(name.clone(), p);
+                        }
+                    }
+                    break;
+                }
+                t += 1;
+            }
+            if saw_ref && saw_mut {
+                item.mut_ref_params.insert(name.clone());
+            }
+            item.params.push(name.clone());
+            item.bound.insert(name);
+        }
+        j += 1;
+    }
+}
+
+/// Tokens that can directly precede a closure's opening `|`.
+fn closure_can_follow(t: &Tok) -> bool {
+    (t.kind == TokKind::Punct
+        && matches!(
+            t.text.as_str(),
+            "(" | "," | "=" | "{" | ";" | ">" | "<" | "+" | "-" | "*" | "/" | "&" | "|" | ":"
+        ))
+        || (t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "move" | "return" | "else" | "match" | "in"))
+}
+
+/// Scans the body for `let`/`for`/closure bindings and their hints.
+fn collect_body_bindings(code: &[Tok], item: &mut FnItem) {
+    let (open, close) = item.body;
+    let mut j = open + 1;
+    while j < close {
+        let t = &code[j];
+        if t.is_ident("let") {
+            bind_let(code, j, close, item);
+            // Resume just past `let`: the initializer may contain closures
+            // whose parameters must bind too.
+            j += 1;
+            continue;
+        }
+        if t.is_ident("for") {
+            // Bind pattern idents up to `in`.
+            let mut k = j + 1;
+            let mut budget = 12usize;
+            while k < close && budget > 0 && !code[k].is_ident("in") {
+                if code[k].kind == TokKind::Ident && !code[k].is_ident("mut") {
+                    item.bound.insert(code[k].text.clone());
+                }
+                k += 1;
+                budget -= 1;
+            }
+            j = k;
+            continue;
+        }
+        if t.is_punct('|') && j > open && closure_can_follow(&code[j - 1]) {
+            // Closure parameter list: bind idents until the closing `|`.
+            let mut k = j + 1;
+            let mut budget = 24usize;
+            while k < close && budget > 0 && !code[k].is_punct('|') {
+                if code[k].kind == TokKind::Ident
+                    && !code[k].is_ident("mut")
+                    && !code.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                {
+                    item.bound.insert(code[k].text.clone());
+                } else if code[k].kind == TokKind::Ident
+                    && code.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                    && !code.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                {
+                    // Typed closure param: bind and hint.
+                    item.bound.insert(code[k].text.clone());
+                    if let Some(nt) = code.get(k + 2) {
+                        if let Some(p) = is_primitive(&nt.text) {
+                            item.hints.insert(code[k].text.clone(), p);
+                        }
+                    }
+                }
+                k += 1;
+                budget -= 1;
+            }
+            j = k + 1;
+            continue;
+        }
+        j += 1;
+    }
+}
+
+/// Handles one `let` statement starting at token `j` (`let` itself).
+/// Returns the index to resume scanning from.
+fn bind_let(code: &[Tok], j: usize, close: usize, item: &mut FnItem) -> usize {
+    let mut k = j + 1;
+    if k < close && code[k].is_ident("mut") {
+        k += 1;
+    }
+    if k >= close {
+        return k;
+    }
+    // Destructuring: `let (a, b) = …` / `let [a, b] = …`.
+    if code[k].is_punct('(') || code[k].is_punct('[') {
+        let mut depth = 0i32;
+        while k < close {
+            if code[k].is_punct('(') || code[k].is_punct('[') {
+                depth += 1;
+            } else if code[k].is_punct(')') || code[k].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if code[k].kind == TokKind::Ident && !code[k].is_ident("mut") {
+                item.bound.insert(code[k].text.clone());
+            }
+            k += 1;
+        }
+        return k + 1;
+    }
+    if code[k].kind != TokKind::Ident {
+        return k;
+    }
+    let name = code[k].text.clone();
+    item.bound.insert(name.clone());
+    // `let Some(x) = …`-style: also bind idents of a following pattern group.
+    if code.get(k + 1).is_some_and(|t| t.is_punct('(')) {
+        let mut d = 0i32;
+        let mut p = k + 1;
+        while p < close {
+            if code[p].is_punct('(') {
+                d += 1;
+            } else if code[p].is_punct(')') {
+                d -= 1;
+                if d == 0 {
+                    break;
+                }
+            } else if code[p].kind == TokKind::Ident && !code[p].is_ident("mut") {
+                item.bound.insert(code[p].text.clone());
+            }
+            p += 1;
+        }
+    }
+    let mut k2 = k + 1;
+    // Explicit annotation: `let x: T = …`.
+    if code.get(k2).is_some_and(|t| t.is_punct(':'))
+        && !code.get(k2 + 1).is_some_and(|t| t.is_punct(':'))
+    {
+        let mut t = k2 + 1;
+        while t < close {
+            let tok = &code[t];
+            if tok.is_punct('&') || tok.is_ident("mut") || tok.kind == TokKind::Lifetime {
+                t += 1;
+                continue;
+            }
+            if tok.kind == TokKind::Ident {
+                if let Some(p) = is_primitive(&tok.text) {
+                    item.hints.insert(name.clone(), p);
+                }
+            }
+            break;
+        }
+        while k2 < close && !code[k2].is_punct('=') && !code[k2].is_punct(';') {
+            k2 += 1;
+        }
+    }
+    // Initializer hints: scan `= …ₛ ;` at this statement's nesting level.
+    if code.get(k2).is_some_and(|t| t.is_punct('=')) {
+        let mut depth = 0i32;
+        let mut t = k2 + 1;
+        let mut as_hint: Option<&'static str> = None;
+        let mut shape_hint: Option<&'static str> = None;
+        let mut mentions_max = false;
+        while t < close {
+            let tok = &code[t];
+            if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+                depth += 1;
+            } else if tok.is_punct(')') || tok.is_punct(']') || tok.is_punct('}') {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            } else if depth == 0 && tok.is_punct(';') {
+                break;
+            } else if tok.is_ident("MAX") {
+                mentions_max = true;
+            } else if depth == 0 && tok.is_ident("as") {
+                if let Some(nt) = code.get(t + 1) {
+                    if let Some(p) = is_primitive(&nt.text) {
+                        as_hint = Some(p);
+                    }
+                }
+            } else if shape_hint.is_none() && tok.kind == TokKind::Ident {
+                // Method shapes that pin the width: `.len()`, `.count()`,
+                // `.capacity()` → usize; a primitive-named call (`r.u64()`,
+                // `u64::from_le_bytes(…)`) → that primitive.
+                let called = code.get(t + 1).is_some_and(|n| n.is_punct('('));
+                if called {
+                    match tok.text.as_str() {
+                        "len" | "count" | "capacity" => shape_hint = Some("usize"),
+                        _ => {
+                            if let Some(p) = is_primitive(&tok.text) {
+                                shape_hint = Some(p);
+                            } else if matches!(
+                                tok.text.as_str(),
+                                "from_le_bytes" | "from_be_bytes" | "from_ne_bytes"
+                            ) && t >= 3
+                                && code[t - 1].is_punct(':')
+                                && code[t - 2].is_punct(':')
+                            {
+                                if let Some(p) = is_primitive(&code[t - 3].text) {
+                                    shape_hint = Some(p);
+                                }
+                            }
+                        }
+                    }
+                }
+            } else if shape_hint.is_none() && tok.kind == TokKind::Num {
+                shape_hint = literal_hint(&tok.text);
+            }
+            t += 1;
+        }
+        // A trailing cast dominates the shape the expression started with.
+        if let Some(h) = as_hint.or(shape_hint) {
+            item.hints.entry(name.clone()).or_insert(h);
+        }
+        if mentions_max {
+            item.max_bound.insert(name);
+        }
+        return t;
+    }
+    k2
+}
+
+/// Width hint of a numeric literal: an explicit suffix wins; a bare float
+/// shape (`1.5`, `1e9`) defaults to `f64`; bare integers stay unknown
+/// (their width is context-dependent and compile-checked anyway).
+pub fn literal_hint(text: &str) -> Option<&'static str> {
+    for p in PRIMITIVES {
+        if text.ends_with(p) {
+            return Some(p);
+        }
+    }
+    let no_hex = !text.starts_with("0x") && !text.starts_with("0X");
+    if no_hex && (text.contains('.') || text.contains('e') || text.contains('E')) {
+        return Some("f64");
+    }
+    None
+}
+
+/// Marks each token with its enclosing-loop count.
+fn mark_loop_depth(code: &[Tok], nodes: &[Node], depth: u16, out: &mut [u16]) {
+    let mut pending_loop = false;
+    for node in nodes {
+        match node {
+            Node::Leaf(i) => {
+                out[*i] = depth;
+                let t = &code[*i];
+                if t.is_ident("for") || t.is_ident("while") || t.is_ident("loop") {
+                    pending_loop = true;
+                } else if t.is_punct(';') {
+                    pending_loop = false;
+                }
+            }
+            Node::Group(g) => {
+                out[g.open] = depth;
+                if let Some(c) = g.close {
+                    out[c] = depth;
+                }
+                let inner = if g.delim == '{' && pending_loop {
+                    depth + 1
+                } else {
+                    depth
+                };
+                if g.delim == '{' {
+                    pending_loop = false;
+                }
+                mark_loop_depth(code, &g.children, inner, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{CrateCategory, FileKind, FileSpec};
+
+    fn scopes(src: &str) -> FileScopes {
+        let ctx = FileContext::new(
+            FileSpec {
+                path: "fixture.rs",
+                crate_name: "par-fixture",
+                category: CrateCategory::Library,
+                kind: FileKind::Lib,
+            },
+            src,
+        );
+        analyze(&ctx)
+    }
+
+    #[test]
+    fn fn_boundaries_and_params() {
+        let s = scopes(
+            "pub fn f(a: u64, b: &mut f64, xs: &[u32]) -> usize {\n    let n = xs.len();\n    n\n}\n",
+        );
+        assert_eq!(s.fns.len(), 1);
+        let f = &s.fns[0];
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params, ["a", "b", "xs"]);
+        assert_eq!(f.hints.get("a"), Some(&"u64"));
+        assert_eq!(f.hints.get("n"), Some(&"usize"));
+        assert!(f.mut_ref_params.contains("b"));
+        assert!(f.bound.contains("n"));
+    }
+
+    #[test]
+    fn hot_annotation_matches_through_attributes() {
+        let s = scopes(
+            "// phocus-lint: hot-kernel — inner loop\n#[inline]\npub fn gain(x: f64) -> f64 { x }\npub fn cold() {}\n",
+        );
+        assert_eq!(s.fns.len(), 2);
+        assert!(s.fns[0].hot);
+        assert!(!s.fns[1].hot);
+    }
+
+    #[test]
+    fn nested_fns_and_closures_bind() {
+        let s = scopes(
+            "fn outer(n: usize) -> usize {\n    let total = (0..n).map(|i| i + 1).sum::<usize>();\n    fn inner(q: u32) -> u32 { q }\n    total + inner(0) as usize\n}\n",
+        );
+        assert_eq!(s.fns.len(), 2);
+        let outer = s.fns.iter().find(|f| f.name == "outer").expect("outer");
+        assert!(outer.bound.contains("i"), "{:?}", outer.bound);
+        assert!(outer.bound.contains("total"));
+    }
+
+    #[test]
+    fn max_bound_initializers_are_tracked() {
+        let s = scopes("fn f(n: u64) -> bool {\n    let cap = u32::MAX as u64;\n    n > cap\n}\n");
+        let f = &s.fns[0];
+        assert!(f.max_bound.contains("cap"));
+        assert_eq!(f.hints.get("cap"), Some(&"u64"));
+    }
+
+    #[test]
+    fn loop_depth_counts_enclosing_loops() {
+        let s = scopes("fn f(n: usize) {\n    for _ in 0..n {\n        while n > 0 {\n            let _x = 1;\n        }\n    }\n}\n");
+        let max = s.loop_depth.iter().copied().max().unwrap_or(0);
+        assert_eq!(max, 2);
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_not_items() {
+        let s = scopes("macro_rules! m {\n    () => { fn ghost() {} };\n}\nfn real() {}\n");
+        assert_eq!(s.fns.len(), 1);
+        assert_eq!(s.fns[0].name, "real");
+    }
+}

@@ -1,0 +1,165 @@
+//! Brace-aware token trees over the flat lexer stream.
+//!
+//! The PR 5 rules matched flat token *sequences*; the deeper rules
+//! (`alloc-hot`, `cast-bounds`, `reduce-order`) need structure: which
+//! tokens form a `fn` body, a call's argument list, a closure literal. A
+//! [`Node`] tree supplies exactly that while staying an index view — every
+//! node points back into the caller's `Vec<Tok>`, so spans are the lexer's
+//! spans by construction and flattening a tree recovers the original token
+//! order exactly (property-tested in `tests/fixtures.rs`).
+//!
+//! Error tolerance mirrors the lexer's: a stray closing delimiter becomes a
+//! leaf, an unclosed group runs to end of input with `close: None`. The
+//! compiler is the authority on well-formedness; the tree only needs to be
+//! loss-free.
+
+use crate::lexer::Tok;
+
+/// One node of the token tree. Indices refer to the token slice the tree
+/// was built from.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A non-delimiter token.
+    Leaf(usize),
+    /// A delimited group.
+    Group(Group),
+}
+
+/// A `(…)`, `[…]`, or `{…}` group.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// The opening delimiter: `(`, `[`, or `{`.
+    pub delim: char,
+    /// Token index of the opening delimiter.
+    pub open: usize,
+    /// Token index of the closing delimiter; `None` when the group is
+    /// unterminated at end of input.
+    pub close: Option<usize>,
+    /// Child nodes between the delimiters, in source order.
+    pub children: Vec<Node>,
+}
+
+fn closer_of(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+/// Builds the token tree for `code` (a comment-free token slice).
+pub fn build(code: &[Tok]) -> Vec<Node> {
+    // Stack of open groups; the bottom sink is the root sequence.
+    let mut root: Vec<Node> = Vec::new();
+    let mut stack: Vec<Group> = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        let c = t.text.chars().next().unwrap_or('\0');
+        let is_open = t.is_punct('(') || t.is_punct('[') || t.is_punct('{');
+        let is_close = t.is_punct(')') || t.is_punct(']') || t.is_punct('}');
+        if is_open {
+            stack.push(Group {
+                delim: c,
+                open: i,
+                close: None,
+                children: Vec::new(),
+            });
+        } else if is_close {
+            match stack.pop() {
+                Some(mut g) if closer_of(g.delim) == c => {
+                    g.close = Some(i);
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(Node::Group(g)),
+                        None => root.push(Node::Group(g)),
+                    }
+                }
+                popped => {
+                    // Mismatched or extra closer: keep it as a leaf so the
+                    // flattened tree still reproduces the input.
+                    if let Some(g) = popped {
+                        stack.push(g);
+                    }
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(Node::Leaf(i)),
+                        None => root.push(Node::Leaf(i)),
+                    }
+                }
+            }
+        } else {
+            match stack.last_mut() {
+                Some(parent) => parent.children.push(Node::Leaf(i)),
+                None => root.push(Node::Leaf(i)),
+            }
+        }
+    }
+    // Unterminated groups: close at end of input, then fold into parents.
+    while let Some(g) = stack.pop() {
+        match stack.last_mut() {
+            Some(parent) => parent.children.push(Node::Group(g)),
+            None => root.push(Node::Group(g)),
+        }
+    }
+    root
+}
+
+/// Appends every token index of `nodes` to `out` in source order. On any
+/// tree built by [`build`], the result is exactly `0..code.len()`.
+pub fn flatten(nodes: &[Node], out: &mut Vec<usize>) {
+    for n in nodes {
+        match n {
+            Node::Leaf(i) => out.push(*i),
+            Node::Group(g) => {
+                out.push(g.open);
+                flatten(&g.children, out);
+                if let Some(c) = g.close {
+                    out.push(c);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn code(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().filter(|t| !t.is_comment()).collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let toks = code(src);
+        let tree = build(&toks);
+        let mut flat = Vec::new();
+        flatten(&tree, &mut flat);
+        assert_eq!(flat, (0..toks.len()).collect::<Vec<_>>(), "src: {src:?}");
+    }
+
+    #[test]
+    fn nested_groups_roundtrip() {
+        roundtrip("fn f(a: &[u32]) -> Vec<u32> { a.iter().map(|x| x + 1).collect() }");
+    }
+
+    #[test]
+    fn stray_closers_and_unclosed_groups_roundtrip() {
+        roundtrip(") } ] fn f( { [");
+        roundtrip("fn f() { ( [ }");
+    }
+
+    #[test]
+    fn body_group_is_found() {
+        let toks = code("fn f(x: u32) { x + 1 }");
+        let tree = build(&toks);
+        let groups: Vec<&Group> = tree
+            .iter()
+            .filter_map(|n| match n {
+                Node::Group(g) => Some(g),
+                Node::Leaf(_) => None,
+            })
+            .collect();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].delim, '(');
+        assert_eq!(groups[1].delim, '{');
+        assert!(groups[1].close.is_some());
+    }
+}

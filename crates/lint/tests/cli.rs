@@ -102,7 +102,8 @@ fn json_output_follows_the_stable_schema() {
     let out = phocus_lint(&["--json", "--root", dir.to_str().expect("utf-8 path")]);
     assert_eq!(out.status.code(), Some(1), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.starts_with("{\"version\":1,"), "{stdout}");
+    assert!(stdout.starts_with("{\"version\":2,\"rules\":["), "{stdout}");
+    assert!(stdout.contains("\"cast-bounds\""), "{stdout}");
     assert!(stdout.contains("\"rule\":\"float-ord\""), "{stdout}");
     assert!(stdout.contains("\"line\":3"), "{stdout}");
     // ci.sh is absent from the fixture workspace, so the gate rule fires too.

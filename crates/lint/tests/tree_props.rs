@@ -1,0 +1,197 @@
+//! Property tests for the token-tree layer: on any input — the real fixture
+//! corpus or seeded random token soup, balanced or not — the tree built by
+//! [`par_lint::tree::build`] must *round-trip* to the lexer's view. Flattening
+//! it in order reproduces every token index exactly once, every group's
+//! `open`/`close` indices point at matching delimiter tokens, and group spans
+//! nest properly in lexer (line, col) order. No external proptest crate: a
+//! seeded xorshift generator keeps the runs deterministic and dependency-free.
+
+use par_lint::lexer::{lex, Tok};
+use par_lint::tree::{build, flatten, Group, Node};
+
+/// Comment-free token view, as the engine feeds the tree builder.
+fn code_of(src: &str) -> Vec<Tok> {
+    lex(src).into_iter().filter(|t| !t.is_comment()).collect()
+}
+
+/// Asserts the round-trip invariants of `build` on one token slice.
+fn assert_roundtrip(code: &[Tok], label: &str) {
+    let tree = build(code);
+
+    // 1. In-order flattening reproduces the lexer sequence exactly.
+    let mut order = Vec::new();
+    flatten(&tree, &mut order);
+    let expect: Vec<usize> = (0..code.len()).collect();
+    assert_eq!(order, expect, "{label}: flatten must reproduce 0..len");
+
+    // 2. Every group's delimiters and spans agree with the lexer tokens.
+    fn walk(nodes: &[Node], code: &[Tok], label: &str) {
+        for n in nodes {
+            if let Node::Group(g) = n {
+                check_group(g, code, label);
+                walk(&g.children, code, label);
+            }
+        }
+    }
+    fn check_group(g: &Group, code: &[Tok], label: &str) {
+        assert!(
+            code[g.open].is_punct(g.delim),
+            "{label}: group open index must hold its delimiter"
+        );
+        if let Some(close) = g.close {
+            let want = match g.delim {
+                '(' => ')',
+                '[' => ']',
+                _ => '}',
+            };
+            assert!(
+                code[close].is_punct(want),
+                "{label}: group close index must hold the matching closer"
+            );
+            assert!(g.open < close, "{label}: open precedes close");
+            let (ol, oc) = (code[g.open].line, code[g.open].col);
+            let (cl, cc) = (code[close].line, code[close].col);
+            assert!(
+                (ol, oc) <= (cl, cc),
+                "{label}: lexer spans must be ordered open ≤ close"
+            );
+            // Children stay strictly inside the delimiter pair.
+            let mut inner = Vec::new();
+            flatten(&g.children, &mut inner);
+            for &i in &inner {
+                assert!(
+                    g.open < i && i < close,
+                    "{label}: child token outside its group's span"
+                );
+            }
+        }
+    }
+    walk(&tree, code, label);
+}
+
+#[test]
+fn fixture_corpus_round_trips() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("read fixture");
+        let code = code_of(&src);
+        assert_roundtrip(&code, &path.display().to_string());
+        seen += 1;
+    }
+    assert!(seen >= 12, "fixture corpus unexpectedly small: {seen}");
+}
+
+#[test]
+fn lint_sources_round_trip() {
+    // The linter's own sources are the largest in-repo corpus of gnarly
+    // real-world token streams (nested macros, lifetimes, char literals).
+    for src in [
+        include_str!("../src/tree.rs"),
+        include_str!("../src/scope.rs"),
+        include_str!("../src/callgraph.rs"),
+        include_str!("../src/rules/cast_bounds.rs"),
+        include_str!("../src/rules/reduce_order.rs"),
+    ] {
+        let code = code_of(src);
+        assert_roundtrip(&code, "lint source");
+    }
+}
+
+/// Deterministic xorshift64* stream; good enough to drive fuzz cases.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn pick<'a>(&mut self, items: &[&'a str]) -> &'a str {
+        items[(self.next() % items.len() as u64) as usize]
+    }
+}
+
+/// Random token soup: identifiers, numbers, operators, and delimiters —
+/// deliberately including unbalanced and mismatched closers, which `build`
+/// must absorb as leaves without losing any token.
+fn random_source(rng: &mut Rng) -> String {
+    const ATOMS: [&str; 18] = [
+        "fn", "ident", "x", "0", "1.5", "+", "=", ";", ",", "::", "(", ")", "[", "]", "{", "}",
+        "->", "\"s\"",
+    ];
+    let len = 1 + (rng.next() % 120) as usize;
+    let mut out = String::new();
+    for _ in 0..len {
+        out.push_str(rng.pick(&ATOMS));
+        out.push(' ');
+        if rng.next().is_multiple_of(11) {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn random_token_soup_round_trips() {
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+    for case in 0..500 {
+        let src = random_source(&mut rng);
+        let code = code_of(&src);
+        assert_roundtrip(&code, &format!("soup case {case}"));
+    }
+}
+
+#[test]
+fn balanced_random_programs_round_trip() {
+    // Generator biased toward well-formed nesting: every opener eventually
+    // gets its closer, so `Group::close` should be `Some` throughout.
+    let mut rng = Rng(0xDEAD_BEEF_CAFE_F00D);
+    for case in 0..200 {
+        let mut src = String::new();
+        let mut stack: Vec<char> = Vec::new();
+        for _ in 0..(10 + rng.next() % 80) {
+            match rng.next() % 4 {
+                0 => {
+                    let open = ['(', '[', '{'][(rng.next() % 3) as usize];
+                    stack.push(open);
+                    src.push(open);
+                }
+                1 if !stack.is_empty() => {
+                    let open = stack.pop().expect("nonempty");
+                    src.push(match open {
+                        '(' => ')',
+                        '[' => ']',
+                        _ => '}',
+                    });
+                }
+                _ => src.push_str(" x "),
+            }
+        }
+        while let Some(open) = stack.pop() {
+            src.push(match open {
+                '(' => ')',
+                '[' => ']',
+                _ => '}',
+            });
+        }
+        let code = code_of(&src);
+        let tree = build(&code);
+        fn all_closed(nodes: &[Node]) -> bool {
+            nodes.iter().all(|n| match n {
+                Node::Leaf(_) => true,
+                Node::Group(g) => g.close.is_some() && all_closed(&g.children),
+            })
+        }
+        assert!(all_closed(&tree), "balanced case {case} left an open group");
+        assert_roundtrip(&code, &format!("balanced case {case}"));
+    }
+}

@@ -800,7 +800,7 @@ fn cmd_pack(rest: &[String]) -> Result<(), CliError> {
     let universe = load_dataset(&dataset, seed, flag(rest, "--paper-scale"))?;
     let representation = repr_from_flags(rest)?;
     let inst = phocus::represent(&universe, (budget_mb * 1e6) as u64, &representation)?;
-    let bytes = par_core::pack_instance(&inst);
+    let bytes = par_core::pack_instance(&inst).map_err(PhocusError::from)?;
     write_bytes(&out, &bytes)?;
     println!(
         "wrote\t{out}\tphotos={}\tsubsets={}\tbytes={}",
@@ -852,7 +852,7 @@ fn cmd_catalog_build(rest: &[String]) -> Result<(), CliError> {
             ((universe.total_cost() as f64 * budget_frac) as u64).max(1)
         };
         let inst = phocus::represent(&universe, budget, &representation)?;
-        let bytes = par_core::pack_instance(&inst);
+        let bytes = par_core::pack_instance(&inst).map_err(PhocusError::from)?;
         builder.add_pack(
             &universe.name,
             &bytes,

@@ -306,7 +306,7 @@ mod tests {
     fn build_open_load_round_trip() {
         let dir = tmpdir("roundtrip");
         let inst = figure1_instance(4 * MB);
-        let bytes = pack_instance(&inst);
+        let bytes = pack_instance(&inst).expect("packable");
         let mut b = CatalogBuilder::create(&dir).unwrap();
         b.add_pack("zeta", &bytes, inst.num_photos() as u64, inst.budget()).unwrap();
         b.add_artifact("selected\t3\n").unwrap();
@@ -332,7 +332,7 @@ mod tests {
         let dir = tmpdir("stale");
         let inst = figure1_instance(4 * MB);
         let mut b = CatalogBuilder::create(&dir).unwrap();
-        b.add_pack("t", &pack_instance(&inst), 6, inst.budget()).unwrap();
+        b.add_pack("t", &pack_instance(&inst).expect("packable"), 6, inst.budget()).unwrap();
         let cat = b.finish().unwrap();
         // Overwrite the pack behind the index's back.
         std::fs::write(dir.join(&cat.entries()[0].pack), b"garbage").unwrap();
@@ -345,7 +345,7 @@ mod tests {
     fn duplicate_tenants_rejected() {
         let dir = tmpdir("dup");
         let inst = figure1_instance(4 * MB);
-        let bytes = pack_instance(&inst);
+        let bytes = pack_instance(&inst).expect("packable");
         let mut b = CatalogBuilder::create(&dir).unwrap();
         b.add_pack("same", &bytes, 6, 1).unwrap();
         b.add_pack("same", &bytes, 6, 1).unwrap();

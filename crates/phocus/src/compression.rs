@@ -236,6 +236,7 @@ pub fn expand_with_variants(universe: &Universe, ladder: &ActionLadder) -> (Univ
             continue;
         }
         for (k, lvl) in ladder.levels().iter().enumerate() {
+            // phocus-lint: allow(cast-bounds) — ≤ n·levels variants of a u32-id universe
             let idx = names.len() as u32;
             names.push(format!("{}@q{}", universe.names[p], k));
             costs.push(
@@ -326,6 +327,7 @@ pub fn represent_with_variants(
             let b = q.members[j].index();
             let scaled = s * quality(a) * quality(b);
             if scaled > 0.0 {
+                // phocus-lint: allow(cast-bounds) — member positions; subsets are u32-indexed
                 pairs.push((i as u32, j as u32, scaled));
             }
         };

@@ -20,7 +20,7 @@ impl InvertedIndex {
         let mut total_len = 0u64;
         for (doc, text) in corpus.iter().enumerate() {
             let tokens = tokenize(text.as_ref());
-            doc_lens.push(tokens.len() as u32);
+            doc_lens.push(tokens.len().min(u32::MAX as usize) as u32);
             total_len += tokens.len() as u64;
             let mut tf: HashMap<String, u32> = HashMap::new();
             for t in tokens {

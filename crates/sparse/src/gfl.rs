@@ -54,6 +54,7 @@ impl GflInstance {
         for q in inst.subsets() {
             let sim = inst.sim(q.id);
             for (local, (&p, &r)) in q.members.iter().zip(q.relevance.iter()).enumerate() {
+                // phocus-lint: allow(cast-bounds) — right nodes = member_total, ≤ u32::MAX at pack time
                 let right_idx = right.len() as u32;
                 right.push(RightNode {
                     subset: q.id,

@@ -309,7 +309,7 @@ fn base_pack() -> Vec<u8> {
             required_prob: 0.1,
         },
     );
-    pack_instance(&inst)
+    pack_instance(&inst).expect("fixture packs")
 }
 
 /// Byte range `[offset, offset + len)` of table entry `i`'s payload.

@@ -83,7 +83,7 @@ proptest! {
         seed in any::<u64>(), photos in 8usize..48, subsets in 3usize..14,
     ) {
         let inst = fixture(seed, photos, subsets, 0.4);
-        let loaded = unpack_instance(&pack_instance(&inst)).expect("valid pack must load");
+        let loaded = unpack_instance(&pack_instance(&inst).expect("packable")).expect("valid pack must load");
         let fresh = evaluator_workout(Evaluator::new(&inst), photos, subsets);
         let packed = evaluator_workout(
             Evaluator::with_layout(&loaded.instance, &loaded.layout),
@@ -100,7 +100,7 @@ proptest! {
         seed in any::<u64>(), photos in 8usize..48, subsets in 3usize..14,
     ) {
         let inst = fixture(seed, photos, subsets, 0.3);
-        let loaded = unpack_instance(&pack_instance(&inst)).expect("valid pack must load");
+        let loaded = unpack_instance(&pack_instance(&inst).expect("packable")).expect("valid pack must load");
 
         for rule in [GreedyRule::UnitCost, GreedyRule::CostBenefit] {
             let a = sharded_lazy_greedy(&inst, rule);
@@ -126,11 +126,11 @@ proptest! {
         seed in any::<u64>(), photos in 8usize..40, subsets in 3usize..12,
     ) {
         let inst = fixture(seed, photos, subsets, 0.5);
-        let once = pack_instance(&inst);
-        let twice = pack_instance(&inst);
+        let once = pack_instance(&inst).expect("packable");
+        let twice = pack_instance(&inst).expect("packable");
         prop_assert_eq!(&once, &twice, "two packs of one instance differ");
         let loaded = unpack_instance(&once).expect("valid pack must load");
-        let repacked = pack_instance(&loaded.instance);
+        let repacked = pack_instance(&loaded.instance).expect("packable");
         prop_assert_eq!(&once, &repacked, "re-pack after load drifted");
     }
 }
@@ -140,7 +140,7 @@ proptest! {
 #[test]
 fn loaded_solves_match_at_every_thread_count() {
     let inst = fixture(0xD1CE_9ACC, 60, 18, 0.35);
-    let loaded = unpack_instance(&pack_instance(&inst)).expect("valid pack must load");
+    let loaded = unpack_instance(&pack_instance(&inst).expect("packable")).expect("valid pack must load");
     for threads in [1usize, 2, 8] {
         let prev = Parallelism::with_threads(threads).install_global();
         let a = main_algorithm_sharded(&inst);
@@ -166,7 +166,7 @@ const PACK_GOLDEN: u64 = 0x3e83da58f7c07e3b;
 #[test]
 fn pack_golden_checksum_is_pinned() {
     let inst = fixture(0x9ACC_601D, 32, 10, 0.4);
-    let sum = fnv1a64(&pack_instance(&inst));
+    let sum = fnv1a64(&pack_instance(&inst).expect("packable"));
     if std::env::var("PRINT_PACK_GOLDEN").is_ok() {
         println!("pack golden: 0x{sum:016x}");
     }
